@@ -1,0 +1,70 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark prints the table/figure it reproduces in the paper's own
+row format (bypassing pytest's capture so the tables appear in the run
+log), and registers a representative measurement with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+OOM = "OOM"
+
+
+def fmt_seconds(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    v = float(value)
+    if v < 1e-3:
+        return f"{v * 1e6:.0f}µs"
+    if v < 1.0:
+        return f"{v * 1e3:.1f}ms"
+    return f"{v:.2f}s"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if nbytes < 1024 or unit == "GiB":
+            return f"{nbytes:.1f}{unit}"
+        nbytes /= 1024
+    return f"{nbytes:.1f}GiB"
+
+
+def render_table(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    """A fixed-width table, matching the paper's row layout."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"\n== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def emit(capsys, text: str) -> None:
+    """Print past pytest's capture so tables land in the run log."""
+    with capsys.disabled():
+        print(text)
+
+
+def measure(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run once, returning (result, seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def measure_or_oom(fn: Callable[[], object]) -> tuple[object | None, object]:
+    """Run once; on OutOfMemoryError return (None, "OOM")."""
+    from repro.errors import OutOfMemoryError
+
+    try:
+        return measure(fn)
+    except OutOfMemoryError:
+        return None, OOM

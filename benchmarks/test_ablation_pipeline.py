@@ -1,0 +1,109 @@
+"""Ablation A4 — pipelined DL execution across devices (Sec. 5.2).
+
+A deep FFNN is partitioned into stages under per-device memory limits;
+we compare (a) the analytic pipelined makespan against sequential
+stage-at-a-time execution on the device cost model, and (b) a real
+threaded streaming run against a real sequential run for wall-clock
+overlap on this host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dlruntime import Linear, Model, ReLU, gpu_device
+from repro.serving import (
+    PipelineExecutor,
+    partition_layers,
+    simulate_pipeline_makespan,
+    simulate_sequential_time,
+)
+
+from _util import emit, fmt_seconds, measure, render_table
+
+WIDTH = 512
+DEPTH = 8
+TOTAL_ROWS = 4096
+MICRO_BATCH = 256
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(91)
+    layers = []
+    for i in range(DEPTH):
+        layers.append(Linear(WIDTH, WIDTH, rng=rng, name=f"fc{i}"))
+        layers.append(ReLU())
+    return Model("pipeline-deep", layers, input_shape=(WIDTH,))
+
+
+@pytest.fixture(scope="module")
+def stages(model):
+    # Each device holds about two Linear layers' weights plus working
+    # activations, forcing a ~4-stage partition.
+    per_stage = 2 * (WIDTH * WIDTH * 8 + WIDTH * 8)
+    activations = 2 * MICRO_BATCH * WIDTH * 8
+    devices = [
+        gpu_device(name=f"g{i}", memory_bytes=per_stage + activations + 512 * 1024)
+        for i in range(6)
+    ]
+    stages = partition_layers(model, devices, micro_batch=MICRO_BATCH)
+    assert len(stages) >= 3
+    return stages
+
+
+def test_ablation_pipeline_simulated(benchmark, stages, capsys):
+    pipelined = benchmark.pedantic(
+        lambda: simulate_pipeline_makespan(stages, TOTAL_ROWS, MICRO_BATCH),
+        rounds=5,
+        iterations=1,
+    )
+    sequential = simulate_sequential_time(stages, TOTAL_ROWS, MICRO_BATCH)
+    speedup = sequential / pipelined
+    emit(
+        capsys,
+        render_table(
+            f"Ablation A4a: simulated pipeline schedule ({len(stages)} stages, "
+            f"{TOTAL_ROWS // MICRO_BATCH} micro-batches)",
+            ["schedule", "modeled time", "speedup"],
+            [
+                ["sequential", fmt_seconds(sequential), "1.0x"],
+                ["pipelined", fmt_seconds(pipelined), f"{speedup:.2f}x"],
+            ],
+        ),
+    )
+    assert speedup > 1.5
+    assert speedup <= len(stages) + 1e-9  # cannot beat the stage count
+
+
+def test_ablation_pipeline_threaded(benchmark, model, stages, capsys):
+    executor = PipelineExecutor(stages)
+    x = np.random.default_rng(92).normal(size=(TOTAL_ROWS, WIDTH))
+    (outputs, streamed), __total = measure(lambda: executor.run(x, MICRO_BATCH))
+
+    def sequential():
+        out = x
+        for stage in stages:
+            out = stage.forward(out)
+        return out
+
+    reference, sequential_seconds = measure(sequential)
+    np.testing.assert_allclose(outputs, reference, atol=1e-9)
+    benchmark.pedantic(lambda: executor.run(x, MICRO_BATCH), rounds=1, iterations=1)
+    emit(
+        capsys,
+        render_table(
+            "Ablation A4b: threaded streaming execution (real wall clock)",
+            ["mode", "latency"],
+            [
+                ["sequential whole-batch", fmt_seconds(sequential_seconds)],
+                ["pipelined micro-batches", fmt_seconds(streamed)],
+            ],
+        )
+        + "(numpy releases the GIL inside matmul, so stages genuinely overlap;"
+        " the simulated schedule above isolates the scheduling effect)\n",
+    )
+    # Real threading on one host is noisy; require only sanity, not a
+    # specific speedup.
+    assert streamed < sequential_seconds * 3

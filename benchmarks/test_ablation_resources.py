@@ -1,0 +1,112 @@
+"""Ablation A2 — unified resource management (Sec. 3).
+
+Two studies:
+
+* thread configuration: the successive-halving tuner versus the naive
+  "give everything all cores" configuration that oversubscribes (the
+  paper's RDBMS-threads × OpenMP-threads problem);
+* device allocation: the producer-transfer-consumer model's CPU/GPU
+  crossover per operator — small operators stay on CPU because transfer
+  outweighs the GPU's compute advantage (the paper's decision-forest
+  observation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import lower_model
+from repro.dlruntime import Linear, Model, cpu_device, gpu_device
+from repro.resources import DeviceAllocator, ThreadConfig, ThreadTuner, throughput_model
+from repro.resources.allocator import modeled_latency
+
+from _util import emit, fmt_seconds, render_table
+
+CORES = 8
+
+
+def _matmul_node(in_features: int, out_features: int):
+    model = Model(
+        "probe", [Linear(in_features, out_features, name="fc")], (in_features,)
+    )
+    return lower_model(model)[0]
+
+
+def test_ablation_thread_tuning(benchmark, capsys):
+    tuner = ThreadTuner(CORES, rng_seed=71)
+    result = benchmark.pedantic(
+        lambda: tuner.tune(initial_candidates=32, rounds=3), rounds=1, iterations=1
+    )
+    naive = ThreadConfig(db_threads=CORES, blas_threads=CORES)
+    single = ThreadConfig(db_threads=1, blas_threads=1)
+    rows = [
+        [
+            "naive (8 DB x 8 BLAS)",
+            naive.total_threads,
+            f"{throughput_model(naive, CORES):.2f}",
+        ],
+        [
+            "single-threaded",
+            single.total_threads,
+            f"{throughput_model(single, CORES):.2f}",
+        ],
+        [
+            f"tuned ({result.best.db_threads} DB x {result.best.blas_threads} BLAS)",
+            result.best.total_threads,
+            f"{throughput_model(result.best, CORES):.2f}",
+        ],
+    ]
+    emit(
+        capsys,
+        render_table(
+            f"Ablation A2a: thread configuration on {CORES} cores "
+            f"({result.evaluations} tuner evaluations)",
+            ["configuration", "total threads", "relative throughput"],
+            rows,
+        ),
+    )
+    tuned = throughput_model(result.best, CORES)
+    assert tuned > throughput_model(naive, CORES) * 1.2
+    assert tuned > throughput_model(single, CORES) * 1.5
+
+
+def test_ablation_device_allocation(benchmark, capsys):
+    cpu, gpu = cpu_device(), gpu_device()
+    allocator = DeviceAllocator([cpu, gpu])
+    operators = {
+        "fraud-fc-like (28x256)": _matmul_node(28, 256),
+        "encoder-like (76x3072)": _matmul_node(76, 3072),
+        "wide (2048x2048)": _matmul_node(2048, 2048),
+        "huge (8192x8192)": _matmul_node(8192, 8192),
+    }
+    rows = []
+    decisions = {}
+    for name, node in operators.items():
+        decision = allocator.place(node, batch_size=64)
+        crossover = allocator.crossover_batch(node, cpu, gpu, max_batch=1 << 18)
+        decisions[name] = decision.device.kind
+        rows.append(
+            [
+                name,
+                fmt_seconds(decision.estimates["cpu0"]),
+                fmt_seconds(decision.estimates["gpu0"]),
+                decision.device.name,
+                crossover if crossover is not None else ">262144",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: allocator.place(operators["wide (2048x2048)"], 64),
+        rounds=5,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        render_table(
+            "Ablation A2b: device allocation at batch 64 "
+            "(producer-transfer-consumer model)",
+            ["operator", "CPU est.", "GPU est.", "chosen", "GPU crossover batch"],
+            rows,
+        ),
+    )
+    assert decisions["fraud-fc-like (28x256)"] == "cpu"
+    assert decisions["huge (8192x8192)"] == "gpu"

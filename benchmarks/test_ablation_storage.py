@@ -1,0 +1,158 @@
+"""Ablation A3 — storage co-optimization (Sec. 4).
+
+Three studies:
+
+* accuracy-aware block deduplication across a family of fine-tuned model
+  variants (exact + epsilon-approximate sharing, space saving vs the
+  resulting accuracy perturbation);
+* multi-version models: quantized/pruned versions and SLA-driven
+  selection;
+* data/model co-partitioning: shuffle bytes avoided for the first-layer
+  matmul join.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.dedup import (
+    BlockDedupStore,
+    CoPartitioner,
+    ModelVersionManager,
+)
+from repro.models import fraud_fc_256
+
+from _util import emit, fmt_bytes, fmt_seconds, render_table
+
+
+def _finetuned_family(base_model, n_variants: int, noise: float, rng):
+    """Models fine-tuned from one base: most weights barely move."""
+    variants = [base_model]
+    for __ in range(n_variants):
+        clone = copy.deepcopy(base_model)
+        for layer in clone.layers:
+            for param in layer.parameters().values():
+                # Fine-tuning touches a few rows hard, the rest barely.
+                mask = rng.uniform(size=param.data.shape) < 0.05
+                param.data = param.data + noise * mask * rng.normal(
+                    size=param.data.shape
+                )
+        variants.append(clone)
+    return variants
+
+
+def test_ablation_block_dedup(benchmark, capsys, rng):
+    base = fraud_fc_256()
+    variants = _finetuned_family(base, n_variants=4, noise=0.02, rng=rng)
+    rows = []
+    reports = {}
+    for epsilon in (0.0, 1e-4, 5e-2):
+        store = BlockDedupStore((16, 16), epsilon=epsilon, seed=81)
+        for variant in variants:
+            for layer in variant.layers:
+                params = layer.parameters()
+                if "weight" in params:
+                    store.put_matrix(params["weight"].data)
+        report = store.report()
+        reports[epsilon] = report
+        rows.append(
+            [
+                f"eps={epsilon:g}",
+                report.logical_blocks,
+                report.stored_blocks,
+                report.exact_hits,
+                report.approximate_hits,
+                f"{report.space_saving:.0%}",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: BlockDedupStore((16, 16), epsilon=1e-4).put_matrix(
+            base.layers[0].weight.data
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        render_table(
+            "Ablation A3a: accuracy-aware block dedup over 5 fine-tuned "
+            "fraud-fc-256 variants",
+            ["epsilon", "logical", "stored", "exact hits", "approx hits", "saved"],
+            rows,
+        ),
+    )
+    # Exact dedup already shares the untouched blocks across variants;
+    # looser epsilon strictly increases sharing.
+    assert reports[0.0].space_saving >= 0.0
+    assert reports[5e-2].stored_blocks <= reports[1e-4].stored_blocks
+    assert reports[5e-2].space_saving > reports[0.0].space_saving
+
+
+def test_ablation_model_versions(benchmark, capsys, rng):
+    model = fraud_fc_256()
+    x = rng.normal(size=(500, 28))
+    truth = model.predict(x)
+
+    def accuracy(m):
+        return float((m.predict(x) == truth).mean())
+
+    manager = ModelVersionManager(model, accuracy)
+    manager.add_quantized(8)
+    manager.add_quantized(4)
+    manager.add_quantized(2)
+    manager.add_pruned(0.5)
+    manager.add_pruned(0.9)
+    rows = [
+        [v.name, v.kind, fmt_bytes(v.size_bytes), f"{v.accuracy:.2%}"]
+        for v in manager.versions.values()
+    ]
+    strict = manager.select(min_accuracy=0.99)
+    relaxed = benchmark.pedantic(
+        lambda: manager.select(min_accuracy=0.90), rounds=5, iterations=1
+    )
+    emit(
+        capsys,
+        render_table(
+            "Ablation A3b: model versions and SLA-driven selection",
+            ["version", "kind", "size", "accuracy vs full"],
+            rows,
+        )
+        + f"SLA >=99%: chose {strict.name} ({fmt_bytes(strict.size_bytes)}); "
+        f"SLA >=90%: chose {relaxed.name} ({fmt_bytes(relaxed.size_bytes)})\n",
+    )
+    assert strict.accuracy >= 0.99
+    assert relaxed.size_bytes <= strict.size_bytes
+
+
+def test_ablation_copartitioning(benchmark, capsys):
+    partitioner = CoPartitioner(num_partitions=8, block_rows=128)
+    co = benchmark.pedantic(
+        lambda: partitioner.report(num_features=4096, num_rows=100_000),
+        rounds=5,
+        iterations=1,
+    )
+    independent = partitioner.report(
+        num_features=4096, num_rows=100_000, co_partitioned=False
+    )
+    emit(
+        capsys,
+        render_table(
+            "Ablation A3c: data/model co-partitioning for the first-layer "
+            "matmul join (4096 features, 100k rows, 8 partitions)",
+            ["layout", "join locality", "shuffle avoided"],
+            [
+                ["co-partitioned", f"{co.locality:.0%}", fmt_bytes(co.shuffle_bytes_avoided)],
+                [
+                    "independent random",
+                    f"{independent.locality:.0%}",
+                    fmt_bytes(0),
+                ],
+            ],
+        ),
+    )
+    assert co.locality == 1.0
+    assert independent.locality < 0.5
+    assert co.shuffle_bytes_avoided > 0

@@ -1,0 +1,122 @@
+"""Section 7.2.1 — model decomposition and push-down (paper: 5.7×).
+
+The Bosch-style wide table (968 features) is vertically partitioned into
+two halves stored as separate tables.  The inference pipeline similarity-
+joins the halves on their most-correlated column pair, then runs the
+968/256/2 FFNN over the joined features.
+
+The decompose-push-down rule rewrites ``model(D1 ⋈ D2)`` so each half's
+partial first-layer matmul runs *below* the join: the join then carries
+256-dimensional partial activations instead of 968 raw features.
+Expected shape: the rewritten plan wins by a large factor, growing with
+the join fan-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import mb
+from repro.core.rules import DecomposePushDownRule, decompose_first_layer
+from repro.data import bosch_wide_table, most_correlated_pair, vertical_split
+from repro.models import bosch_ffnn
+from repro.relational.operators import SeqScan, collect
+from repro.relational.schema import ColumnType, Schema
+from repro.storage import BufferPool, Catalog, InMemoryDiskManager
+
+from _util import emit, fmt_seconds, measure, render_table
+
+N_ROWS = 6_000
+N_FEATURES = 968
+HALF = N_FEATURES // 2
+EPSILON = 0.015  # on the planted key pair (noise 0.01): a few matches/row
+
+
+@pytest.fixture(scope="module")
+def setup():
+    features, __, __rows = bosch_wide_table(N_ROWS, n_features=N_FEATURES, seed=41)
+    left_feats, right_feats = vertical_split(features)
+    key_left, key_right, corr = most_correlated_pair(left_feats, right_feats)
+    assert corr > 0.99  # the planted pair was found
+
+    pool = BufferPool(InMemoryDiskManager(64 * 1024), capacity_pages=2048)
+    catalog = Catalog(pool)
+    left_schema = Schema.of(
+        ("id", ColumnType.INT),
+        *[(f"c{i}", ColumnType.DOUBLE) for i in range(HALF)],
+    )
+    right_schema = Schema.of(
+        ("rid", ColumnType.INT),
+        *[(f"d{i}", ColumnType.DOUBLE) for i in range(HALF)],
+    )
+    d1 = catalog.create_table("d1", left_schema)
+    d2 = catalog.create_table("d2", right_schema)
+    for i in range(N_ROWS):
+        d1.heap.insert((i, *map(float, left_feats[i])))
+        d2.heap.insert((i, *map(float, right_feats[i])))
+    model = bosch_ffnn()
+    rule = DecomposePushDownRule(
+        model,
+        left_feature_cols=[f"c{i}" for i in range(HALF)],
+        right_feature_cols=[f"d{i}" for i in range(HALF)],
+        left_key=f"c{key_left}",
+        right_key=f"d{key_right}",
+        epsilon=EPSILON,
+    )
+    return catalog, d1, d2, model, rule
+
+
+def test_sec721_pipelines_agree(benchmark, setup):
+    """Correctness: the rewrite is an algebraic identity."""
+    catalog, d1, d2, model, rule = setup
+    baseline = collect(rule.build_baseline(SeqScan(d1), SeqScan(d2)))
+    pushed = benchmark.pedantic(
+        lambda: collect(rule.build_pushed_down(SeqScan(d1), SeqScan(d2))),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(baseline) == len(pushed)
+    assert len(baseline) >= N_ROWS  # every row matches at least itself
+    assert sorted(baseline.rows) == sorted(pushed.rows)
+
+
+def test_sec721_pushdown_speedup(benchmark, setup, capsys):
+    catalog, d1, d2, model, rule = setup
+    __, baseline_seconds = measure(
+        lambda: collect(rule.build_baseline(SeqScan(d1), SeqScan(d2)))
+    )
+    pushed_result, pushed_seconds = measure(
+        lambda: collect(rule.build_pushed_down(SeqScan(d1), SeqScan(d2)))
+    )
+    benchmark.pedantic(
+        lambda: collect(rule.build_pushed_down(SeqScan(d1), SeqScan(d2))),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = baseline_seconds / pushed_seconds
+    weights = decompose_first_layer(model, HALF)
+    emit(
+        capsys,
+        render_table(
+            "Sec. 7.2.1: model decomposition & push-down "
+            f"({N_ROWS:,} rows × {N_FEATURES} features, eps={EPSILON})",
+            ["plan", "join carries", "latency", "speedup"],
+            [
+                [
+                    "baseline (join, then model)",
+                    f"{N_FEATURES} raw features",
+                    fmt_seconds(baseline_seconds),
+                    "1.0x",
+                ],
+                [
+                    "decomposed + pushed down",
+                    f"{weights.w1.shape[1]} partial activations",
+                    fmt_seconds(pushed_seconds),
+                    f"{speedup:.1f}x",
+                ],
+            ],
+        )
+        + f"paper reports 5.7x on the full 1.18M-row Bosch dataset\n",
+    )
+    assert speedup > 1.5, f"push-down speedup only {speedup:.2f}x"

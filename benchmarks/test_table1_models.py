@@ -1,0 +1,71 @@
+"""Table 1 — the fully connected model zoo.
+
+Reproduces the paper's Table 1 inventory (feature / hidden / output sizes)
+and benchmarks a single-batch forward pass of each model through the
+UDF-centric engine.  Amazon-14k-FC runs at 1/100 scale (its full-size
+weight matrix is 4.6 GB; see DESIGN.md for the scaling argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import mb
+from repro.dlruntime import MemoryBudget
+from repro.engines import UdfCentricEngine
+from repro.models import MODEL_ZOO, amazon_14k_fc, build_model
+
+from _util import emit, fmt_seconds, render_table
+
+BATCH = 256
+
+CASES = {
+    "fraud-fc-256": dict(),
+    "fraud-fc-512": dict(),
+    "encoder-fc": dict(),
+    "amazon-14k-fc": dict(scale=0.01),
+}
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {key: build_model(key, **kwargs) for key, kwargs in CASES.items()}
+
+
+@pytest.mark.parametrize("key", list(CASES))
+def test_table1_forward_latency(benchmark, models, key, rng):
+    model = models[key]
+    x = rng.normal(size=(BATCH,) + model.input_shape)
+    engine = UdfCentricEngine(MemoryBudget(mb(2048)))
+    result = benchmark(lambda: engine.run_model(model, x))
+    assert result.outputs.shape == (BATCH,) + model.output_shape
+    np.testing.assert_allclose(result.outputs.sum(axis=1), np.ones(BATCH))
+
+
+def test_table1_inventory(benchmark, models, capsys):
+    """Print Table 1 with our per-model stats next to the paper's shapes."""
+    rows = []
+    for key, model in models.items():
+        entry = MODEL_ZOO[key]
+        fc1 = model.layers[0]
+        rows.append(
+            [
+                key,
+                entry.paper_shape,
+                f"{fc1.in_features}/{fc1.out_features}/{model.output_shape[0]}",
+                f"{model.param_count:,}",
+            ]
+        )
+    # Validate that the unscaled builder reproduces the paper's exact shape.
+    full = benchmark.pedantic(amazon_14k_fc, rounds=1, iterations=1)
+    assert full.layers[0].in_features == 597_540
+    assert full.output_shape == (14_588,)
+    emit(
+        capsys,
+        render_table(
+            "Table 1: Fully Connected (FC) Models (one hidden layer)",
+            ["model", "paper features/hidden/outputs", "built (scaled)", "params"],
+            rows,
+        ),
+    )

@@ -1,0 +1,97 @@
+"""Online serving with SLA-governed inference-result caching (Sec. 5.1).
+
+Trains the paper's cache-study CNN on the synthetic digit dataset, then:
+
+1. lets the :class:`AdaptiveCachePolicy` pick the loosest HNSW distance
+   threshold whose Monte-Carlo disagreement bound satisfies the SLA;
+2. serves a Zipf-skewed online query stream one request at a time,
+   exact versus cached;
+3. reports speedup, hit rate, and the accuracy actually paid.
+
+Run:  python examples/cached_serving.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import synthetic_mnist, zipf_query_stream
+from repro.dlruntime import Adam
+from repro.indexes import HnswIndex
+from repro.models import cache_cnn
+from repro.serving import AdaptiveCachePolicy, InferenceResultCache
+
+
+def train(model, x, y, epochs=4):
+    optimizer = Adam([p for __, p in model.parameters()], lr=2e-3)
+    rng = np.random.default_rng(1)
+    for epoch in range(epochs):
+        perm = rng.permutation(x.shape[0])
+        for lo in range(0, x.shape[0], 64):
+            idx = perm[lo : lo + 64]
+            optimizer.zero_grad()
+            model.forward_ad(x[idx]).softmax_cross_entropy(y[idx]).backward()
+            optimizer.step()
+    return model
+
+
+def serve(model, queries, cache=None):
+    predictions = np.empty(len(queries), dtype=np.int64)
+    start = time.perf_counter()
+    for i in range(len(queries)):
+        if cache is None:
+            predictions[i] = model.predict(queries[i : i + 1])[0]
+        else:
+            preds, __ = cache.serve(queries[i : i + 1])
+            predictions[i] = preds[0]
+    return predictions, time.perf_counter() - start
+
+
+def main() -> None:
+    print("training cache-cnn on synthetic digits...")
+    x_train, y_train, x_test, y_test = synthetic_mnist(1_200, 300, seed=9)
+    model = train(cache_cnn(seed=10), x_train, y_train)
+    test_acc = float((model.predict(x_test) == y_test).mean())
+    print(f"  test accuracy: {test_acc:.2%}")
+
+    cache = InferenceResultCache(
+        model,
+        HnswIndex(784, m=8, ef_search=8, seed=11),
+        distance_threshold=0.0,  # the policy will choose
+    )
+    base = x_test.reshape(300, -1)
+    cache.warm(x_test)
+
+    print("\nadaptive policy: loosest threshold within a 5% accuracy SLA")
+    validation, __ = zipf_query_stream(base, 300, skew=1.2, jitter=0.01, seed=12)
+    validation_images = validation.reshape(-1, 28, 28, 1)
+    policy = AdaptiveCachePolicy(
+        max_accuracy_drop=0.05, confidence=0.9, bound="clopper-pearson"
+    )
+    decision = policy.decide(cache, validation_images, [10.0, 5.0, 2.0, 0.5])
+    for threshold, bound in decision.candidates_tried:
+        print(f"  threshold {threshold:>4}: disagreement bound {bound:.1%}")
+    if not decision.enabled:
+        print("  no threshold met the SLA; serving exact")
+        return
+    print(f"  -> enabled at threshold {decision.threshold}")
+
+    print("\nserving 1,000 online queries (Zipf-skewed near-duplicates):")
+    queries, indices = zipf_query_stream(base, 1_000, skew=1.2, jitter=0.01, seed=13)
+    labels = y_test[indices]
+    images = queries.reshape(-1, 28, 28, 1)
+    exact_preds, exact_s = serve(model, images)
+    cached_preds, cached_s = serve(model, images, cache=cache)
+    print(
+        f"  exact : {exact_s:.2f}s, accuracy "
+        f"{float((exact_preds == labels).mean()):.2%}"
+    )
+    print(
+        f"  cached: {cached_s:.2f}s, accuracy "
+        f"{float((cached_preds == labels).mean()):.2%}, hit rate "
+        f"{cache.stats.hit_rate:.0%}, speedup {exact_s / cached_s:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

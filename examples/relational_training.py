@@ -1,0 +1,81 @@
+"""Training inside the relational engine (the paper's Sec. 6.1 extension).
+
+The paper asks whether the relation-centric representation can host not
+just inference but *training*, and sketches the answer this repo
+implements: every backward operator becomes relational pipelines —
+
+    dW = Xᵀ × dZ      transpose (a block map) + join + SUM_BLOCK
+    dX = dZ × Wᵀ      same
+    db = Σ_rows dZ    block aggregation
+    ReLU mask         coordinate-join of two block relations
+
+This example trains the fraud FFNN two ways — relational pipelines vs
+the autodiff tape — from identical initial weights, and shows the loss
+curves coincide (they are the same mathematics, executed through joins).
+
+Run:  python examples/relational_training.py
+"""
+
+import numpy as np
+
+from repro.core import RelationalTrainer
+from repro.data import fraud_transactions
+from repro.dlruntime import SGD
+from repro.models import fraud_fc_256
+
+
+def main() -> None:
+    features, labels, __ = fraud_transactions(n=2_000, seed=23, fraud_rate=0.15)
+
+    relational_model = fraud_fc_256(seed=5)
+    autodiff_model = fraud_fc_256(seed=5)  # identical initial weights
+
+    trainer = RelationalTrainer(relational_model, block_shape=(64, 64))
+    optimizer = SGD([p for __, p in autodiff_model.parameters()], lr=0.5)
+
+    print("epoch | relational loss | autodiff loss")
+    print("------+-----------------+--------------")
+    rng = np.random.default_rng(0)
+    for epoch in range(8):
+        perm = rng.permutation(features.shape[0])
+        rel_loss = ad_loss = 0.0
+        batches = 0
+        for lo in range(0, features.shape[0], 256):
+            idx = perm[lo : lo + 256]
+            rel_loss += trainer.step(features[idx], labels[idx], lr=0.5)
+
+            optimizer.zero_grad()
+            logits = autodiff_model.forward_ad(features[idx])
+            loss = logits.softmax_cross_entropy(labels[idx])
+            loss.backward()
+            optimizer.step()
+            ad_loss += float(loss.data)
+            batches += 1
+        print(
+            f"  {epoch:>3} | {rel_loss / batches:>15.6f} | "
+            f"{ad_loss / batches:>13.6f}"
+        )
+
+    rel_acc = float((relational_model.predict(features) == labels).mean())
+    ad_acc = float((autodiff_model.predict(features) == labels).mean())
+    weight_gap = float(
+        np.max(
+            np.abs(
+                relational_model.layers[0].weight.data
+                - autodiff_model.layers[0].weight.data
+            )
+        )
+    )
+    print(
+        f"\nfinal accuracy: relational {rel_acc:.2%}, autodiff {ad_acc:.2%}; "
+        f"max weight divergence {weight_gap:.2e}"
+    )
+    print(
+        "every data-sized tensor in the relational run moved through "
+        "transpose / join / SUM_BLOCK pipelines — the same operators that "
+        "serve inference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""System-wide configuration.
+
+The paper's experiments run on an AWS r4.2xlarge (8 cores, 61 GB RAM) with a
+2 GB memory-threshold for the rule-based optimizer and a 20 GB buffer pool.
+We reproduce the same *ratios* at laptop scale: the defaults below keep the
+relationship ``operator memory  >  optimizer threshold  >  what the
+whole-tensor engines can hold`` for the large workloads, and the reverse for
+the small ones, which is all the paper's conclusions depend on.
+
+All knobs live in one immutable dataclass so a :class:`repro.session.Database`
+can be spun up with a single object and experiments can sweep parameters
+without global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def mb(n: float) -> int:
+    """Convert megabytes to bytes (convenience for configuration literals)."""
+    return int(n * MB)
+
+
+def gb(n: float) -> int:
+    """Convert gigabytes to bytes (convenience for configuration literals)."""
+    return int(n * GB)
+
+
+@dataclass(frozen=True)
+class ConnectorCostModel:
+    """Cost model for the ConnectorX-style cross-system transfer.
+
+    The serialize/deserialize work performed by
+    :class:`repro.dlruntime.connector.Connector` is real CPU work; this model
+    adds the *wire* component (the paper's deployments move data between
+    PostgreSQL and a separate DL process, sometimes across hosts).  The
+    defaults approximate a loopback socket: ~2 GB/s effective bandwidth and
+    a small fixed per-batch latency.
+    """
+
+    bandwidth_bytes_per_s: float = 2.0 * GB
+    per_row_overhead_s: float = 2.0e-7
+    per_batch_latency_s: float = 5.0e-4
+
+    def wire_time(self, nbytes: int, nrows: int, nbatches: int = 1) -> float:
+        """Modeled wire time in seconds for moving ``nbytes`` / ``nrows``."""
+        return (
+            nbytes / self.bandwidth_bytes_per_s
+            + nrows * self.per_row_overhead_s
+            + nbatches * self.per_batch_latency_s
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Every tunable of the reproduced system in one place.
+
+    Attributes mirror the paper's experimental knobs:
+
+    * ``memory_threshold_bytes`` — the rule-based optimizer's threshold
+      (2 GB in the paper; 2 MB at our default scale).
+    * ``dl_memory_limit_bytes`` — what the whole-tensor engines (DL-centric
+      and UDF-centric) may allocate before raising OOM (the paper's 61 GB
+      instance memory; 64 MB at our scale).
+    * ``buffer_pool_bytes`` — RDBMS buffer pool (the paper's 20 GB; spilling
+      to disk beyond it is what lets relation-centric execution survive).
+    """
+
+    page_size: int = 64 * KB
+    buffer_pool_bytes: int = 32 * MB
+    dl_memory_limit_bytes: int = 64 * MB
+    memory_threshold_bytes: int = 2 * MB
+    tensor_block_rows: int = 128
+    tensor_block_cols: int = 128
+    default_batch_size: int = 256
+    # Buffer pool replacement policy: "lru", "clock", or "2q" (the
+    # scan-resistant policy Sec. 5.1 calls for when tensor-block sweeps
+    # share the pool with relational working sets).
+    eviction_policy: str = "lru"
+    seed: int = 2024
+    connector: ConnectorCostModel = field(default_factory=ConnectorCostModel)
+    # Calibrated compute-efficiency factors for the external-framework
+    # stand-ins (Sec. 7.1 notes TF/PyTorch win on raw compute when operators
+    # fit memory; numpy is numpy everywhere, so the stand-ins report a
+    # modeled latency of measured_compute / efficiency).
+    framework_compute_efficiency: float = 2.5
+    num_cores: int = 8
+
+    def __post_init__(self) -> None:
+        if self.page_size < 4 * KB:
+            raise ConfigError(f"page_size must be >= 4 KiB, got {self.page_size}")
+        if self.buffer_pool_bytes < 4 * self.page_size:
+            raise ConfigError("buffer pool must hold at least four pages")
+        for name in (
+            "dl_memory_limit_bytes",
+            "memory_threshold_bytes",
+            "tensor_block_rows",
+            "tensor_block_cols",
+            "default_batch_size",
+            "num_cores",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.framework_compute_efficiency <= 0:
+            raise ConfigError("framework_compute_efficiency must be positive")
+        if self.eviction_policy not in ("lru", "clock", "2q"):
+            raise ConfigError(
+                f"eviction_policy must be 'lru', 'clock', or '2q', "
+                f"got {self.eviction_policy!r}"
+            )
+
+    @property
+    def buffer_pool_pages(self) -> int:
+        """Number of page frames the buffer pool can hold."""
+        return self.buffer_pool_bytes // self.page_size
+
+    def with_options(self, **overrides: object) -> "SystemConfig":
+        """Return a copy with the given fields replaced (validates again)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+DEFAULT_CONFIG = SystemConfig()

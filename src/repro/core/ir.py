@@ -1,0 +1,149 @@
+"""The unified intermediate representation (Sec. 2).
+
+An inference query's model part enters the IR as a :class:`ModelUdfNode`
+("run this model as one UDF").  Lowering expands it into a chain of
+:class:`LinAlgNode` operators (matmul, bias add, relu, conv2d, …), each of
+which can independently be assigned one of the three representations:
+
+* ``DL_CENTRIC`` — offload to the external framework,
+* ``UDF_CENTRIC`` — run inside the RDBMS as (part of) a fused UDF,
+* ``RELATION_CENTRIC`` — rewrite to join + aggregation over tensor blocks.
+
+The optimizer groups contiguous same-representation nodes into
+:class:`PlanStage`\\ s; an :class:`InferencePlan` is the ordered stage list
+plus the batch size it was planned for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dlruntime.layers import Layer, Model
+
+
+class Representation(enum.Enum):
+    """Which architecture executes an operator."""
+
+    UNASSIGNED = "unassigned"
+    DL_CENTRIC = "dl-centric"
+    UDF_CENTRIC = "udf-centric"
+    RELATION_CENTRIC = "relation-centric"
+
+    @classmethod
+    def parse(cls, name: str) -> "Representation":
+        for member in cls:
+            if member.value == name.lower():
+                return member
+        raise ValueError(
+            f"unknown representation {name!r}; expected one of "
+            f"{[m.value for m in cls if m is not cls.UNASSIGNED]}"
+        )
+
+
+class LinAlgOp(enum.Enum):
+    """Linear-algebra operator kinds a model lowers into."""
+
+    MATMUL = "matmul"  # Linear layer: x @ W + b
+    CONV2D = "conv2d"  # convolution (im2col + matmul in relational form)
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+    SOFTMAX = "softmax"
+    MAXPOOL = "maxpool"
+    FLATTEN = "flatten"
+
+
+@dataclass
+class LinAlgNode:
+    """One lowered linear-algebra operator.
+
+    ``input_shape`` / ``output_shape`` are per-sample shapes; ``layer`` is
+    the owning layer (which holds the parameters), or None for shape-only
+    ops that were synthesised during rewrites.
+    """
+
+    op: LinAlgOp
+    layer: Layer
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    representation: Representation = Representation.UNASSIGNED
+
+    @property
+    def param_bytes(self) -> int:
+        return self.layer.param_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.op.value}[{self.input_shape} -> {self.output_shape}, "
+            f"params={self.layer.param_count:,}] :: {self.representation.value}"
+        )
+
+
+@dataclass
+class ModelUdfNode:
+    """A whole-model inference operator, before lowering."""
+
+    model: Model
+    representation: Representation = Representation.UNASSIGNED
+
+    def describe(self) -> str:
+        return f"model_udf[{self.model.name}] :: {self.representation.value}"
+
+
+@dataclass
+class PlanStage:
+    """A maximal run of consecutive operators sharing a representation."""
+
+    representation: Representation
+    nodes: list[LinAlgNode]
+
+    @property
+    def layers(self) -> list[Layer]:
+        return [node.layer for node in self.nodes]
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.nodes[0].input_shape
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        return self.nodes[-1].output_shape
+
+    def describe(self) -> str:
+        ops = ", ".join(node.op.value for node in self.nodes)
+        return f"stage[{self.representation.value}]({ops})"
+
+
+@dataclass
+class InferencePlan:
+    """The optimizer's output for one (model, batch size) pair."""
+
+    model: Model
+    batch_size: int
+    stages: list[PlanStage]
+    threshold_bytes: int
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def representations(self) -> list[Representation]:
+        return [stage.representation for stage in self.stages]
+
+    @property
+    def is_single_udf(self) -> bool:
+        return (
+            len(self.stages) == 1
+            and self.stages[0].representation is Representation.UDF_CENTRIC
+        )
+
+    def explain(self) -> str:
+        lines = [
+            f"InferencePlan(model={self.model.name}, batch={self.batch_size}, "
+            f"threshold={self.threshold_bytes} bytes)"
+        ]
+        for stage in self.stages:
+            lines.append(f"  {stage.describe()}")
+            for node in stage.nodes:
+                lines.append(f"    {node.describe()}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Lowering a model UDF into the linear-algebra IR."""
+
+from __future__ import annotations
+
+from ..dlruntime.layers import (
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    Sigmoid,
+    Softmax,
+)
+from ..errors import PlanError
+from .ir import LinAlgNode, LinAlgOp
+
+_LAYER_OPS: list[tuple[type[Layer], LinAlgOp]] = [
+    (Linear, LinAlgOp.MATMUL),
+    (Conv2d, LinAlgOp.CONV2D),
+    (ReLU, LinAlgOp.RELU),
+    (Sigmoid, LinAlgOp.SIGMOID),
+    (Softmax, LinAlgOp.SOFTMAX),
+    (MaxPool2d, LinAlgOp.MAXPOOL),
+    (Flatten, LinAlgOp.FLATTEN),
+]
+
+
+def _op_for(layer: Layer) -> LinAlgOp:
+    for layer_type, op in _LAYER_OPS:
+        if isinstance(layer, layer_type):
+            return op
+    raise PlanError(f"no lowering for layer type {type(layer).__name__}")
+
+
+def lower_model(model: Model) -> list[LinAlgNode]:
+    """Expand a model into one :class:`LinAlgNode` per layer, in order."""
+    shapes = model.layer_shapes
+    nodes = []
+    for layer, in_shape, out_shape in zip(model.layers, shapes, shapes[1:]):
+        nodes.append(
+            LinAlgNode(
+                op=_op_for(layer),
+                layer=layer,
+                input_shape=in_shape,
+                output_shape=out_shape,
+            )
+        )
+    return nodes

@@ -1,0 +1,143 @@
+"""The rule-based adaptive optimizer (Sec. 7.1).
+
+For each lowered operator the optimizer estimates memory as
+``input + parameters + output`` and compares it against the configurable
+threshold (2 GB in the paper, megabytes at our scale):
+
+* over the threshold → ``RELATION_CENTRIC`` (join + aggregation over
+  tensor blocks, bounded memory, spills through the buffer pool);
+* under it → ``UDF_CENTRIC`` (fused into an in-process UDF).
+
+Contiguous same-representation operators are fused into one stage, so a
+model whose every operator fits becomes a single whole-model UDF — exactly
+the behaviour the paper reports for the small Table 1/2 models.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..dlruntime.layers import Model
+from ..errors import PlanError
+from .cost import node_memory_requirement
+from .ir import InferencePlan, LinAlgNode, PlanStage, Representation
+from .lowering import lower_model
+
+
+class RuleBasedOptimizer:
+    """Assigns representations per operator and fuses stages."""
+
+    def __init__(self, config: SystemConfig):
+        self._config = config
+
+    @property
+    def threshold_bytes(self) -> int:
+        return self._config.memory_threshold_bytes
+
+    def plan_model(
+        self,
+        model: Model,
+        batch_size: int,
+        force: Representation | str | None = None,
+    ) -> InferencePlan:
+        """Produce an :class:`InferencePlan` for one model invocation.
+
+        ``force`` pins every operator to one representation — used to run
+        the paper's fixed-architecture baselines through the same executor.
+        """
+        if batch_size < 1:
+            raise PlanError("batch_size must be >= 1")
+        if isinstance(force, str):
+            force = Representation.parse(force)
+        nodes = lower_model(model)
+        notes: list[str] = []
+        for node in nodes:
+            if force is not None:
+                node.representation = force
+                continue
+            required = node_memory_requirement(node, batch_size)
+            if required > self.threshold_bytes:
+                node.representation = Representation.RELATION_CENTRIC
+                notes.append(
+                    f"{node.op.value} needs {required:,} bytes "
+                    f"(> threshold {self.threshold_bytes:,}) -> relation-centric"
+                )
+            else:
+                node.representation = Representation.UDF_CENTRIC
+        stages = fuse_stages(nodes)
+        return InferencePlan(
+            model=model,
+            batch_size=batch_size,
+            stages=stages,
+            threshold_bytes=self.threshold_bytes,
+            notes=notes,
+        )
+
+
+class DeviceAwareOptimizer(RuleBasedOptimizer):
+    """The memory rule plus Sec. 3's device-allocation decision.
+
+    After the threshold rule assigns UDF-centric vs relation-centric,
+    every UDF-centric operator is priced on each available device with
+    the producer-transfer-consumer model; operators whose best device is
+    an accelerator are re-assigned ``DL_CENTRIC`` (offloaded), since GPU
+    execution happens in the external runtime.  Relation-centric
+    assignments are never overridden — they exist precisely because the
+    operator does not fit any single device.
+    """
+
+    def __init__(self, config: SystemConfig, devices: list | None = None):
+        super().__init__(config)
+        from ..dlruntime.device import cpu_device
+        from ..resources.allocator import DeviceAllocator
+
+        self._devices = devices if devices else [cpu_device()]
+        self._allocator = DeviceAllocator(self._devices)
+
+    def plan_model(
+        self,
+        model: Model,
+        batch_size: int,
+        force: Representation | str | None = None,
+    ) -> InferencePlan:
+        plan = super().plan_model(model, batch_size, force=force)
+        if force is not None:
+            return plan
+        nodes = [node for stage in plan.stages for node in stage.nodes]
+        notes = list(plan.notes)
+        for node in nodes:
+            if node.representation is not Representation.UDF_CENTRIC:
+                continue
+            try:
+                decision = self._allocator.place(node, batch_size)
+            except Exception:  # no device fits: keep the in-DB assignment
+                continue
+            if decision.device.kind == "gpu":
+                node.representation = Representation.DL_CENTRIC
+                notes.append(
+                    f"{node.op.value} offloaded to {decision.device.name} "
+                    f"(modeled {decision.estimates[decision.device.name]:.2e}s "
+                    "beats CPU)"
+                )
+        return InferencePlan(
+            model=model,
+            batch_size=batch_size,
+            stages=fuse_stages(nodes),
+            threshold_bytes=self.threshold_bytes,
+            notes=notes,
+        )
+
+
+def fuse_stages(nodes: list[LinAlgNode]) -> list[PlanStage]:
+    """Group consecutive nodes with equal representations into stages."""
+    if not nodes:
+        raise PlanError("cannot build a plan from zero operators")
+    stages: list[PlanStage] = []
+    current: list[LinAlgNode] = [nodes[0]]
+    for node in nodes[1:]:
+        if node.representation is current[-1].representation:
+            current.append(node)
+        else:
+            stages.append(PlanStage(current[-1].representation, current))
+            current = [node]
+    stages.append(PlanStage(current[-1].representation, current))
+    return stages

@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for the paper's proprietary workloads."""
+
+from .fraud import feature_column_names, fraud_schema, fraud_transactions
+from .bosch import bosch_wide_table, most_correlated_pair, vertical_split
+from .landcover import landcover_tiles, tiles_as_rows
+from .mnist import synthetic_mnist
+from .deepbench import deepbench_inputs
+from .workload import repeated_query_stream, zipf_query_stream
+
+__all__ = [
+    "fraud_transactions",
+    "fraud_schema",
+    "feature_column_names",
+    "bosch_wide_table",
+    "vertical_split",
+    "most_correlated_pair",
+    "landcover_tiles",
+    "tiles_as_rows",
+    "synthetic_mnist",
+    "deepbench_inputs",
+    "zipf_query_stream",
+    "repeated_query_stream",
+]

@@ -1,0 +1,70 @@
+"""A Bosch-production-line-style wide table (Sec. 7.2.1 substitution).
+
+The paper vertically partitions the proprietary Bosch dataset (1.18 M rows,
+968 features) into two 484-feature halves and joins them back with a
+similarity join on the most-correlated column pair.  We synthesise a wide
+numeric table with a *planted* highly-correlated pair straddling the split
+(one column in each half equals a shared latent value plus small noise), so
+the correlation search and the similarity join behave as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relational.schema import ColumnType, Schema
+
+
+def bosch_wide_table(
+    n_rows: int,
+    n_features: int = 968,
+    seed: int = 0,
+    noise: float = 0.01,
+) -> tuple[np.ndarray, Schema, list[tuple]]:
+    """Generate the wide table.
+
+    Returns ``(features, schema, rows)`` with schema
+    ``(id INT, c0..c<n-1> DOUBLE)``.  Columns ``n_features//2 - 1`` (last of
+    the left half) and ``n_features - 1`` (last of the right half) share a
+    latent value, making them the most-correlated cross-partition pair.
+    """
+    if n_features < 4 or n_features % 2:
+        raise ValueError("n_features must be an even number >= 4")
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n_rows, n_features))
+    latent = rng.normal(size=n_rows)
+    half = n_features // 2
+    features[:, half - 1] = latent + rng.normal(scale=noise, size=n_rows)
+    features[:, n_features - 1] = latent + rng.normal(scale=noise, size=n_rows)
+    columns: list[tuple[str, ColumnType]] = [("id", ColumnType.INT)]
+    columns += [(f"c{i}", ColumnType.DOUBLE) for i in range(n_features)]
+    schema = Schema.of(*columns)
+    rows = [(int(i), *map(float, features[i])) for i in range(n_rows)]
+    return features, schema, rows
+
+
+def vertical_split(
+    features: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a feature matrix into equal left/right halves (D1, D2)."""
+    half = features.shape[1] // 2
+    return features[:, :half], features[:, half:]
+
+
+def most_correlated_pair(
+    left: np.ndarray, right: np.ndarray, sample: int | None = 4096, seed: int = 0
+) -> tuple[int, int, float]:
+    """Find the (left column, right column) pair with highest |correlation|.
+
+    This is the paper's join-key selection step.  Computed on a row sample
+    for speed; exact when ``sample is None``.
+    """
+    if sample is not None and left.shape[0] > sample:
+        idx = np.random.default_rng(seed).choice(left.shape[0], sample, replace=False)
+        left, right = left[idx], right[idx]
+    left_std = (left - left.mean(axis=0)) / (left.std(axis=0) + 1e-12)
+    right_std = (right - right.mean(axis=0)) / (right.std(axis=0) + 1e-12)
+    corr = np.abs(left_std.T @ right_std) / left.shape[0]
+    flat = int(np.argmax(corr))
+    i, j = divmod(flat, corr.shape[1])
+    return i, j, float(corr[i, j])

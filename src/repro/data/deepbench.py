@@ -1,0 +1,18 @@
+"""Input generator for the DeepBench-CONV1 workload (Table 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def deepbench_inputs(
+    n: int, side: int = 112, channels: int = 64, seed: int = 0
+) -> np.ndarray:
+    """Generate ``(n, side, side, channels)`` activation-like inputs.
+
+    DeepBench's conv benchmarks run on intermediate activations, which are
+    non-negative and sparse-ish after a ReLU; we mimic that distribution.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, side, side, channels))
+    return np.maximum(x, 0.0)

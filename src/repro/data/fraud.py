@@ -1,0 +1,48 @@
+"""Synthetic credit-card transactions (the Fraud-FC workload).
+
+The paper's fraud models take 28 features (the shape of the public
+credit-card fraud dataset: 28 PCA components).  We generate transactions
+whose label follows a planted noisy linear rule so trained models have
+signal to find, and tables load directly into the RDBMS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relational.schema import ColumnType, Schema
+
+NUM_FEATURES = 28
+
+
+def fraud_schema() -> Schema:
+    """``(id INT, f0..f27 DOUBLE, label INT)``."""
+    columns: list[tuple[str, ColumnType]] = [("id", ColumnType.INT)]
+    columns += [(f"f{i}", ColumnType.DOUBLE) for i in range(NUM_FEATURES)]
+    columns.append(("label", ColumnType.INT))
+    return Schema.of(*columns)
+
+
+def fraud_transactions(
+    n: int, seed: int = 0, fraud_rate: float = 0.05
+) -> tuple[np.ndarray, np.ndarray, list[tuple]]:
+    """Generate ``n`` transactions.
+
+    Returns ``(features, labels, rows)`` where ``rows`` matches
+    :func:`fraud_schema` and can be bulk-inserted.
+    """
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, NUM_FEATURES))
+    direction = rng.normal(size=NUM_FEATURES)
+    direction /= np.linalg.norm(direction)
+    scores = features @ direction + rng.normal(scale=0.3, size=n)
+    threshold = np.quantile(scores, 1.0 - fraud_rate)
+    labels = (scores > threshold).astype(np.int64)
+    rows = [
+        (int(i), *map(float, features[i]), int(labels[i])) for i in range(n)
+    ]
+    return features, labels, rows
+
+
+def feature_column_names() -> list[str]:
+    return [f"f{i}" for i in range(NUM_FEATURES)]

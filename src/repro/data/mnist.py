@@ -1,0 +1,72 @@
+"""A synthetic MNIST stand-in (Sec. 7.2.2 substitution).
+
+The inference-result-caching experiment needs an image classification task
+where (a) a small model reaches high accuracy and (b) queries contain many
+near-duplicate inputs, so an approximate nearest-neighbour cache hits
+often.  Real MNIST is unavailable offline; we render ten parametric digit
+glyphs on a 28×28 grid with per-sample jitter, elastic-ish distortion, and
+pixel noise.  Samples of the same class are near-duplicates in pixel
+space — the same property that makes HNSW caching effective on MNIST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Each glyph is a set of strokes; a stroke is ((y0, x0), (y1, x1)) on a
+# 28×28 canvas.  The shapes are digit-like, but what matters is that the
+# ten classes are visually distinct and intra-class variation is small.
+_GLYPHS: dict[int, list[tuple[tuple[float, float], tuple[float, float]]]] = {
+    0: [((6, 9), (6, 18)), ((6, 18), (21, 18)), ((21, 18), (21, 9)), ((21, 9), (6, 9))],
+    1: [((6, 14), (21, 14)), ((6, 14), (9, 11))],
+    2: [((6, 9), (6, 18)), ((6, 18), (13, 18)), ((13, 18), (13, 9)), ((13, 9), (21, 9)), ((21, 9), (21, 18))],
+    3: [((6, 9), (6, 18)), ((13, 10), (13, 18)), ((21, 9), (21, 18)), ((6, 18), (21, 18))],
+    4: [((6, 9), (13, 9)), ((13, 9), (13, 18)), ((6, 18), (21, 18))],
+    5: [((6, 18), (6, 9)), ((6, 9), (13, 9)), ((13, 9), (13, 18)), ((13, 18), (21, 18)), ((21, 18), (21, 9))],
+    6: [((6, 16), (6, 9)), ((6, 9), (21, 9)), ((21, 9), (21, 18)), ((21, 18), (13, 18)), ((13, 18), (13, 9))],
+    7: [((6, 9), (6, 18)), ((6, 18), (21, 12))],
+    8: [((6, 9), (6, 18)), ((13, 9), (13, 18)), ((21, 9), (21, 18)), ((6, 9), (21, 9)), ((6, 18), (21, 18))],
+    9: [((13, 9), (6, 9)), ((6, 9), (6, 18)), ((6, 18), (21, 18)), ((13, 9), (13, 18))],
+}
+
+
+def _render_glyph(label: int, rng: np.random.Generator) -> np.ndarray:
+    """Rasterise one jittered glyph onto a 28×28 canvas."""
+    canvas = np.zeros((28, 28))
+    dy, dx = rng.normal(scale=1.0, size=2)
+    scale = rng.uniform(0.85, 1.15)
+    for (y0, x0), (y1, x1) in _GLYPHS[label]:
+        y0 = (y0 - 14) * scale + 14 + dy
+        y1 = (y1 - 14) * scale + 14 + dy
+        x0 = (x0 - 14) * scale + 14 + dx
+        x1 = (x1 - 14) * scale + 14 + dx
+        steps = int(max(abs(y1 - y0), abs(x1 - x0)) * 2) + 2
+        for t in np.linspace(0.0, 1.0, steps):
+            y = y0 + t * (y1 - y0) + rng.normal(scale=0.2)
+            x = x0 + t * (x1 - x0) + rng.normal(scale=0.2)
+            yi, xi = int(round(y)), int(round(x))
+            if 0 <= yi < 28 and 0 <= xi < 28:
+                canvas[yi, xi] = 1.0
+                if yi + 1 < 28:
+                    canvas[yi + 1, xi] = max(canvas[yi + 1, xi], 0.6)
+                if xi + 1 < 28:
+                    canvas[yi, xi + 1] = max(canvas[yi, xi + 1], 0.6)
+    canvas += rng.normal(scale=0.05, size=(28, 28))
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def synthetic_mnist(
+    n_train: int, n_test: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generate ``(x_train, y_train, x_test, y_test)``; images are (N, 28, 28, 1)."""
+    rng = np.random.default_rng(seed)
+    total = n_train + n_test
+    labels = rng.integers(0, 10, size=total)
+    images = np.stack([_render_glyph(int(label), rng) for label in labels])
+    images = images[..., None]
+    return (
+        images[:n_train],
+        labels[:n_train],
+        images[n_train:],
+        labels[n_train:],
+    )

@@ -1,0 +1,73 @@
+"""Inference-query workload generators (for the Sec. 7.2.2 cache study).
+
+Result caching only pays off when the query stream revisits similar
+inputs.  Real serving traffic is skewed; we model it two ways:
+
+* :func:`zipf_query_stream` — queries draw from a catalog of base items
+  under a Zipf popularity law, each arrival perturbed slightly (the "same
+  user, same photo, new crop" effect);
+* :func:`repeated_query_stream` — an exact-repetition stream with a
+  controlled repeat fraction, the simplest hit-rate dial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_query_stream(
+    base_items: np.ndarray,
+    n_queries: int,
+    skew: float = 1.1,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``n_queries`` from ``base_items`` with Zipf-skewed popularity.
+
+    Returns ``(queries, base_indices)``; each query is its base item plus
+    gaussian jitter, so cache lookups are *near* matches, not exact ones.
+    """
+    if skew <= 1.0:
+        raise ValueError("Zipf skew must be > 1.0")
+    rng = np.random.default_rng(seed)
+    n_items = base_items.shape[0]
+    ranks = rng.zipf(skew, size=n_queries * 4)
+    ranks = ranks[ranks <= n_items][:n_queries]
+    while ranks.shape[0] < n_queries:  # top up after rejection
+        extra = rng.zipf(skew, size=n_queries)
+        extra = extra[extra <= n_items]
+        ranks = np.concatenate([ranks, extra])[:n_queries]
+    indices = ranks - 1
+    queries = base_items[indices].astype(np.float64)
+    if jitter:
+        queries = queries + rng.normal(scale=jitter, size=queries.shape)
+    return queries, indices
+
+
+def repeated_query_stream(
+    base_items: np.ndarray,
+    n_queries: int,
+    repeat_fraction: float = 0.8,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A stream where ``repeat_fraction`` of arrivals revisit earlier items.
+
+    The first arrivals are unique items; afterwards each arrival repeats a
+    previously seen item with the given probability, otherwise introduces
+    the next unseen item.  Returns ``(queries, base_indices)``.
+    """
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    indices: list[int] = []
+    next_fresh = 0
+    n_items = base_items.shape[0]
+    for __ in range(n_queries):
+        repeat = indices and (rng.uniform() < repeat_fraction or next_fresh >= n_items)
+        if repeat:
+            indices.append(int(rng.choice(indices)))
+        else:
+            indices.append(next_fresh)
+            next_fresh += 1
+    index_array = np.asarray(indices)
+    return base_items[index_array].astype(np.float64), index_array

@@ -1,0 +1,23 @@
+"""Storage co-optimization (Sec. 4): accuracy-aware deduplication and
+compression of tensor data, multi-version models under SLAs, and
+data/model co-partitioning."""
+
+from .blocks import BlockDedupStore, DedupReport
+from .quantize import QuantizedTensor, dequantize, quantize
+from .prune import magnitude_prune, sparsity
+from .versions import ModelVersion, ModelVersionManager
+from .copartition import CoPartitioner, PartitionReport
+
+__all__ = [
+    "BlockDedupStore",
+    "DedupReport",
+    "quantize",
+    "dequantize",
+    "QuantizedTensor",
+    "magnitude_prune",
+    "sparsity",
+    "ModelVersion",
+    "ModelVersionManager",
+    "CoPartitioner",
+    "PartitionReport",
+]

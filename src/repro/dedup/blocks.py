@@ -1,0 +1,140 @@
+"""Accuracy-aware tensor-block deduplication (Sec. 4.1).
+
+Models sharing architecture or fine-tuned from a common base contain many
+identical or *nearly* identical weight blocks.  The store deduplicates at
+block granularity:
+
+* exact duplicates are caught by content hash;
+* approximate duplicates are caught by LSH candidate lookup followed by a
+  max-elementwise-error check against ``epsilon`` — a stored block may
+  stand in for a new block if they differ by at most ``epsilon`` per
+  element, which bounds the perturbation to any downstream activation.
+
+This mirrors the paper's prior system (Zhou et al., VLDB 2022) that the
+vision builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass
+class DedupReport:
+    """Space accounting for one store."""
+
+    logical_blocks: int
+    stored_blocks: int
+    exact_hits: int
+    approximate_hits: int
+    logical_bytes: int
+    stored_bytes: int
+
+    @property
+    def space_saving(self) -> float:
+        if not self.logical_bytes:
+            return 0.0
+        return 1.0 - self.stored_bytes / self.logical_bytes
+
+
+class BlockDedupStore:
+    """Content-addressed block storage with bounded-error approximation."""
+
+    def __init__(
+        self,
+        block_shape: tuple[int, int],
+        epsilon: float = 0.0,
+        num_projections: int = 12,
+        seed: int = 0,
+    ):
+        if epsilon < 0:
+            raise ShapeError("epsilon must be non-negative")
+        self.block_shape = block_shape
+        self.epsilon = float(epsilon)
+        self._blocks: list[np.ndarray] = []
+        self._by_hash: dict[bytes, int] = {}
+        self._buckets: dict[tuple, list[int]] = {}
+        dim = block_shape[0] * block_shape[1]
+        rng = np.random.default_rng(seed)
+        self._planes = rng.normal(size=(num_projections, dim))
+        self._logical = 0
+        self._exact_hits = 0
+        self._approx_hits = 0
+
+    def _signature(self, flat: np.ndarray) -> tuple:
+        return tuple(bool(b) for b in (self._planes @ flat) > 0)
+
+    def put(self, block: np.ndarray) -> int:
+        """Store (or dedup) one block; returns its storage id."""
+        if block.shape != self.block_shape:
+            raise ShapeError(
+                f"store expects blocks of shape {self.block_shape}, got {block.shape}"
+            )
+        self._logical += 1
+        block = np.ascontiguousarray(block, dtype=np.float64)
+        digest = hashlib.sha256(block.tobytes()).digest()
+        existing = self._by_hash.get(digest)
+        if existing is not None:
+            self._exact_hits += 1
+            return existing
+        flat = block.reshape(-1)
+        if self.epsilon > 0:
+            signature = self._signature(flat)
+            for candidate in self._buckets.get(signature, ()):
+                if np.max(np.abs(self._blocks[candidate].reshape(-1) - flat)) <= self.epsilon:
+                    self._approx_hits += 1
+                    return candidate
+        block_id = len(self._blocks)
+        self._blocks.append(block)
+        self._by_hash[digest] = block_id
+        if self.epsilon > 0:
+            self._buckets.setdefault(self._signature(flat), []).append(block_id)
+        return block_id
+
+    def get(self, block_id: int) -> np.ndarray:
+        return self._blocks[block_id]
+
+    def put_matrix(self, matrix: np.ndarray) -> list[list[int]]:
+        """Chunk a matrix into blocks (zero-padded edges) and store each.
+
+        Returns the grid of block ids; :meth:`get_matrix` reassembles.
+        """
+        br, bc = self.block_shape
+        rows = -(-matrix.shape[0] // br)
+        cols = -(-matrix.shape[1] // bc)
+        grid: list[list[int]] = []
+        for i in range(rows):
+            row_ids = []
+            for j in range(cols):
+                block = np.zeros(self.block_shape)
+                chunk = matrix[i * br : (i + 1) * br, j * bc : (j + 1) * bc]
+                block[: chunk.shape[0], : chunk.shape[1]] = chunk
+                row_ids.append(self.put(block))
+            grid.append(row_ids)
+        return grid
+
+    def get_matrix(self, grid: list[list[int]], shape: tuple[int, int]) -> np.ndarray:
+        br, bc = self.block_shape
+        out = np.zeros((len(grid) * br, len(grid[0]) * bc))
+        for i, row_ids in enumerate(grid):
+            for j, block_id in enumerate(row_ids):
+                out[i * br : (i + 1) * br, j * bc : (j + 1) * bc] = self._blocks[
+                    block_id
+                ]
+        return out[: shape[0], : shape[1]]
+
+    def report(self) -> DedupReport:
+        block_bytes = self.block_shape[0] * self.block_shape[1] * 8
+        return DedupReport(
+            logical_blocks=self._logical,
+            stored_blocks=len(self._blocks),
+            exact_hits=self._exact_hits,
+            approximate_hits=self._approx_hits,
+            logical_bytes=self._logical * block_bytes,
+            stored_bytes=len(self._blocks) * block_bytes,
+        )

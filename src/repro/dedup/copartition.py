@@ -1,0 +1,98 @@
+"""Data/model co-partitioning (Sec. 4.2).
+
+The first matmul of an FFNN over relational features becomes a join of
+the feature relation with the weight-block relation on the feature-chunk
+id.  If the feature rows are partitioned by the same chunking as the
+weight's row blocks, that join is local per partition — no shuffle.  The
+co-partitioner assigns both sides to partitions, verifies the locality
+invariant, and quantifies the shuffle traffic a non-co-partitioned layout
+would have paid (the benefit the paper demonstrated in Lachesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass
+class PartitionReport:
+    """Shuffle accounting for one join layout."""
+
+    num_partitions: int
+    colocated_pairs: int
+    total_pairs: int
+    shuffle_bytes_avoided: int
+
+    @property
+    def locality(self) -> float:
+        return self.colocated_pairs / self.total_pairs if self.total_pairs else 1.0
+
+
+class CoPartitioner:
+    """Assigns feature column-chunks and weight row-blocks to partitions."""
+
+    def __init__(self, num_partitions: int, block_rows: int):
+        if num_partitions < 1:
+            raise ShapeError("need at least one partition")
+        if block_rows < 1:
+            raise ShapeError("block_rows must be >= 1")
+        self.num_partitions = num_partitions
+        self.block_rows = block_rows
+
+    def partition_of_chunk(self, chunk_id: int) -> int:
+        """Both relations use this same placement function — that is the
+        co-partitioning."""
+        return chunk_id % self.num_partitions
+
+    def feature_chunks(self, num_features: int) -> list[int]:
+        """Chunk ids covering a feature vector of this width."""
+        return list(range(-(-num_features // self.block_rows)))
+
+    def weight_row_blocks(self, in_features: int) -> list[int]:
+        return self.feature_chunks(in_features)
+
+    def report(
+        self,
+        num_features: int,
+        num_rows: int,
+        co_partitioned: bool = True,
+        rng_seed: int = 0,
+    ) -> PartitionReport:
+        """Quantify join locality for a layout.
+
+        A join pair is (feature chunk, matching weight row-block).  With
+        co-partitioning every pair is colocated; with independent random
+        placement only ~1/num_partitions of pairs are, and each remote
+        pair ships one feature-chunk's bytes per row.
+        """
+        chunks = self.feature_chunks(num_features)
+        total_pairs = len(chunks)
+        if co_partitioned:
+            colocated = total_pairs
+        else:
+            rng = np.random.default_rng(rng_seed)
+            weight_placement = rng.integers(0, self.num_partitions, size=total_pairs)
+            colocated = int(
+                np.sum(
+                    weight_placement
+                    == np.array([self.partition_of_chunk(c) for c in chunks])
+                )
+            )
+        chunk_bytes = self.block_rows * 8
+        remote_pairs = total_pairs - colocated
+        shuffle_avoided = remote_pairs * num_rows * chunk_bytes
+        if co_partitioned:
+            # The avoided traffic is what the random layout would have paid
+            # in expectation.
+            expected_remote = total_pairs * (1.0 - 1.0 / self.num_partitions)
+            shuffle_avoided = int(expected_remote * num_rows * chunk_bytes)
+        return PartitionReport(
+            num_partitions=self.num_partitions,
+            colocated_pairs=colocated,
+            total_pairs=total_pairs,
+            shuffle_bytes_avoided=shuffle_avoided,
+        )

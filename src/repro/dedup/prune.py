@@ -1,0 +1,33 @@
+"""Magnitude pruning (the other compression axis of Sec. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def magnitude_prune(tensor: np.ndarray, target_sparsity: float) -> np.ndarray:
+    """Zero the smallest-magnitude entries until ``target_sparsity`` is hit.
+
+    Returns a new array; the original is untouched.
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ShapeError("target_sparsity must be in [0, 1)")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if target_sparsity == 0.0:
+        return tensor.copy()
+    flat = np.abs(tensor).reshape(-1)
+    k = int(round(target_sparsity * flat.size))
+    if k == 0:
+        return tensor.copy()
+    threshold = np.partition(flat, k - 1)[k - 1]
+    pruned = tensor.copy()
+    pruned[np.abs(pruned) <= threshold] = 0.0
+    return pruned
+
+
+def sparsity(tensor: np.ndarray) -> float:
+    """Fraction of exactly-zero entries."""
+    tensor = np.asarray(tensor)
+    return float(np.mean(tensor == 0.0))

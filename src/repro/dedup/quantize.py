@@ -1,0 +1,64 @@
+"""Uniform affine weight quantization (the compression half of Sec. 4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass
+class QuantizedTensor:
+    """An integer-coded tensor with its affine dequantization parameters."""
+
+    codes: np.ndarray  # integer codes
+    scale: float
+    zero_point: float
+    bits: int
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        # Packed size: bits per element, rounded up to whole bytes.
+        return (self.codes.size * self.bits + 7) // 8
+
+    @property
+    def compression_ratio(self) -> float:
+        original = int(np.prod(self.shape)) * 8
+        return original / self.nbytes if self.nbytes else float("inf")
+
+
+def quantize(tensor: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Uniform affine quantization to ``bits`` bits per element."""
+    if not 1 <= bits <= 16:
+        raise ShapeError("bits must be in [1, 16]")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    lo, hi = float(tensor.min()), float(tensor.max())
+    levels = (1 << bits) - 1
+    if hi == lo:
+        scale = 1.0
+    else:
+        scale = (hi - lo) / levels
+    codes = np.clip(np.round((tensor - lo) / scale), 0, levels)
+    dtype = np.uint8 if bits <= 8 else np.uint16
+    return QuantizedTensor(
+        codes=codes.astype(dtype),
+        scale=scale,
+        zero_point=lo,
+        bits=bits,
+        shape=tensor.shape,
+    )
+
+
+def dequantize(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the float tensor (lossy)."""
+    return (
+        quantized.codes.astype(np.float64) * quantized.scale + quantized.zero_point
+    ).reshape(quantized.shape)
+
+
+def quantization_error(tensor: np.ndarray, bits: int = 8) -> float:
+    """Max elementwise reconstruction error at a bit width."""
+    return float(np.max(np.abs(dequantize(quantize(tensor, bits)) - tensor)))

@@ -1,0 +1,53 @@
+"""A miniature deep-learning runtime, standing in for TensorFlow / PyTorch.
+
+The paper's DL-centric architecture ships features out of the RDBMS into an
+external framework.  This package provides that external framework: a
+numpy-backed layer graph with *explicit memory accounting* (so the OOM
+behaviour of Table 3 is deterministic), a reverse-mode autodiff tape and
+SGD/Adam optimizers (the Sec. 6.1 training extension), and a
+ConnectorX-style :class:`~repro.dlruntime.connector.Connector` that performs
+real serialization across the system boundary.
+"""
+
+from .memory import MemoryBudget, MemoryStats
+from .device import Device, cpu_device, gpu_device
+from .layers import (
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    Sigmoid,
+    Softmax,
+)
+from .autodiff import ADTensor
+from .optimizers import SGD, Adam, Optimizer
+from .runtime import ExternalRuntime, RunResult
+from .connector import Connector, ExtractResult
+
+__all__ = [
+    "MemoryBudget",
+    "MemoryStats",
+    "Device",
+    "cpu_device",
+    "gpu_device",
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Conv2d",
+    "MaxPool2d",
+    "Flatten",
+    "Model",
+    "ADTensor",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ExternalRuntime",
+    "RunResult",
+    "Connector",
+    "ExtractResult",
+]

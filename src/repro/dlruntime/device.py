@@ -1,0 +1,86 @@
+"""Simulated compute devices.
+
+Section 3(2) of the paper observes that whether GPU offload pays off
+depends on host→device transfer cost versus the compute speedup, modeled
+as a producer-transfer-consumer process.  We simulate devices with a
+throughput/transfer cost model; the
+:class:`repro.resources.allocator.DeviceAllocator` uses these numbers to
+place operators, and the pipelining executor (Sec. 5.2) schedules stages
+over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Device:
+    """One compute device with an analytic performance model.
+
+    ``flops_per_s`` is effective throughput on dense linear algebra;
+    ``transfer_bandwidth_bytes_per_s`` and ``transfer_latency_s`` describe
+    the host link (zero-cost for the host CPU itself);
+    ``memory_bytes`` bounds what a pipeline stage placed here may hold.
+    """
+
+    name: str
+    kind: str  # "cpu" or "gpu"
+    flops_per_s: float
+    transfer_bandwidth_bytes_per_s: float
+    transfer_latency_s: float
+    memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise ConfigError(f"device kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        if self.flops_per_s <= 0:
+            raise ConfigError("flops_per_s must be positive")
+        if self.memory_bytes <= 0:
+            raise ConfigError("memory_bytes must be positive")
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating point operations."""
+        return flops / self.flops_per_s
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` from the host to this device."""
+        if self.kind == "cpu":
+            return 0.0
+        return self.transfer_latency_s + nbytes / self.transfer_bandwidth_bytes_per_s
+
+
+def cpu_device(
+    name: str = "cpu0",
+    flops_per_s: float = 5.0e10,
+    memory_bytes: int = 8 << 30,
+) -> Device:
+    """A host CPU: moderate throughput, free transfers."""
+    return Device(
+        name=name,
+        kind="cpu",
+        flops_per_s=flops_per_s,
+        transfer_bandwidth_bytes_per_s=float("inf"),
+        transfer_latency_s=0.0,
+        memory_bytes=memory_bytes,
+    )
+
+
+def gpu_device(
+    name: str = "gpu0",
+    flops_per_s: float = 5.0e12,
+    bandwidth_bytes_per_s: float = 12.0e9,
+    transfer_latency_s: float = 10.0e-6,
+    memory_bytes: int = 4 << 30,
+) -> Device:
+    """A discrete GPU: two orders faster compute, PCIe-limited transfers."""
+    return Device(
+        name=name,
+        kind="gpu",
+        flops_per_s=flops_per_s,
+        transfer_bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        transfer_latency_s=transfer_latency_s,
+        memory_bytes=memory_bytes,
+    )

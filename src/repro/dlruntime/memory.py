@@ -1,0 +1,109 @@
+"""Deterministic memory accounting.
+
+The paper's Table 3 compares architectures by *whether they survive* a
+given operator on a 61 GB machine.  Re-running that on arbitrary hardware
+would make OOM behaviour flaky, so every engine in this repo charges its
+allocations against an explicit :class:`MemoryBudget` and raises
+:class:`~repro.errors.OutOfMemoryError` deterministically.  The budget also
+records the peak, which the benchmarks report alongside latency.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import OutOfMemoryError
+
+
+@dataclass
+class MemoryStats:
+    """Usage counters for one budget."""
+
+    limit: int
+    used: int = 0
+    peak: int = 0
+    allocations: int = 0
+    oom_events: int = 0
+
+    @property
+    def available(self) -> int:
+        return self.limit - self.used
+
+
+class MemoryBudget:
+    """A byte-granular allocation tracker with a hard limit.
+
+    ``limit_bytes=None`` means unlimited (used by reference computations in
+    tests).  ``allocate``/``release`` must balance; the :meth:`borrow`
+    context manager does both.
+    """
+
+    def __init__(self, limit_bytes: int | None, name: str = "budget"):
+        self.name = name
+        self._limit = limit_bytes if limit_bytes is not None else 1 << 62
+        self.stats = MemoryStats(limit=self._limit)
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def used(self) -> int:
+        return self.stats.used
+
+    @property
+    def peak(self) -> int:
+        return self.stats.peak
+
+    def reset_peak(self) -> None:
+        self.stats.peak = self.stats.used
+
+    def allocate(self, nbytes: int, tag: str = "") -> int:
+        """Charge ``nbytes``; raises :class:`OutOfMemoryError` over limit."""
+        if nbytes < 0:
+            raise ValueError(f"cannot allocate a negative size ({nbytes})")
+        if self.stats.used + nbytes > self._limit:
+            self.stats.oom_events += 1
+            raise OutOfMemoryError(nbytes, self.stats.used, self._limit, tag)
+        self.stats.used += nbytes
+        self.stats.allocations += 1
+        if self.stats.used > self.stats.peak:
+            self.stats.peak = self.stats.used
+        return nbytes
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"cannot release a negative size ({nbytes})")
+        if nbytes > self.stats.used:
+            raise ValueError(
+                f"releasing {nbytes} bytes but only {self.stats.used} are in use"
+            )
+        self.stats.used -= nbytes
+
+    @contextmanager
+    def borrow(self, nbytes: int, tag: str = "") -> Iterator[None]:
+        """Charge for the duration of a block."""
+        self.allocate(nbytes, tag)
+        try:
+            yield
+        finally:
+            self.release(nbytes)
+
+    def charge_array(self, array: np.ndarray, tag: str = "") -> int:
+        """Charge an ndarray's actual byte size; returns the size charged."""
+        return self.allocate(int(array.nbytes), tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBudget({self.name}: used={self.stats.used}, "
+            f"peak={self.stats.peak}, limit={self._limit})"
+        )
+
+
+def unlimited() -> MemoryBudget:
+    """A budget that never OOMs (for reference computations)."""
+    return MemoryBudget(None, name="unlimited")

@@ -1,0 +1,16 @@
+"""Execution engines for the three architectures, plus the hybrid executor
+that runs mixed plans produced by the adaptive optimizer."""
+
+from .base import EngineResult
+from .dl_centric import DlCentricEngine
+from .udf_centric import UdfCentricEngine
+from .relation_centric import RelationCentricEngine
+from .hybrid import HybridExecutor
+
+__all__ = [
+    "EngineResult",
+    "DlCentricEngine",
+    "UdfCentricEngine",
+    "RelationCentricEngine",
+    "HybridExecutor",
+]

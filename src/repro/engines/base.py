@@ -1,0 +1,29 @@
+"""Shared engine result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EngineResult:
+    """Output of one engine invocation, with full accounting.
+
+    ``measured_seconds`` is wall-clock work actually performed in this
+    process; ``modeled_extra_seconds`` adds the calibrated components that
+    the simulation cannot perform for real (connector wire time, the
+    framework compute-efficiency discount).  Benchmarks report both.
+    """
+
+    outputs: np.ndarray
+    engine: str
+    measured_seconds: float
+    modeled_extra_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        return self.measured_seconds + self.modeled_extra_seconds

@@ -1,0 +1,139 @@
+"""The hybrid executor: runs the adaptive optimizer's mixed plans.
+
+An :class:`~repro.core.ir.InferencePlan` is a sequence of stages, each
+pinned to a representation.  The hybrid executor walks the stages,
+dispatching each to its engine and handing the activations across stage
+boundaries.  Crossing into or out of a DL-centric stage charges the
+modeled connector wire time for the boundary tensors — the cross-system
+overhead the paper's unified architecture exists to avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.ir import InferencePlan, LinAlgOp, PlanStage, Representation
+from ..dlruntime.connector import Connector
+from ..dlruntime.layers import Conv2d, Model, ReLU
+from ..dlruntime.memory import MemoryBudget
+from ..dlruntime.runtime import ExternalRuntime
+from ..errors import PlanError
+from ..storage.catalog import Catalog, ModelInfo
+from .base import EngineResult
+from .dl_centric import DlCentricEngine
+from .relation_centric import RelationCentricEngine
+from .udf_centric import UdfCentricEngine
+
+
+class HybridExecutor:
+    """Executes mixed-representation plans over in-database data."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SystemConfig,
+        db_budget: MemoryBudget | None = None,
+        dl_budget: MemoryBudget | None = None,
+        runtime_flavor: str = "tensorflow-sim",
+    ):
+        self.catalog = catalog
+        self.config = config
+        self.db_budget = (
+            db_budget
+            if db_budget is not None
+            else MemoryBudget(config.dl_memory_limit_bytes, "db")
+        )
+        self.dl_budget = (
+            dl_budget
+            if dl_budget is not None
+            else MemoryBudget(config.dl_memory_limit_bytes, "dl-runtime")
+        )
+        self.udf_engine = UdfCentricEngine(self.db_budget, eager_free=False)
+        self.relation_engine = RelationCentricEngine(catalog, config)
+        self.dl_engine = DlCentricEngine(
+            Connector(config.connector),
+            ExternalRuntime(
+                runtime_flavor,
+                self.dl_budget,
+                compute_efficiency=config.framework_compute_efficiency,
+            ),
+        )
+
+    def execute(
+        self,
+        plan: InferencePlan,
+        x: np.ndarray,
+        model_info: ModelInfo,
+    ) -> EngineResult:
+        """Run a plan over an input array; returns combined accounting."""
+        current = np.asarray(x, dtype=np.float64)
+        measured = 0.0
+        modeled_extra = 0.0
+        peak = 0
+        detail: dict[str, float] = {}
+        outputs = current
+        for i, stage in enumerate(plan.stages):
+            result = self._run_stage(stage, current, model_info, plan.model)
+            measured += result.measured_seconds
+            modeled_extra += result.modeled_extra_seconds
+            peak = max(peak, result.peak_memory_bytes)
+            for key, value in result.detail.items():
+                detail[f"stage{i}.{key}"] = value
+            detail[f"stage{i}.representation"] = float(
+                list(Representation).index(stage.representation)
+            )
+            outputs = result.outputs
+            current = outputs
+        return EngineResult(
+            outputs=outputs,
+            engine="hybrid",
+            measured_seconds=measured,
+            modeled_extra_seconds=modeled_extra,
+            peak_memory_bytes=peak,
+            detail=detail,
+        )
+
+    def _run_stage(
+        self,
+        stage: PlanStage,
+        x: np.ndarray,
+        model_info: ModelInfo,
+        model: Model,
+    ) -> EngineResult:
+        if stage.representation is Representation.UDF_CENTRIC:
+            return self.udf_engine.run_layers(stage.layers, x)
+        if stage.representation is Representation.RELATION_CENTRIC:
+            return self._run_relation_stage(stage, x, model_info)
+        if stage.representation is Representation.DL_CENTRIC:
+            return self._run_dl_stage(stage, x)
+        raise PlanError(f"stage has no representation assigned: {stage.describe()}")
+
+    def _run_relation_stage(
+        self, stage: PlanStage, x: np.ndarray, model_info: ModelInfo
+    ) -> EngineResult:
+        first_op = stage.nodes[0].op
+        if first_op is LinAlgOp.CONV2D:
+            conv = stage.nodes[0].layer
+            assert isinstance(conv, Conv2d)
+            apply_relu = len(stage.nodes) > 1 and isinstance(
+                stage.nodes[1].layer, ReLU
+            )
+            if len(stage.nodes) > (2 if apply_relu else 1):
+                raise PlanError(
+                    "relation-centric conv stages support conv [+ relu] only"
+                )
+            return self.relation_engine.run_conv_stage(
+                conv, x, model_info, apply_relu=apply_relu
+            )
+        return self.relation_engine.run_vector_stage(stage.layers, x, model_info)
+
+    def _run_dl_stage(self, stage: PlanStage, x: np.ndarray) -> EngineResult:
+        """Offload a stage: pay modeled wire cost both ways, then run."""
+        stage_model = Model("offload", stage.layers, input_shape=tuple(x.shape[1:]))
+        result = self.dl_engine.run_on_array(stage_model, x)
+        boundary_bytes = x.nbytes + result.outputs.nbytes
+        wire = self.config.connector.wire_time(boundary_bytes, x.shape[0])
+        result.modeled_extra_seconds += wire
+        result.detail["boundary_wire_s"] = wire
+        return result

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro system.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The most important
+subclass is :class:`OutOfMemoryError`: the paper's Table 3 hinges on
+whole-tensor execution engines running out of memory where block-wise
+relation-centric execution survives, and we reproduce that behaviour with
+deterministic memory accounting rather than by exhausting the host.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid system configuration value was supplied."""
+
+
+class OutOfMemoryError(ReproError):
+    """A memory budget was exceeded.
+
+    Raised by :class:`repro.dlruntime.memory.MemoryBudget` when an engine
+    tries to allocate past its limit.  This mirrors the OOM cells of the
+    paper's Table 3: the DL-centric and UDF-centric engines materialise
+    whole tensors and therefore hit this error for large operators, while
+    the relation-centric engine works block-at-a-time under the buffer
+    pool and does not.
+    """
+
+    def __init__(self, requested: int, used: int, limit: int, tag: str = ""):
+        self.requested = requested
+        self.used = used
+        self.limit = limit
+        self.tag = tag
+        detail = f" while allocating {tag!r}" if tag else ""
+        super().__init__(
+            f"out of memory{detail}: requested {requested} bytes with "
+            f"{used}/{limit} bytes already in use"
+        )
+
+
+class StorageError(ReproError):
+    """A page, heap-file, or disk-manager invariant was violated."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
+
+
+class CatalogError(ReproError):
+    """A table, model, or index name could not be resolved or is duplicated."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL front end."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+
+class SqlParseError(SqlError):
+    """The SQL token stream does not match the grammar."""
+
+
+class BindError(SqlError):
+    """A name or type in the query could not be resolved against the catalog."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be converted into an executable physical plan."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed at runtime."""
+
+
+class ModelError(ReproError):
+    """A model definition, serialization, or forward pass is invalid."""
+
+
+class ShapeError(ModelError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class AnnIndexError(ReproError):
+    """A vector index was used incorrectly (e.g. searched before training)."""
+
+
+class SlaViolationError(ReproError):
+    """No execution alternative satisfies the requested service level agreement."""

@@ -1,0 +1,25 @@
+"""Approximate nearest-neighbour indexes (Sec. 5.1).
+
+The paper proposes using the vector-database index families — HNSW, LSH,
+IVF, and product quantization — *inside* the RDBMS to cache inference
+results.  All four are implemented from scratch here, behind one
+interface, plus an exact :class:`FlatIndex` used as the recall baseline.
+"""
+
+from .base import SearchResult, VectorIndex
+from .flat import FlatIndex
+from .hnsw import HnswIndex
+from .lsh import LshIndex
+from .ivf import IvfIndex, kmeans
+from .pq import PqIndex
+
+__all__ = [
+    "VectorIndex",
+    "SearchResult",
+    "FlatIndex",
+    "HnswIndex",
+    "LshIndex",
+    "IvfIndex",
+    "kmeans",
+    "PqIndex",
+]

@@ -1,0 +1,72 @@
+"""The shared vector-index interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnnIndexError
+
+
+@dataclass
+class SearchResult:
+    """k-NN results: ids and L2 distances, both ``(k,)`` arrays sorted by
+    distance (padded with ``-1`` / ``inf`` when fewer than k hits exist)."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+
+    @property
+    def nearest_id(self) -> int:
+        return int(self.ids[0])
+
+    @property
+    def nearest_distance(self) -> float:
+        return float(self.distances[0])
+
+
+class VectorIndex:
+    """Base class: stores float64 vectors under integer ids."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise AnnIndexError("vector dimension must be >= 1")
+        self.dim = dim
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Insert vectors; returns the assigned ids."""
+        raise NotImplementedError
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """k nearest neighbours of one query vector (L2)."""
+        raise NotImplementedError
+
+    def _check_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self.dim:
+            raise AnnIndexError(
+                f"index expects dimension {self.dim}, got {vectors.shape[1]}"
+            )
+        return vectors
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise AnnIndexError(
+                f"query has dimension {query.shape[0]}, index expects {self.dim}"
+            )
+        return query
+
+    @staticmethod
+    def _pad(ids: list[int], distances: list[float], k: int) -> SearchResult:
+        out_ids = np.full(k, -1, dtype=np.int64)
+        out_dist = np.full(k, np.inf)
+        n = min(k, len(ids))
+        out_ids[:n] = ids[:n]
+        out_dist[:n] = distances[:n]
+        return SearchResult(out_ids, out_dist)

@@ -1,0 +1,42 @@
+"""Exact brute-force index (the recall/latency baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnnIndexError
+from .base import SearchResult, VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Exact k-NN by full scan (vectorised numpy)."""
+
+    def __init__(self, dim: int):
+        super().__init__(dim)
+        self._vectors = np.empty((0, dim))
+        self._ids = np.empty(0, dtype=np.int64)
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        vectors = self._check_vectors(vectors)
+        if ids is None:
+            ids = np.arange(self._size, self._size + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise AnnIndexError("ids and vectors must have equal length")
+        self._vectors = np.vstack([self._vectors, vectors])
+        self._ids = np.concatenate([self._ids, ids])
+        self._size += vectors.shape[0]
+        return ids
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        query = self._check_query(query)
+        if self._size == 0:
+            return self._pad([], [], k)
+        distances = np.linalg.norm(self._vectors - query, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return self._pad(
+            [int(self._ids[i]) for i in order],
+            [float(distances[i]) for i in order],
+            k,
+        )

@@ -1,0 +1,271 @@
+"""Hierarchical Navigable Small World graphs (Malkov & Yashunin, 2018).
+
+This is the index the paper's Sec. 7.2.2 caching experiment uses (via
+Faiss there; from scratch here).  Standard construction:
+
+* each element draws a top layer ``l ~ floor(-ln(U) · mL)``;
+* insertion greedily descends from the entry point to layer ``l+1``, then
+  runs ``ef_construction``-wide beam searches on the way down, connecting
+  to the ``M`` closest candidates per layer (``2M`` on layer 0);
+* search descends greedily to layer 1, then beam-searches layer 0 with
+  width ``ef_search``.
+
+Distances to a node's whole neighbour list are evaluated as one vectorised
+numpy operation (as Faiss does with SIMD); vectors live in a geometrically
+grown contiguous array to make that cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from ..errors import AnnIndexError
+from .base import SearchResult, VectorIndex
+
+
+class HnswIndex(VectorIndex):
+    """An HNSW graph over float64 vectors with L2 distance."""
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 50,
+        seed: int = 0,
+    ):
+        super().__init__(dim)
+        if m < 2:
+            raise AnnIndexError("HNSW requires M >= 2")
+        self.m = m
+        self.max_m0 = 2 * m
+        self.ef_construction = max(ef_construction, m)
+        self.ef_search = ef_search
+        self._ml = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        self._matrix = np.empty((16, dim))
+        self._count = 0
+        self._ids: list[int] = []
+        self._levels: list[int] = []
+        # _graph[level][node] -> list of neighbour node indices
+        self._graph: list[dict[int, list[int]]] = []
+        self._entry_point: int | None = None
+
+    # -- storage helpers ----------------------------------------------------
+
+    def _append_vector(self, vector: np.ndarray) -> int:
+        if self._count == self._matrix.shape[0]:
+            grown = np.empty((2 * self._matrix.shape[0], self.dim))
+            grown[: self._count] = self._matrix[: self._count]
+            self._matrix = grown
+        self._matrix[self._count] = vector
+        self._count += 1
+        return self._count - 1
+
+    def _distance(self, node: int, query: np.ndarray) -> float:
+        diff = self._matrix[node] - query
+        return float(diff @ diff)  # squared L2; monotone, cheaper
+
+    def _distances(self, nodes: list[int], query: np.ndarray) -> np.ndarray:
+        diff = self._matrix[nodes] - query
+        return np.einsum("ij,ij->i", diff, diff)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        vectors = self._check_vectors(vectors)
+        if ids is None:
+            ids = np.arange(self._size, self._size + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise AnnIndexError("ids and vectors must have equal length")
+        for vector, vid in zip(vectors, ids):
+            self._insert(vector, int(vid))
+        return ids
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.uniform(), 1e-12)) * self._ml)
+
+    def _insert(self, vector: np.ndarray, vid: int) -> None:
+        node = self._append_vector(np.asarray(vector, dtype=np.float64))
+        level = self._random_level()
+        self._ids.append(vid)
+        self._levels.append(level)
+        while len(self._graph) <= level:
+            self._graph.append({})
+        for l in range(level + 1):
+            self._graph[l][node] = []
+        self._size += 1
+
+        if self._entry_point is None:
+            self._entry_point = node
+            return
+
+        entry = self._entry_point
+        top_level = self._levels[entry]
+        # Greedy descent above the new node's level.
+        for l in range(top_level, level, -1):
+            entry = self._greedy_step(vector, entry, l)
+        # Beam search + connect on the shared levels.
+        for l in range(min(level, top_level), -1, -1):
+            candidates = self._search_layer(vector, [entry], l, self.ef_construction)
+            max_links = self.max_m0 if l == 0 else self.m
+            neighbours = self._select_neighbours(vector, candidates, self.m)
+            self._graph[l][node] = list(neighbours)
+            for neighbour in neighbours:
+                links = self._graph[l][neighbour]
+                links.append(node)
+                if len(links) > max_links:
+                    self._graph[l][neighbour] = self._shrink(
+                        neighbour, links, max_links
+                    )
+            if candidates:
+                entry = min(candidates)[1]
+        if level > top_level:
+            self._entry_point = node
+
+    def _select_neighbours(
+        self,
+        base: np.ndarray,
+        candidates: list[tuple[float, int]],
+        m: int,
+    ) -> list[int]:
+        """Malkov's diversity heuristic (Algorithm 4).
+
+        A candidate joins the neighbour list only if it is closer to the
+        base point than to every already-selected neighbour; otherwise it
+        is dominated (reachable through that neighbour).  This keeps edges
+        pointing *between* clusters, preserving graph connectivity on
+        clustered data — plain nearest-M selection builds intra-cluster
+        cliques that greedy search cannot escape.  Dominated candidates
+        backfill remaining slots (keep-pruned-connections).
+        """
+        ordered = sorted(candidates)
+        selected: list[int] = []
+        pruned: list[int] = []
+        for dist, cand in ordered:
+            if len(selected) >= m:
+                break
+            if not selected:
+                selected.append(cand)
+                continue
+            to_selected = self._distances(selected, self._matrix[cand])
+            if dist < float(to_selected.min()):
+                selected.append(cand)
+            else:
+                pruned.append(cand)
+        for cand in pruned:
+            if len(selected) >= m:
+                break
+            selected.append(cand)
+        return selected
+
+    def _shrink(self, node: int, links: list[int], max_links: int) -> list[int]:
+        """Re-select a node's neighbour list with the diversity heuristic."""
+        unique = list(set(links))
+        dists = self._distances(unique, self._matrix[node])
+        candidates = [(float(d), n) for d, n in zip(dists, unique)]
+        return self._select_neighbours(self._matrix[node], candidates, max_links)
+
+    def _greedy_step(self, query: np.ndarray, entry: int, level: int) -> int:
+        current = entry
+        current_dist = self._distance(current, query)
+        improved = True
+        while improved:
+            improved = False
+            neighbours = self._graph[level].get(current, ())
+            if not neighbours:
+                break
+            dists = self._distances(list(neighbours), query)
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = neighbours[best]
+                current_dist = float(dists[best])
+                improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entries: list[int],
+        level: int,
+        ef: int,
+        stop_below: float = -1.0,
+    ) -> list[tuple[float, int]]:
+        """Beam search one layer; returns (distance, node) pairs.
+
+        ``stop_below`` (squared distance) terminates the beam as soon as
+        any result within it is found — the threshold-aware fast path for
+        cache lookups, where *any* neighbour inside the serving threshold
+        answers the query.
+        """
+        visited = set(entries)
+        entry_dists = self._distances(entries, query)
+        candidates = [(float(d), e) for d, e in zip(entry_dists, entries)]
+        heapq.heapify(candidates)
+        # Max-heap of the current best ef results (negated distances).
+        results = [(-d, n) for d, n in candidates]
+        heapq.heapify(results)
+        if candidates and candidates[0][0] <= stop_below:
+            return [(-negd, n) for negd, n in results]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -results[0][0] and len(results) >= ef:
+                break
+            fresh = [
+                n for n in self._graph[level].get(node, ()) if n not in visited
+            ]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            dists = self._distances(fresh, query)
+            worst = -results[0][0]
+            early_hit = False
+            for d, neighbour in zip(dists, fresh):
+                d = float(d)
+                if len(results) < ef or d < worst:
+                    heapq.heappush(candidates, (d, neighbour))
+                    heapq.heappush(results, (-d, neighbour))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+                if d <= stop_below:
+                    early_hit = True
+            if early_hit:
+                break
+        return [(-negd, n) for negd, n in results]
+
+    # -- queries -----------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        early_stop_distance: float | None = None,
+    ) -> SearchResult:
+        """k-NN search.
+
+        ``early_stop_distance`` (L2, unsquared) turns on the threshold-
+        aware fast path: the beam stops as soon as any point within that
+        distance is found, returning it first.  Used by the result cache,
+        where any in-threshold neighbour is an acceptable answer.
+        """
+        query = self._check_query(query)
+        if self._entry_point is None:
+            return self._pad([], [], k)
+        entry = self._entry_point
+        for level in range(self._levels[entry], 0, -1):
+            entry = self._greedy_step(query, entry, level)
+        ef = max(self.ef_search, k)
+        stop_below = (
+            early_stop_distance**2 if early_stop_distance is not None else -1.0
+        )
+        found = self._search_layer(query, [entry], 0, ef, stop_below=stop_below)
+        found.sort()
+        ids = [self._ids[n] for __, n in found[:k]]
+        distances = [math.sqrt(max(d, 0.0)) for d, __ in found[:k]]
+        return self._pad(ids, distances, k)

@@ -1,0 +1,145 @@
+"""Inverted-file indexing (IVF) over a k-means coarse quantizer.
+
+Vectors are assigned to their nearest centroid's inverted list; a query
+probes the ``nprobe`` nearest lists and re-ranks their members exactly.
+Includes a from-scratch Lloyd's k-means (with k-means++ seeding), reused
+by the product-quantization index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnnIndexError
+from .base import SearchResult, VectorIndex
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    iterations: int = 25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Returns ``(centroids (k, dim), assignments (n,))``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if k < 1:
+        raise AnnIndexError("k must be >= 1")
+    if n < k:
+        raise AnnIndexError(f"cannot fit {k} centroids to {n} points")
+    rng = np.random.default_rng(seed)
+    # k-means++ seeding.
+    centroids = [data[rng.integers(n)]]
+    for __ in range(k - 1):
+        d2 = np.min(
+            [np.sum((data - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(data[rng.integers(n)])
+            continue
+        centroids.append(data[rng.choice(n, p=d2 / total)])
+    centers = np.array(centroids)
+    assignments = np.zeros(n, dtype=np.int64)
+    for __ in range(iterations):
+        distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_assignments = distances.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments):
+            assignments = new_assignments
+            break
+        assignments = new_assignments
+        for c in range(k):
+            members = data[assignments == c]
+            if members.shape[0]:
+                centers[c] = members.mean(axis=0)
+            else:  # re-seed an empty cluster at the farthest point
+                d2 = ((data - centers[assignments]) ** 2).sum(axis=1)
+                centers[c] = data[int(d2.argmax())]
+    return centers, assignments
+
+
+class IvfIndex(VectorIndex):
+    """IVF with exact re-ranking within probed lists.
+
+    Training is lazy: the coarse quantizer fits on the first
+    ``train_size`` vectors seen (or on an explicit :meth:`train` call).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_lists: int = 16,
+        nprobe: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(dim)
+        if nprobe < 1 or num_lists < 1 or nprobe > num_lists:
+            raise AnnIndexError("need 1 <= nprobe <= num_lists")
+        self.num_lists = num_lists
+        self.nprobe = nprobe
+        self._seed = seed
+        self._centroids: np.ndarray | None = None
+        self._lists: list[list[int]] = [[] for __ in range(num_lists)]
+        self._vectors: list[np.ndarray] = []
+        self._ids: list[int] = []
+        self._pending: list[int] = []
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def train(self, data: np.ndarray) -> None:
+        data = self._check_vectors(data)
+        self._centroids, __ = kmeans(data, self.num_lists, seed=self._seed)
+        for node in self._pending:
+            self._assign(node)
+        self._pending = []
+
+    def _assign(self, node: int) -> None:
+        assert self._centroids is not None
+        d2 = ((self._centroids - self._vectors[node]) ** 2).sum(axis=1)
+        self._lists[int(d2.argmin())].append(node)
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        vectors = self._check_vectors(vectors)
+        if ids is None:
+            ids = np.arange(self._size, self._size + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise AnnIndexError("ids and vectors must have equal length")
+        for vector, vid in zip(vectors, ids):
+            node = len(self._vectors)
+            self._vectors.append(vector.copy())
+            self._ids.append(int(vid))
+            self._size += 1
+            if self.is_trained:
+                self._assign(node)
+            else:
+                self._pending.append(node)
+        if not self.is_trained and len(self._pending) >= 4 * self.num_lists:
+            self.train(np.array(self._vectors))
+        return ids
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        query = self._check_query(query)
+        if not self.is_trained:
+            # Fall back to exact scan over the small pending set.
+            nodes = list(range(len(self._vectors)))
+        else:
+            d2 = ((self._centroids - query) ** 2).sum(axis=1)
+            probe = np.argsort(d2)[: self.nprobe]
+            nodes = [n for p in probe for n in self._lists[int(p)]]
+        if not nodes:
+            return self._pad([], [], k)
+        matrix = np.array([self._vectors[n] for n in nodes])
+        distances = np.linalg.norm(matrix - query, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return self._pad(
+            [self._ids[nodes[i]] for i in order],
+            [float(distances[i]) for i in order],
+            k,
+        )

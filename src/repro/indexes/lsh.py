@@ -1,0 +1,72 @@
+"""Random-hyperplane locality-sensitive hashing.
+
+Multiple hash tables, each hashing a vector to the sign pattern of
+``num_bits`` random projections.  A query probes its bucket in every
+table, unions the candidates, and re-ranks them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnnIndexError
+from .base import SearchResult, VectorIndex
+
+
+class LshIndex(VectorIndex):
+    """Sign-random-projection LSH with exact re-ranking."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_tables: int = 8,
+        num_bits: int = 12,
+        seed: int = 0,
+    ):
+        super().__init__(dim)
+        if num_tables < 1 or num_bits < 1:
+            raise AnnIndexError("LSH needs at least one table and one bit")
+        rng = np.random.default_rng(seed)
+        self._planes = rng.normal(size=(num_tables, num_bits, dim))
+        self._tables: list[dict[int, list[int]]] = [{} for __ in range(num_tables)]
+        self._vectors: list[np.ndarray] = []
+        self._ids: list[int] = []
+        self._powers = 1 << np.arange(num_bits)
+
+    def _hashes(self, vector: np.ndarray) -> np.ndarray:
+        signs = (self._planes @ vector) > 0  # (tables, bits)
+        return signs @ self._powers
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        vectors = self._check_vectors(vectors)
+        if ids is None:
+            ids = np.arange(self._size, self._size + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise AnnIndexError("ids and vectors must have equal length")
+        for vector, vid in zip(vectors, ids):
+            node = len(self._vectors)
+            self._vectors.append(vector.copy())
+            self._ids.append(int(vid))
+            for table, bucket in zip(self._tables, self._hashes(vector)):
+                table.setdefault(int(bucket), []).append(node)
+            self._size += 1
+        return ids
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        query = self._check_query(query)
+        candidates: set[int] = set()
+        for table, bucket in zip(self._tables, self._hashes(query)):
+            candidates.update(table.get(int(bucket), ()))
+        if not candidates:
+            return self._pad([], [], k)
+        nodes = sorted(candidates)
+        matrix = np.array([self._vectors[n] for n in nodes])
+        distances = np.linalg.norm(matrix - query, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return self._pad(
+            [self._ids[nodes[i]] for i in order],
+            [float(distances[i]) for i in order],
+            k,
+        )

@@ -1,0 +1,144 @@
+"""Product quantization (Jégou, Douze & Schmid, 2011).
+
+Vectors are split into ``num_subspaces`` contiguous sub-vectors; each
+subspace learns a 2^bits-entry codebook via k-means.  A stored vector
+becomes one code per subspace; search uses asymmetric distance
+computation (ADC): the query precomputes a distance table per subspace
+and candidate distances are table-lookup sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnnIndexError
+from .base import SearchResult, VectorIndex
+from .ivf import kmeans
+
+
+class PqIndex(VectorIndex):
+    """PQ with ADC search (optionally exact re-ranking of the top-R)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_subspaces: int = 4,
+        bits: int = 6,
+        rerank: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__(dim)
+        if dim % num_subspaces:
+            raise AnnIndexError(
+                f"dimension {dim} is not divisible into {num_subspaces} subspaces"
+            )
+        if not 1 <= bits <= 12:
+            raise AnnIndexError("bits must be in [1, 12]")
+        self.num_subspaces = num_subspaces
+        self.sub_dim = dim // num_subspaces
+        self.num_codes = 1 << bits
+        self.rerank = rerank
+        self._seed = seed
+        self._codebooks: np.ndarray | None = None  # (subspaces, codes, sub_dim)
+        self._codes = np.empty((0, num_subspaces), dtype=np.int32)
+        self._ids: list[int] = []
+        self._raw: list[np.ndarray] = []  # kept only when rerank > 0
+        self._pending: list[np.ndarray] = []
+        self._pending_ids: list[int] = []
+
+    @property
+    def is_trained(self) -> bool:
+        return self._codebooks is not None
+
+    def train(self, data: np.ndarray) -> None:
+        data = self._check_vectors(data)
+        k = min(self.num_codes, data.shape[0])
+        books = []
+        for s in range(self.num_subspaces):
+            sub = data[:, s * self.sub_dim : (s + 1) * self.sub_dim]
+            centers, __ = kmeans(sub, k, seed=self._seed + s)
+            if k < self.num_codes:  # pad unused codes with copies
+                centers = np.vstack(
+                    [centers, np.repeat(centers[:1], self.num_codes - k, axis=0)]
+                )
+            books.append(centers)
+        self._codebooks = np.array(books)
+        if self._pending:
+            vectors = np.array(self._pending)
+            ids = np.array(self._pending_ids, dtype=np.int64)
+            self._pending = []
+            self._pending_ids = []
+            self._encode_and_store(vectors, ids)
+
+    def _encode(self, vectors: np.ndarray) -> np.ndarray:
+        assert self._codebooks is not None
+        codes = np.empty((vectors.shape[0], self.num_subspaces), dtype=np.int32)
+        for s in range(self.num_subspaces):
+            sub = vectors[:, s * self.sub_dim : (s + 1) * self.sub_dim]
+            d2 = (
+                (sub[:, None, :] - self._codebooks[s][None, :, :]) ** 2
+            ).sum(axis=2)
+            codes[:, s] = d2.argmin(axis=1)
+        return codes
+
+    def _encode_and_store(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        self._codes = np.vstack([self._codes, self._encode(vectors)])
+        self._ids.extend(int(v) for v in ids)
+        if self.rerank:
+            self._raw.extend(vector.copy() for vector in vectors)
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        vectors = self._check_vectors(vectors)
+        if ids is None:
+            ids = np.arange(self._size, self._size + vectors.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != vectors.shape[0]:
+                raise AnnIndexError("ids and vectors must have equal length")
+        self._size += vectors.shape[0]
+        if self.is_trained:
+            self._encode_and_store(vectors, ids)
+        else:
+            self._pending.extend(v.copy() for v in vectors)
+            self._pending_ids.extend(int(v) for v in ids)
+            if len(self._pending) >= 4 * self.num_codes:
+                self.train(np.array(self._pending))
+        return ids
+
+    def search(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        query = self._check_query(query)
+        if not self.is_trained:
+            if not self._pending:
+                return self._pad([], [], k)
+            matrix = np.array(self._pending)
+            distances = np.linalg.norm(matrix - query, axis=1)
+            order = np.argsort(distances, kind="stable")[:k]
+            return self._pad(
+                [self._pending_ids[i] for i in order],
+                [float(distances[i]) for i in order],
+                k,
+            )
+        if self._codes.shape[0] == 0:
+            return self._pad([], [], k)
+        # ADC: per-subspace distance tables.
+        tables = np.empty((self.num_subspaces, self.num_codes))
+        for s in range(self.num_subspaces):
+            sub = query[s * self.sub_dim : (s + 1) * self.sub_dim]
+            tables[s] = ((self._codebooks[s] - sub) ** 2).sum(axis=1)
+        approx = tables[np.arange(self.num_subspaces)[None, :], self._codes].sum(axis=1)
+        if self.rerank:
+            top = np.argsort(approx, kind="stable")[: max(self.rerank, k)]
+            matrix = np.array([self._raw[i] for i in top])
+            exact = np.linalg.norm(matrix - query, axis=1)
+            order = np.argsort(exact, kind="stable")[:k]
+            return self._pad(
+                [self._ids[top[i]] for i in order],
+                [float(exact[i]) for i in order],
+                k,
+            )
+        order = np.argsort(approx, kind="stable")[:k]
+        return self._pad(
+            [self._ids[i] for i in order],
+            [float(np.sqrt(approx[i])) for i in order],
+            k,
+        )

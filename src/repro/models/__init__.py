@@ -1,0 +1,33 @@
+"""The paper's model zoo (Tables 1 and 2) and model persistence."""
+
+from .definitions import (
+    amazon_14k_fc,
+    bosch_ffnn,
+    cache_cnn,
+    cache_ffnn,
+    deepbench_conv1,
+    encoder_fc,
+    fraud_fc_256,
+    fraud_fc_512,
+    landcover,
+)
+from .zoo import MODEL_ZOO, ZooEntry, build_model, zoo_entries
+from .store import load_model_weights, store_model_blocks
+
+__all__ = [
+    "fraud_fc_256",
+    "fraud_fc_512",
+    "encoder_fc",
+    "amazon_14k_fc",
+    "deepbench_conv1",
+    "landcover",
+    "bosch_ffnn",
+    "cache_cnn",
+    "cache_ffnn",
+    "MODEL_ZOO",
+    "ZooEntry",
+    "build_model",
+    "zoo_entries",
+    "store_model_blocks",
+    "load_model_weights",
+]

@@ -1,0 +1,81 @@
+"""A registry over the model builders, with the paper's metadata attached."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import ModelError
+from ..dlruntime.layers import Model
+from . import definitions
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One row of the paper's Table 1 or Table 2."""
+
+    key: str
+    table: str  # "table1" or "table2" or "sec7.2"
+    paper_shape: str
+    builder: Callable[..., Model]
+    scalable: bool = False
+
+
+MODEL_ZOO: dict[str, ZooEntry] = {
+    "fraud-fc-256": ZooEntry(
+        "fraud-fc-256", "table1", "28 / 256 / 2", definitions.fraud_fc_256
+    ),
+    "fraud-fc-512": ZooEntry(
+        "fraud-fc-512", "table1", "28 / 512 / 2", definitions.fraud_fc_512
+    ),
+    "encoder-fc": ZooEntry(
+        "encoder-fc", "table1", "76 / 3,072 / 768", definitions.encoder_fc
+    ),
+    "amazon-14k-fc": ZooEntry(
+        "amazon-14k-fc",
+        "table1",
+        "597,540 / 1,024 / 14,588",
+        definitions.amazon_14k_fc,
+        scalable=True,
+    ),
+    "deepbench-conv1": ZooEntry(
+        "deepbench-conv1",
+        "table2",
+        "112×112×64, kernels 64×64×1×1",
+        definitions.deepbench_conv1,
+        scalable=True,
+    ),
+    "landcover": ZooEntry(
+        "landcover",
+        "table2",
+        "2500×2500×3, kernels 2048×3×1×1",
+        definitions.landcover,
+        scalable=True,
+    ),
+    "bosch-ffnn": ZooEntry(
+        "bosch-ffnn", "sec7.2", "968 / 256 / 2", definitions.bosch_ffnn
+    ),
+    "cache-cnn": ZooEntry(
+        "cache-cnn", "sec7.2", "conv32·3×3, conv16·3×3, fc64, fc10", definitions.cache_cnn
+    ),
+    "cache-ffnn": ZooEntry(
+        "cache-ffnn", "sec7.2", "784/128/1024/2048/64/10", definitions.cache_ffnn
+    ),
+}
+
+
+def build_model(key: str, **kwargs: object) -> Model:
+    """Build a zoo model by key, forwarding builder kwargs (e.g. ``scale``)."""
+    entry = MODEL_ZOO.get(key)
+    if entry is None:
+        raise ModelError(
+            f"unknown zoo model {key!r}; available: {sorted(MODEL_ZOO)}"
+        )
+    return entry.builder(**kwargs)  # type: ignore[arg-type]
+
+
+def zoo_entries(table: str | None = None) -> Iterator[ZooEntry]:
+    """Iterate zoo entries, optionally filtered by paper table."""
+    for entry in MODEL_ZOO.values():
+        if table is None or entry.table == table:
+            yield entry

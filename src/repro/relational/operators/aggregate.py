@@ -1,0 +1,231 @@
+"""Hash aggregation with optional group-by keys.
+
+Besides SQL aggregates, this operator supports ``SUM_BLOCK``: element-wise
+summation of numpy arrays carried through BLOB columns — the "aggregation"
+half of the paper's matmul → join + aggregation rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ...errors import PlanError
+from ..expressions import BoundExpression, Expression
+from ..schema import Column, ColumnType, Schema
+from .base import Operator, Row
+
+
+class _Accumulator:
+    """One aggregate's running state (fresh instance per group)."""
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+class _Sum(_Accumulator):
+    def __init__(self) -> None:
+        self.total: float | int | None = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> object:
+        return self.total
+
+
+class _Count(_Accumulator):
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.n += 1
+
+    def result(self) -> object:
+        return self.n
+
+
+class _CountStar(_Accumulator):
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: object) -> None:
+        self.n += 1
+
+    def result(self) -> object:
+        return self.n
+
+
+class _Avg(_Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        self.total += value  # type: ignore[operator]
+        self.n += 1
+
+    def result(self) -> object:
+        return self.total / self.n if self.n else None
+
+
+class _Min(_Accumulator):
+    def __init__(self) -> None:
+        self.value: object = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.value is None or value < self.value:  # type: ignore[operator]
+            self.value = value
+
+    def result(self) -> object:
+        return self.value
+
+
+class _Max(_Accumulator):
+    def __init__(self) -> None:
+        self.value: object = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:  # type: ignore[operator]
+            self.value = value
+
+    def result(self) -> object:
+        return self.value
+
+
+class _SumBlock(_Accumulator):
+    """Element-wise sum of float64 arrays serialized as BLOBs."""
+
+    def __init__(self) -> None:
+        self.array: np.ndarray | None = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        block = np.frombuffer(value, dtype=np.float64)  # type: ignore[arg-type]
+        if self.array is None:
+            self.array = block.copy()
+        else:
+            self.array += block
+
+    def result(self) -> object:
+        if self.array is None:
+            return None
+        return self.array.tobytes()
+
+
+_AGGREGATES: dict[str, tuple[Callable[[], _Accumulator], ColumnType | None]] = {
+    # name -> (accumulator factory, fixed result type or None = input type)
+    "SUM": (_Sum, None),
+    "COUNT": (_Count, ColumnType.INT),
+    "COUNT_STAR": (_CountStar, ColumnType.INT),
+    "AVG": (_Avg, ColumnType.DOUBLE),
+    "MIN": (_Min, None),
+    "MAX": (_Max, None),
+    "SUM_BLOCK": (_SumBlock, ColumnType.BLOB),
+}
+
+
+def aggregate_function_names() -> frozenset[str]:
+    """Names accepted by the SQL binder (COUNT_STAR is spelled COUNT(*))."""
+    return frozenset(n for n in _AGGREGATES if n != "COUNT_STAR")
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate in the output: function, input expression, output name."""
+
+    func: str
+    arg: Expression | BoundExpression | None
+    output_name: str
+
+    def bind(self, schema: Schema) -> tuple[Callable[[], _Accumulator], BoundExpression | None, ColumnType]:
+        fname = self.func.upper()
+        if fname not in _AGGREGATES:
+            raise PlanError(f"unknown aggregate function {self.func!r}")
+        factory, fixed_type = _AGGREGATES[fname]
+        if fname == "COUNT_STAR":
+            return factory, None, ColumnType.INT
+        if self.arg is None:
+            raise PlanError(f"aggregate {fname} requires an argument")
+        bound = self.arg.bind(schema) if isinstance(self.arg, Expression) else self.arg
+        if fname == "SUM_BLOCK":
+            if bound.ctype is not ColumnType.BLOB:
+                raise PlanError("SUM_BLOCK requires a BLOB argument")
+        elif fname not in ("MIN", "MAX", "COUNT") and not bound.ctype.is_numeric:
+            raise PlanError(f"aggregate {fname} requires a numeric argument")
+        ctype = fixed_type if fixed_type is not None else bound.ctype
+        return factory, bound, ctype
+
+
+class Aggregate(Operator):
+    """Group rows by key expressions and fold aggregates per group.
+
+    With no group keys, produces exactly one row (global aggregation),
+    even over empty input.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[tuple[Expression | BoundExpression, str]],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        if not aggregates and not group_by:
+            raise PlanError("aggregate needs at least one group key or aggregate")
+        self._child = child
+        self._group_exprs: list[tuple[BoundExpression, str]] = []
+        for expr, name in group_by:
+            bound = expr.bind(child.schema) if isinstance(expr, Expression) else expr
+            self._group_exprs.append((bound, name))
+        self._agg_bound = []
+        columns: list[Column] = [
+            Column(name, expr.ctype) for expr, name in self._group_exprs
+        ]
+        for spec in aggregates:
+            factory, bound, ctype = spec.bind(child.schema)
+            self._agg_bound.append((factory, bound))
+            columns.append(Column(spec.output_name, ctype))
+        self._schema = Schema(columns)
+        self._specs = list(aggregates)
+
+    def rows(self) -> Iterator[Row]:
+        group_evals = [expr.eval for expr, __ in self._group_exprs]
+        groups: dict[tuple, list[_Accumulator]] = {}
+        for row in self._child:
+            key = tuple(e(row) for e in group_evals)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [factory() for factory, __ in self._agg_bound]
+                groups[key] = accs
+            for acc, (__, bound) in zip(accs, self._agg_bound):
+                acc.add(bound.eval(row) if bound is not None else None)
+        if not groups and not self._group_exprs:
+            # Global aggregation over empty input still yields one row.
+            accs = [factory() for factory, __ in self._agg_bound]
+            yield tuple(acc.result() for acc in accs)
+            return
+        for key, accs in groups.items():
+            yield key + tuple(acc.result() for acc in accs)
+
+    def describe(self) -> str:
+        keys = ", ".join(name for __, name in self._group_exprs)
+        aggs = ", ".join(f"{s.func}(...) AS {s.output_name}" for s in self._specs)
+        return f"Aggregate(group by [{keys}]; {aggs})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._child,)

@@ -1,0 +1,68 @@
+"""Operator base class and small helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..schema import Schema
+
+Row = tuple
+
+
+class Operator:
+    """A physical operator producing a stream of tuples.
+
+    Subclasses implement :meth:`rows` (a generator) and set ``_schema`` in
+    their constructor.  Operators are restartable: iterating twice replays
+    the computation (children are re-iterated).
+    """
+
+    _schema: Schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree."""
+        pad = "  " * indent
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> tuple["Operator", ...]:
+        return ()
+
+
+@dataclass
+class MaterializedResult:
+    """A fully evaluated operator output."""
+
+    schema: Schema
+    rows: list[Row]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[object]:
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self.rows]
+
+
+def collect(op: Operator) -> MaterializedResult:
+    """Drain an operator into a materialized result."""
+    return MaterializedResult(op.schema, list(op))

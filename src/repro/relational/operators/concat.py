@@ -1,0 +1,33 @@
+"""Bag union (UNION ALL)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ...errors import PlanError
+from .base import Operator, Row
+
+
+class Concat(Operator):
+    """Concatenate same-arity inputs (types follow the first input)."""
+
+    def __init__(self, children: Sequence[Operator]):
+        if not children:
+            raise PlanError("UNION ALL requires at least one input")
+        widths = {len(c.schema) for c in children}
+        if len(widths) != 1:
+            raise PlanError(
+                f"UNION ALL inputs have different arities: {sorted(widths)}"
+            )
+        self._children = list(children)
+        self._schema = children[0].schema
+
+    def rows(self) -> Iterator[Row]:
+        for child in self._children:
+            yield from child
+
+    def describe(self) -> str:
+        return f"Concat({len(self._children)} inputs)"
+
+    def children(self) -> tuple[Operator, ...]:
+        return tuple(self._children)

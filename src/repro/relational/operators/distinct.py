@@ -1,0 +1,29 @@
+"""Duplicate elimination."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import Operator, Row
+
+
+class Distinct(Operator):
+    """Emit each distinct row once, preserving first-seen order."""
+
+    def __init__(self, child: Operator):
+        self._child = child
+        self._schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self._child:
+            if row in seen:
+                continue
+            seen.add(row)
+            yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._child,)

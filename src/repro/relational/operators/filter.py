@@ -1,0 +1,39 @@
+"""Selection."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import PlanError
+from ..expressions import BoundExpression, Expression
+from ..schema import ColumnType
+from .base import Operator, Row
+
+
+class Filter(Operator):
+    """Keep rows whose predicate evaluates to true (NULL drops the row)."""
+
+    def __init__(self, child: Operator, predicate: Expression | BoundExpression):
+        self._child = child
+        self._schema = child.schema
+        if isinstance(predicate, Expression):
+            bound = predicate.bind(child.schema)
+        else:
+            bound = predicate
+        if bound.ctype is not ColumnType.BOOL:
+            raise PlanError(
+                f"filter predicate must be boolean, got {bound.ctype.value}"
+            )
+        self._predicate = bound
+
+    def rows(self) -> Iterator[Row]:
+        predicate = self._predicate.eval
+        for row in self._child:
+            if predicate(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self._predicate.name})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._child,)

@@ -1,0 +1,82 @@
+"""Operator instrumentation for EXPLAIN ANALYZE.
+
+Wraps every node of a physical plan so that executing it records, per
+operator, the rows produced and the inclusive wall-clock time spent
+producing them.  Instrumentation shadows the instance's ``rows`` method
+with a counting generator — the plan's structure and semantics are
+untouched, so analysis runs the exact plan it reports on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .base import Operator, Row
+
+
+@dataclass
+class NodeStats:
+    """Execution counters for one operator."""
+
+    rows: int = 0
+    inclusive_seconds: float = 0.0
+    opened: int = 0
+
+
+@dataclass
+class AnalyzeReport:
+    """Per-node statistics keyed by operator identity."""
+
+    stats: dict[int, NodeStats] = field(default_factory=dict)
+
+    def for_node(self, op: Operator) -> NodeStats:
+        return self.stats.setdefault(id(op), NodeStats())
+
+    def render(self, root: Operator) -> str:
+        lines: list[str] = []
+
+        def walk(node: Operator, depth: int) -> None:
+            stats = self.stats.get(id(node), NodeStats())
+            pad = "  " * depth
+            lines.append(
+                f"{pad}{node.describe()}  "
+                f"[rows={stats.rows}, time={stats.inclusive_seconds * 1e3:.2f}ms]"
+            )
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(root, 0)
+        return "\n".join(lines)
+
+
+def instrument(root: Operator) -> AnalyzeReport:
+    """Attach counters to every node of the plan (idempotent per node)."""
+    report = AnalyzeReport()
+
+    def wrap(node: Operator) -> None:
+        stats = report.for_node(node)
+        original_rows = node.rows
+
+        def counting_rows() -> Iterator[Row]:
+            stats.opened += 1
+            start = time.perf_counter()
+            try:
+                for row in original_rows():
+                    stats.inclusive_seconds += time.perf_counter() - start
+                    stats.rows += 1
+                    yield row
+                    start = time.perf_counter()
+                stats.inclusive_seconds += time.perf_counter() - start
+            except GeneratorExit:
+                stats.inclusive_seconds += time.perf_counter() - start
+                raise
+
+        # Shadow the bound method on the instance only.
+        node.rows = counting_rows  # type: ignore[method-assign]
+        for child in node.children():
+            wrap(child)
+
+    wrap(root)
+    return report

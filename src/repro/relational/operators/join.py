@@ -1,0 +1,224 @@
+"""Equi-joins: in-memory hash join with Grace-style spilling, plus a
+nested-loop join for arbitrary predicates.
+
+The hash join is the workhorse of the relation-centric representation:
+``A × B`` over blocked tensors becomes
+``HashJoin(blocks_A, blocks_B, A.col_blk = B.row_blk)`` followed by an
+aggregation.  When the build side exceeds ``max_build_rows``, both inputs
+are partitioned to temporary spill files and each partition is joined
+independently — the same discipline that lets the paper's netsDB run
+operators larger than memory.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+from typing import Iterator, Sequence
+
+from ...errors import PlanError
+from ..expressions import BoundExpression, Expression
+from .base import Operator, Row
+
+
+def _bind_keys(
+    keys: Sequence[Expression | BoundExpression], op: Operator
+) -> list[BoundExpression]:
+    bound = []
+    for key in keys:
+        bound.append(key.bind(op.schema) if isinstance(key, Expression) else key)
+    return bound
+
+
+class HashJoin(Operator):
+    """Equi-join on one or more key expressions.
+
+    ``join_type`` is ``"inner"`` or ``"left"``.  The left input is the
+    build side by convention; callers should place the smaller input left.
+    """
+
+    DEFAULT_MAX_BUILD_ROWS = 1_000_000
+    SPILL_PARTITIONS = 16
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[Expression | BoundExpression],
+        right_keys: Sequence[Expression | BoundExpression],
+        join_type: str = "inner",
+        max_build_rows: int | None = None,
+    ):
+        if len(left_keys) != len(right_keys):
+            raise PlanError("join requires equal numbers of left and right keys")
+        if not left_keys:
+            raise PlanError("join requires at least one key")
+        if join_type not in ("inner", "left"):
+            raise PlanError(f"unsupported join type {join_type!r}")
+        self._left = left
+        self._right = right
+        self._left_keys = _bind_keys(left_keys, left)
+        self._right_keys = _bind_keys(right_keys, right)
+        self._join_type = join_type
+        self._max_build_rows = (
+            max_build_rows if max_build_rows is not None else self.DEFAULT_MAX_BUILD_ROWS
+        )
+        self._schema = left.schema.concat(right.schema)
+
+    def rows(self) -> Iterator[Row]:
+        left_key = self._key_fn(self._left_keys)
+        right_key = self._key_fn(self._right_keys)
+
+        build: dict[tuple, list[Row]] = {}
+        overflow = False
+        left_iter = iter(self._left)
+        buffered: list[Row] = []
+        for row in left_iter:
+            key = left_key(row)
+            if key is None:
+                continue
+            build.setdefault(key, []).append(row)
+            buffered.append(row)
+            if len(buffered) > self._max_build_rows:
+                overflow = True
+                break
+
+        if overflow:
+            yield from self._grace_join(buffered, left_iter, left_key, right_key)
+            return
+
+        null_right = (None,) * len(self._right.schema)
+        matched: set[tuple] = set()
+        for row in self._right:
+            key = right_key(row)
+            if key is None:
+                continue
+            for left_row in build.get(key, ()):
+                if self._join_type == "left":
+                    matched.add(key)
+                yield left_row + row
+        if self._join_type == "left":
+            for key, rows in build.items():
+                if key not in matched:
+                    for left_row in rows:
+                        yield left_row + null_right
+
+    @staticmethod
+    def _key_fn(keys: list[BoundExpression]):
+        evals = [k.eval for k in keys]
+
+        def compute(row: Row) -> tuple | None:
+            values = tuple(e(row) for e in evals)
+            if any(v is None for v in values):
+                return None
+            return values
+
+        return compute
+
+    # -- Grace partitioning --------------------------------------------
+
+    def _grace_join(
+        self,
+        buffered: list[Row],
+        left_rest: Iterator[Row],
+        left_key,
+        right_key,
+    ) -> Iterator[Row]:
+        if self._join_type == "left":
+            raise PlanError("left join does not support spilling build sides")
+        nparts = self.SPILL_PARTITIONS
+        with tempfile.TemporaryFile() as left_spill, tempfile.TemporaryFile() as right_spill:
+            left_offsets = self._partition_to_file(
+                left_spill, list(buffered), left_rest, left_key, nparts
+            )
+            right_offsets = self._partition_to_file(
+                right_spill, [], iter(self._right), right_key, nparts
+            )
+            for part in range(nparts):
+                build: dict[tuple, list[Row]] = {}
+                for row in self._read_partition(left_spill, left_offsets, part):
+                    build.setdefault(left_key(row), []).append(row)
+                if not build:
+                    continue
+                for row in self._read_partition(right_spill, right_offsets, part):
+                    for left_row in build.get(right_key(row), ()):
+                        yield left_row + row
+
+    @staticmethod
+    def _partition_to_file(spill, head: list[Row], rest: Iterator[Row], key_fn, nparts: int):
+        """Write rows into per-partition pickle batches; returns offsets.
+
+        Returns a list of (offset, length) lists, one per partition.  The
+        spill format is pickle, which is safe here because the file is
+        created and consumed within this process.
+        """
+        batches: list[list[Row]] = [[] for __ in range(nparts)]
+        offsets: list[list[tuple[int, int]]] = [[] for __ in range(nparts)]
+        batch_limit = 4096
+
+        def flush(part: int) -> None:
+            if not batches[part]:
+                return
+            payload = pickle.dumps(batches[part], protocol=pickle.HIGHEST_PROTOCOL)
+            spill.seek(0, 2)
+            start = spill.tell()
+            spill.write(payload)
+            offsets[part].append((start, len(payload)))
+            batches[part] = []
+
+        for source in (iter(head), rest):
+            for row in source:
+                key = key_fn(row)
+                if key is None:
+                    continue
+                part = hash(key) % nparts
+                batches[part].append(row)
+                if len(batches[part]) >= batch_limit:
+                    flush(part)
+        for part in range(nparts):
+            flush(part)
+        return offsets
+
+    @staticmethod
+    def _read_partition(spill, offsets, part: int) -> Iterator[Row]:
+        for start, length in offsets[part]:
+            spill.seek(start)
+            yield from pickle.loads(spill.read(length))
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.name}={r.name}" for l, r in zip(self._left_keys, self._right_keys)
+        )
+        return f"HashJoin[{self._join_type}]({keys})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._left, self._right)
+
+
+class NestedLoopJoin(Operator):
+    """Join on an arbitrary boolean predicate (inner only).
+
+    Quadratic; used when no equi-key exists.  The right side is
+    materialized once.
+    """
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expression):
+        self._left = left
+        self._right = right
+        self._schema = left.schema.concat(right.schema)
+        self._predicate = predicate.bind(self._schema)
+
+    def rows(self) -> Iterator[Row]:
+        right_rows = list(self._right)
+        predicate = self._predicate.eval
+        for left_row in self._left:
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate(combined):
+                    yield combined
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self._predicate.name})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._left, self._right)

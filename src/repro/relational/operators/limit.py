@@ -1,0 +1,33 @@
+"""LIMIT / OFFSET."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ...errors import PlanError
+from .base import Operator, Row
+
+
+class Limit(Operator):
+    """Pass through at most ``limit`` rows after skipping ``offset``."""
+
+    def __init__(self, child: Operator, limit: int, offset: int = 0):
+        if limit < 0 or offset < 0:
+            raise PlanError("LIMIT and OFFSET must be non-negative")
+        self._child = child
+        self._schema = child.schema
+        self._limit = limit
+        self._offset = offset
+
+    def rows(self) -> Iterator[Row]:
+        return itertools.islice(
+            iter(self._child), self._offset, self._offset + self._limit
+        )
+
+    def describe(self) -> str:
+        suffix = f" OFFSET {self._offset}" if self._offset else ""
+        return f"Limit({self._limit}{suffix})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._child,)

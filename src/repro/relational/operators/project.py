@@ -1,0 +1,42 @@
+"""Projection (with computed expressions and renaming)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..expressions import BoundExpression, Expression
+from ..schema import Column, Schema
+from .base import Operator, Row
+
+
+class Project(Operator):
+    """Evaluate a list of (expression, output name) pairs per row."""
+
+    def __init__(
+        self,
+        child: Operator,
+        items: Sequence[tuple[Expression | BoundExpression, str]],
+    ):
+        self._child = child
+        bound: list[tuple[BoundExpression, str]] = []
+        for expr, name in items:
+            if isinstance(expr, Expression):
+                bound.append((expr.bind(child.schema), name))
+            else:
+                bound.append((expr, name))
+        self._items = bound
+        self._schema = Schema(
+            Column(name, expr.ctype) for expr, name in bound
+        )
+
+    def rows(self) -> Iterator[Row]:
+        evals = [expr.eval for expr, __ in self._items]
+        for row in self._child:
+            yield tuple(e(row) for e in evals)
+
+    def describe(self) -> str:
+        cols = ", ".join(f"{expr.name} AS {name}" for expr, name in self._items)
+        return f"Project({cols})"
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self._child,)

@@ -1,0 +1,18 @@
+"""Unified resource management (Sec. 3): one memory pool split between the
+RDBMS and DL runtimes, device allocation via a producer-transfer-consumer
+model, and thread-configuration tuning for UDF-invoked BLAS."""
+
+from .budget import ResourceCoordinator
+from .allocator import DeviceAllocator, PlacementDecision
+from .threads import ThreadConfig, throughput_model
+from .tuner import ThreadTuner, TuningResult
+
+__all__ = [
+    "ResourceCoordinator",
+    "DeviceAllocator",
+    "PlacementDecision",
+    "ThreadConfig",
+    "throughput_model",
+    "ThreadTuner",
+    "TuningResult",
+]

@@ -1,0 +1,93 @@
+"""Coordinated memory budgeting between the RDBMS and DL runtimes.
+
+Section 3(1): configuring the buffer pool without accounting for the DL
+runtime colocated on the same machine (and vice versa) either starves one
+side or overcommits the host.  The coordinator owns the machine's memory
+and hands out child budgets whose limits always sum to at most the host
+total; re-splitting is atomic and refuses to shrink a child below its
+current usage.
+"""
+
+from __future__ import annotations
+
+from ..dlruntime.memory import MemoryBudget
+from ..errors import ConfigError
+
+
+class ResourceCoordinator:
+    """Splits one host memory total across named consumers."""
+
+    def __init__(self, total_bytes: int):
+        if total_bytes <= 0:
+            raise ConfigError("total memory must be positive")
+        self.total_bytes = total_bytes
+        self._budgets: dict[str, MemoryBudget] = {}
+        self._shares: dict[str, int] = {}
+
+    def allocate_budget(self, name: str, share_bytes: int) -> MemoryBudget:
+        """Create a child budget with a fixed share of the host memory."""
+        if name in self._budgets:
+            raise ConfigError(f"budget {name!r} already exists")
+        if share_bytes <= 0:
+            raise ConfigError("share must be positive")
+        if self.allocated_bytes + share_bytes > self.total_bytes:
+            raise ConfigError(
+                f"cannot allocate {share_bytes} bytes to {name!r}: only "
+                f"{self.total_bytes - self.allocated_bytes} bytes unassigned"
+            )
+        budget = MemoryBudget(share_bytes, name=name)
+        self._budgets[name] = budget
+        self._shares[name] = share_bytes
+        return budget
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._shares.values())
+
+    def budget(self, name: str) -> MemoryBudget:
+        if name not in self._budgets:
+            raise ConfigError(f"no budget named {name!r}")
+        return self._budgets[name]
+
+    def resize(self, name: str, new_share_bytes: int) -> MemoryBudget:
+        """Re-split: replace one child's share (its usage must still fit)."""
+        old = self.budget(name)
+        if new_share_bytes < old.used:
+            raise ConfigError(
+                f"cannot shrink {name!r} to {new_share_bytes} bytes: "
+                f"{old.used} bytes are in use"
+            )
+        others = self.allocated_bytes - self._shares[name]
+        if others + new_share_bytes > self.total_bytes:
+            raise ConfigError("resize would overcommit the host")
+        replacement = MemoryBudget(new_share_bytes, name=name)
+        replacement.stats.used = old.used
+        replacement.stats.peak = old.peak
+        self._budgets[name] = replacement
+        self._shares[name] = new_share_bytes
+        return replacement
+
+    def utilisation(self) -> dict[str, float]:
+        """Fraction of each share currently in use."""
+        return {
+            name: budget.used / self._shares[name]
+            for name, budget in self._budgets.items()
+        }
+
+    def rebalance_even_slack(self) -> None:
+        """Redistribute unassigned + unused capacity proportionally to demand.
+
+        A simple autonomic policy: every consumer keeps what it uses, and
+        the remaining host memory is divided evenly among consumers.
+        """
+        if not self._budgets:
+            return
+        used_total = sum(b.used for b in self._budgets.values())
+        slack = self.total_bytes - used_total
+        even = slack // len(self._budgets)
+        # Shrink everyone to their floor first so the grows cannot
+        # transiently overcommit.
+        for name in list(self._budgets):
+            self.resize(name, self._budgets[name].used)
+        for name in list(self._budgets):
+            self.resize(name, self._budgets[name].used + even)

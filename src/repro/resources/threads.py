@@ -1,0 +1,83 @@
+"""Thread-configuration modeling for UDF-invoked BLAS (Sec. 3.1).
+
+The paper's scenario: the RDBMS runs a pipeline stage with ``db_threads``
+data-parallel workers, and each worker's linear-algebra UDF spins up
+``blas_threads`` OpenMP threads.  Total runnable threads is their
+product; when it exceeds the core count, context switching and cache
+thrashing tax throughput.  ``throughput_model`` is the analytic model the
+tuner optimises: near-linear speedup up to the core count, a
+multiplicative oversubscription penalty beyond it, and a small per-thread
+coordination overhead that penalises extreme configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+# Model constants, calibrated once against microbenchmarks of
+# numpy-backed UDFs under multiprocessing on an 8-core host.
+OVERSUBSCRIPTION_PENALTY = 0.35  # throughput multiplier decay per 2x over
+COORDINATION_OVERHEAD = 0.01  # per-thread synchronisation tax
+DB_PARALLEL_EFFICIENCY = 0.92  # scan/exchange efficiency per extra DB thread
+BLAS_PARALLEL_EFFICIENCY = 0.85  # BLAS scaling efficiency per extra thread
+
+
+@dataclass(frozen=True)
+class ThreadConfig:
+    """One candidate configuration."""
+
+    db_threads: int
+    blas_threads: int
+
+    def __post_init__(self) -> None:
+        if self.db_threads < 1 or self.blas_threads < 1:
+            raise ConfigError("thread counts must be >= 1")
+
+    @property
+    def total_threads(self) -> int:
+        return self.db_threads * self.blas_threads
+
+
+def _scaling(threads: int, efficiency: float) -> float:
+    """Sub-linear parallel speedup: 1 + e + e^2 + ... for extra threads."""
+    speedup = 0.0
+    gain = 1.0
+    for __ in range(threads):
+        speedup += gain
+        gain *= efficiency
+    return speedup
+
+
+def throughput_model(config: ThreadConfig, cores: int) -> float:
+    """Relative throughput of a configuration on ``cores`` physical cores."""
+    if cores < 1:
+        raise ConfigError("cores must be >= 1")
+    raw = _scaling(config.db_threads, DB_PARALLEL_EFFICIENCY) * _scaling(
+        config.blas_threads, BLAS_PARALLEL_EFFICIENCY
+    )
+    total = config.total_threads
+    if total > cores:
+        # Each doubling beyond the core count multiplies throughput by
+        # (1 - penalty): context switches and cache contention.
+        over = total / cores
+        raw *= (1.0 - OVERSUBSCRIPTION_PENALTY) ** _log2(over)
+    raw *= max(0.0, 1.0 - COORDINATION_OVERHEAD * total)
+    return raw
+
+
+def _log2(x: float) -> float:
+    import math
+
+    return math.log2(x)
+
+
+def candidate_grid(cores: int, max_threads: int | None = None) -> list[ThreadConfig]:
+    """All (db, blas) pairs up to ``max_threads`` per dimension."""
+    limit = max_threads if max_threads is not None else 2 * cores
+    return [
+        ThreadConfig(db, blas)
+        for db in range(1, limit + 1)
+        for blas in range(1, limit + 1)
+    ]

@@ -1,0 +1,119 @@
+"""Data-efficient thread-configuration tuning (Sec. 3.1).
+
+Exhaustively measuring every (db_threads, blas_threads) pair is exactly
+the "significant search latency" the paper warns about.  The tuner
+implements successive halving (Hyperband's inner loop): all candidates
+get a cheap low-fidelity evaluation, the best half survive to a more
+expensive evaluation, and so on — plus a warm-start from historical
+results on "similar" workloads (nearest neighbour in workload-descriptor
+space), the retrieval-augmented idea the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from .threads import ThreadConfig, candidate_grid, throughput_model
+
+# An evaluation returns throughput (higher is better); fidelity in (0, 1]
+# scales how expensive/precise the measurement is.
+EvalFunction = Callable[[ThreadConfig, float], float]
+
+
+@dataclass
+class TuningResult:
+    best: ThreadConfig
+    throughput: float
+    evaluations: int
+    history: list[tuple[ThreadConfig, float]] = field(default_factory=list)
+
+
+@dataclass
+class _HistoryEntry:
+    descriptor: np.ndarray
+    config: ThreadConfig
+
+
+class ThreadTuner:
+    """Successive-halving tuner with nearest-neighbour warm starts."""
+
+    def __init__(self, cores: int, rng_seed: int = 0):
+        if cores < 1:
+            raise ConfigError("cores must be >= 1")
+        self.cores = cores
+        self._rng = np.random.default_rng(rng_seed)
+        self._history: list[_HistoryEntry] = []
+
+    # -- warm starts ------------------------------------------------------
+
+    def record(self, descriptor: np.ndarray, config: ThreadConfig) -> None:
+        """Remember a tuned configuration for a workload descriptor."""
+        self._history.append(
+            _HistoryEntry(np.asarray(descriptor, dtype=np.float64), config)
+        )
+
+    def warm_start(self, descriptor: np.ndarray) -> ThreadConfig | None:
+        """Nearest recorded workload's configuration (None if no history)."""
+        if not self._history:
+            return None
+        descriptor = np.asarray(descriptor, dtype=np.float64)
+        distances = [
+            float(np.linalg.norm(entry.descriptor - descriptor))
+            for entry in self._history
+        ]
+        return self._history[int(np.argmin(distances))].config
+
+    # -- tuning ------------------------------------------------------------
+
+    def tune(
+        self,
+        evaluate: EvalFunction | None = None,
+        descriptor: np.ndarray | None = None,
+        initial_candidates: int = 16,
+        rounds: int = 3,
+    ) -> TuningResult:
+        """Successive halving over the thread-configuration grid.
+
+        ``evaluate(config, fidelity)`` defaults to the analytic
+        :func:`~repro.resources.threads.throughput_model` with noise that
+        shrinks as fidelity grows (mimicking longer measurements).
+        """
+        if evaluate is None:
+            evaluate = self._analytic_eval
+        grid = candidate_grid(self.cores)
+        self._rng.shuffle(grid)  # type: ignore[arg-type]
+        candidates = grid[:initial_candidates]
+        warm = self.warm_start(descriptor) if descriptor is not None else None
+        if warm is not None and warm not in candidates:
+            candidates[0] = warm
+        evaluations = 0
+        history: list[tuple[ThreadConfig, float]] = []
+        scores: dict[ThreadConfig, float] = {}
+        for round_idx in range(rounds):
+            fidelity = (round_idx + 1) / rounds
+            scores = {}
+            for config in candidates:
+                score = evaluate(config, fidelity)
+                scores[config] = score
+                history.append((config, score))
+                evaluations += 1
+            survivors = sorted(candidates, key=lambda c: -scores[c])
+            candidates = survivors[: max(1, len(survivors) // 2)]
+        best = candidates[0]
+        if descriptor is not None:
+            self.record(descriptor, best)
+        return TuningResult(
+            best=best,
+            throughput=scores[best],
+            evaluations=evaluations,
+            history=history,
+        )
+
+    def _analytic_eval(self, config: ThreadConfig, fidelity: float) -> float:
+        truth = throughput_model(config, self.cores)
+        noise_scale = 0.2 * (1.0 - fidelity) * truth
+        return truth + self._rng.normal(scale=noise_scale) if noise_scale else truth

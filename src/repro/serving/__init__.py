@@ -1,0 +1,27 @@
+"""Model-serving techniques adapted for the RDBMS (Sec. 5)."""
+
+from .result_cache import CacheServeReport, ExactResultCache, InferenceResultCache
+from .error_bound import ErrorBoundEstimate, monte_carlo_error_bound
+from .policy import AdaptiveCachePolicy, CacheDecision
+from .pipeline import (
+    PipelineExecutor,
+    PipelineStage,
+    partition_layers,
+    simulate_pipeline_makespan,
+    simulate_sequential_time,
+)
+
+__all__ = [
+    "InferenceResultCache",
+    "ExactResultCache",
+    "CacheServeReport",
+    "monte_carlo_error_bound",
+    "ErrorBoundEstimate",
+    "AdaptiveCachePolicy",
+    "CacheDecision",
+    "PipelineStage",
+    "partition_layers",
+    "PipelineExecutor",
+    "simulate_pipeline_makespan",
+    "simulate_sequential_time",
+]

@@ -1,0 +1,89 @@
+"""Probabilistic error bounds for approximate result caching (Sec. 5.1).
+
+The paper proposes deciding *whether* to cache by estimating, via Monte
+Carlo sampling, how often a cached (approximate) prediction disagrees
+with the exact model, and bounding that disagreement probability.  We
+report both a Hoeffding bound and the exact Clopper–Pearson binomial
+upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .result_cache import InferenceResultCache
+
+
+@dataclass
+class ErrorBoundEstimate:
+    """Outcome of a Monte-Carlo disagreement estimate."""
+
+    samples: int
+    disagreements: int
+    confidence: float
+
+    @property
+    def observed_disagreement(self) -> float:
+        return self.disagreements / self.samples if self.samples else 0.0
+
+    @property
+    def hoeffding_upper(self) -> float:
+        """P(disagree) <= observed + sqrt(ln(1/δ) / 2n), w.p. confidence."""
+        if not self.samples:
+            return 1.0
+        delta = 1.0 - self.confidence
+        slack = math.sqrt(math.log(1.0 / delta) / (2.0 * self.samples))
+        return min(1.0, self.observed_disagreement + slack)
+
+    @property
+    def clopper_pearson_upper(self) -> float:
+        """Exact binomial upper confidence bound."""
+        if not self.samples:
+            return 1.0
+        if self.disagreements >= self.samples:
+            return 1.0
+        try:
+            from scipy.stats import beta
+        except ImportError:  # pragma: no cover - scipy is installed in CI
+            return self.hoeffding_upper
+        alpha = 1.0 - self.confidence
+        return float(
+            beta.ppf(1.0 - alpha, self.disagreements + 1, self.samples - self.disagreements)
+        )
+
+
+def monte_carlo_error_bound(
+    cache: InferenceResultCache,
+    sample_features: np.ndarray,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+    max_samples: int | None = None,
+) -> ErrorBoundEstimate:
+    """Estimate how often cache lookups disagree with exact inference.
+
+    Probes the cache *read-only* (misses are not inserted, so the estimate
+    does not mutate the cache) and compares each answered query against
+    the exact model output.  Queries that miss the cache are exact by
+    construction and therefore never disagree.
+    """
+    features = np.asarray(sample_features, dtype=np.float64)
+    if max_samples is not None and features.shape[0] > max_samples:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        pick = rng.choice(features.shape[0], max_samples, replace=False)
+        features = features[pick]
+    original_insert = cache.insert_on_miss
+    cache.insert_on_miss = False
+    try:
+        approx, __ = cache.serve(features)
+    finally:
+        cache.insert_on_miss = original_insert
+    exact = cache.model.predict(features)
+    disagreements = int(np.sum(approx != exact))
+    return ErrorBoundEstimate(
+        samples=features.shape[0],
+        disagreements=disagreements,
+        confidence=confidence,
+    )

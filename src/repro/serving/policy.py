@@ -1,0 +1,85 @@
+"""SLA-driven adaptive caching policy (Sec. 5.1 / Sec. 7.2.2).
+
+Whether approximate result caching is acceptable depends on the
+application's SLA.  The policy searches candidate distance thresholds
+from loosest to tightest, estimating a Monte-Carlo disagreement bound for
+each, and enables the cache at the loosest threshold whose bound stays
+within the SLA's accuracy-drop allowance.  If none qualifies, caching is
+disabled and queries run exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SlaViolationError
+from .error_bound import ErrorBoundEstimate, monte_carlo_error_bound
+from .result_cache import InferenceResultCache
+
+
+@dataclass
+class CacheDecision:
+    """The policy's verdict for one (cache, workload) pair."""
+
+    enabled: bool
+    threshold: float
+    bound: ErrorBoundEstimate | None
+    candidates_tried: list[tuple[float, float]] = field(default_factory=list)
+    # (threshold, disagreement upper bound) per candidate, loosest first
+
+
+class AdaptiveCachePolicy:
+    """Chooses a caching threshold under an accuracy SLA."""
+
+    def __init__(
+        self,
+        max_accuracy_drop: float,
+        confidence: float = 0.95,
+        bound: str = "hoeffding",
+    ):
+        if not 0.0 <= max_accuracy_drop <= 1.0:
+            raise SlaViolationError("max_accuracy_drop must be within [0, 1]")
+        if bound not in ("hoeffding", "clopper-pearson"):
+            raise SlaViolationError(f"unknown bound type {bound!r}")
+        self.max_accuracy_drop = max_accuracy_drop
+        self.confidence = confidence
+        self.bound = bound
+
+    def _upper(self, estimate: ErrorBoundEstimate) -> float:
+        if self.bound == "hoeffding":
+            return estimate.hoeffding_upper
+        return estimate.clopper_pearson_upper
+
+    def decide(
+        self,
+        cache: InferenceResultCache,
+        validation_features: np.ndarray,
+        candidate_thresholds: list[float],
+    ) -> CacheDecision:
+        """Pick the loosest SLA-compliant threshold (loosest = most hits)."""
+        tried: list[tuple[float, float]] = []
+        original = cache.distance_threshold
+        try:
+            for threshold in sorted(candidate_thresholds, reverse=True):
+                cache.distance_threshold = threshold
+                estimate = monte_carlo_error_bound(
+                    cache, validation_features, confidence=self.confidence
+                )
+                upper = self._upper(estimate)
+                tried.append((threshold, upper))
+                if upper <= self.max_accuracy_drop:
+                    cache.distance_threshold = threshold
+                    return CacheDecision(
+                        enabled=True,
+                        threshold=threshold,
+                        bound=estimate,
+                        candidates_tried=tried,
+                    )
+        finally:
+            if not tried or tried[-1][1] > self.max_accuracy_drop:
+                cache.distance_threshold = original
+        return CacheDecision(
+            enabled=False, threshold=original, bound=None, candidates_tried=tried
+        )

@@ -1,0 +1,571 @@
+"""The public entry point: an embedded database that serves DL models.
+
+:class:`Database` wires together the storage engine, the SQL front end,
+the model catalog, the AoT compiler, and the hybrid executor::
+
+    from repro import Database
+    from repro.models import fraud_fc_256
+
+    db = Database()
+    db.execute("CREATE TABLE tx (id INT, f0 DOUBLE, ..., label INT)")
+    db.load_rows("tx", rows)
+    db.register_model(fraud_fc_256(), name="fraud")
+    cur = db.execute("SELECT id, PREDICT(fraud, f0, ...) AS p FROM tx")
+
+``PREDICT`` calls run through the rule-based adaptive optimizer: each
+lowered operator picks the UDF-centric or relation-centric representation
+by the paper's memory-threshold rule (DL-centric offload can be forced or
+chosen by SLA policies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .config import DEFAULT_CONFIG, SystemConfig
+from .core.compiler import AotCompiler, CompiledModel
+from .core.ir import InferencePlan, Representation
+from .core.optimizer import RuleBasedOptimizer
+from .dlruntime.layers import Model
+from .dlruntime.memory import MemoryBudget
+from .engines.base import EngineResult
+from .engines.hybrid import HybridExecutor
+from .errors import CatalogError, SqlError
+from .relational.schema import Schema
+from .sql import ast as sql_ast
+from .sql.parser import parse
+from .sql.planner import Planner
+from .storage.buffer_pool import (
+    BufferPool,
+    ClockPolicy,
+    EvictionPolicy,
+    LruPolicy,
+    TwoQueuePolicy,
+)
+from .storage.catalog import Catalog, ModelInfo
+from .storage.disk import FileDiskManager, InMemoryDiskManager
+
+
+@dataclass
+class _VectorIndexEntry:
+    """Session-side metadata for one ANN index over a table column."""
+
+    table: str
+    column: str
+    kind: str
+    index: object | None = None
+    rids: list = field(default_factory=list)
+
+
+def _make_policy(name: str) -> EvictionPolicy:
+    if name == "clock":
+        return ClockPolicy()
+    if name == "2q":
+        return TwoQueuePolicy()
+    return LruPolicy()
+
+
+@dataclass
+class Cursor:
+    """A fully-materialized query result."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows)
+
+    def fetchone(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> list[object]:
+        idx = self.columns.index(name.lower())
+        return [row[idx] for row in self.rows]
+
+
+class Database:
+    """An embedded RDBMS with in-database model serving."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        path: str | None = None,
+        **config_overrides: object,
+    ):
+        base = config if config is not None else DEFAULT_CONFIG
+        self._config = (
+            base.with_options(**config_overrides) if config_overrides else base
+        )
+        self._path = path
+        if path is not None:
+            self._disk = FileDiskManager(self._config.page_size, path=path)
+        else:
+            self._disk = InMemoryDiskManager(self._config.page_size)
+        self._pool = BufferPool(
+            self._disk,
+            self._config.buffer_pool_pages,
+            policy=_make_policy(self._config.eviction_policy),
+        )
+        self._catalog = Catalog(self._pool)
+        self._compiled: dict[str, CompiledModel] = {}
+        self._caches: dict[str, object] = {}
+        self._vector_indexes: dict[str, _VectorIndexEntry] = {}
+        self._rebuild_planning()
+        if path is not None:
+            self._restore_if_persisted(path)
+
+    def _restore_if_persisted(self, path: str) -> None:
+        from .storage import persist
+
+        snapshot = persist.load_sidecar(persist.sidecar_path(path))
+        if snapshot is None:
+            return
+        persist.restore_catalog(self._catalog, snapshot)
+        for info in self._catalog.models():
+            self._compiled[info.name] = self._compiler.compile(info.model)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        return self._pool
+
+    def set_option(self, name: str, value: object) -> None:
+        """Change a planning option (e.g. ``memory_threshold_bytes``).
+
+        Invalidates pre-compiled plans, since representation choices may
+        change.
+        """
+        self._config = self._config.with_options(**{name: value})
+        self._rebuild_planning()
+        for model_name in list(self._compiled):
+            self._compiled[model_name] = self._compiler.compile(
+                self._catalog.get_model(model_name).model
+            )
+
+    def _rebuild_planning(self) -> None:
+        self._optimizer = RuleBasedOptimizer(self._config)
+        self._compiler = AotCompiler(self._config)
+        self._executor = HybridExecutor(self._catalog, self._config)
+        self._planner = Planner(self._catalog, predict_fn=self._predict_labels)
+
+    # -- SQL ------------------------------------------------------------
+
+    def execute(self, sql: str) -> Cursor:
+        """Parse and execute one SQL statement."""
+        stmt = parse(sql)
+        if isinstance(stmt, sql_ast.CreateTable):
+            schema = Schema.of(*stmt.columns)
+            self._catalog.create_table(stmt.name, schema)
+            return Cursor((), [])
+        if isinstance(stmt, sql_ast.DropTable):
+            self._catalog.drop_table(stmt.name)
+            return Cursor((), [])
+        if isinstance(stmt, sql_ast.Insert):
+            info = self._catalog.get_table(stmt.table)
+            for row in stmt.rows:
+                info.heap.insert(info.schema.coerce_row(row))
+                info.row_count += 1
+            return Cursor((), [])
+        if isinstance(stmt, sql_ast.InsertSelect):
+            info = self._catalog.get_table(stmt.table)
+            op = self._planner.plan_select(stmt.query)
+            if len(op.schema) != len(info.schema):
+                raise SqlError(
+                    f"INSERT INTO {stmt.table}: query yields "
+                    f"{len(op.schema)} columns, table has {len(info.schema)}"
+                )
+            count = 0
+            for row in op:
+                info.heap.insert(info.schema.coerce_row(row))
+                count += 1
+            info.row_count += count
+            return Cursor((), [])
+        if isinstance(stmt, sql_ast.CreateTableAs):
+            op = self._planner.plan_select(stmt.query)
+            info = self._catalog.create_table(stmt.name, op.schema)
+            count = 0
+            for row in op:
+                info.heap.insert(info.schema.coerce_row(row))
+                count += 1
+            info.row_count = count
+            return Cursor((), [])
+        if isinstance(stmt, sql_ast.Update):
+            info = self._catalog.get_table(stmt.table)
+            schema = info.schema
+            predicate = (
+                stmt.where.bind(schema) if stmt.where is not None else None
+            )
+            bound = [
+                (schema.index_of(col), expr.bind(schema))
+                for col, expr in stmt.assignments
+            ]
+            changed = []
+            for rid, row in info.heap.scan():
+                if predicate is not None and not predicate.eval(row):
+                    continue
+                new_row = list(row)
+                for idx, expr in bound:
+                    new_row[idx] = expr.eval(row)
+                changed.append((rid, schema.coerce_row(new_row)))
+            # Updates are delete + re-insert (slotted pages do not resize
+            # records in place); row identity is not stable across UPDATE.
+            for rid, new_row in changed:
+                info.heap.delete(rid)
+                info.heap.insert(new_row)
+            return Cursor(("updated",), [(len(changed),)])
+        if isinstance(stmt, sql_ast.Delete):
+            info = self._catalog.get_table(stmt.table)
+            predicate = (
+                stmt.where.bind(info.schema) if stmt.where is not None else None
+            )
+            victims = [
+                rid
+                for rid, row in info.heap.scan()
+                if predicate is None or predicate.eval(row)
+            ]
+            for rid in victims:
+                info.heap.delete(rid)
+            info.row_count -= len(victims)
+            return Cursor(("deleted",), [(len(victims),)])
+        if isinstance(stmt, sql_ast.Show):
+            if stmt.what == "tables":
+                rows = [
+                    (t.name, len(t.schema), t.row_count)
+                    for t in self._catalog.tables()
+                ]
+                return Cursor(("name", "columns", "rows"), sorted(rows))
+            rows = [
+                (m.name, m.model.name, m.model.param_count)
+                for m in self._catalog.models()
+            ]
+            return Cursor(("name", "model", "params"), sorted(rows))
+        if isinstance(stmt, sql_ast.UnionAll):
+            from .relational.operators import Concat
+
+            ops = [self._planner.plan_select(q) for q in stmt.queries]
+            op = Concat(ops)
+            return Cursor(op.schema.names, list(op))
+        if isinstance(stmt, sql_ast.Explain):
+            return Cursor(("plan",), [(line,) for line in self._explain(stmt.query)])
+        if isinstance(stmt, sql_ast.Select):
+            op = self._planner.plan_select(stmt)
+            return Cursor(op.schema.names, list(op))
+        raise SqlError(f"unsupported statement type {type(stmt).__name__}")
+
+    def explain_analyze(self, sql: str) -> tuple[Cursor, str]:
+        """Execute a SELECT with per-operator instrumentation.
+
+        Returns ``(cursor, report)`` where the report annotates every
+        plan node with the rows it produced and its inclusive time.
+        """
+        from .relational.operators.instrument import instrument
+
+        stmt = parse(sql)
+        if not isinstance(stmt, sql_ast.Select):
+            raise SqlError("EXPLAIN ANALYZE supports SELECT statements only")
+        op = self._planner.plan_select(stmt)
+        report = instrument(op)
+        cursor = Cursor(op.schema.names, list(op))
+        return cursor, report.render(op)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan, including per-operator representations."""
+        stmt = parse(sql)
+        if isinstance(stmt, sql_ast.Show):
+            if stmt.what == "tables":
+                rows = [
+                    (t.name, len(t.schema), t.row_count)
+                    for t in self._catalog.tables()
+                ]
+                return Cursor(("name", "columns", "rows"), sorted(rows))
+            rows = [
+                (m.name, m.model.name, m.model.param_count)
+                for m in self._catalog.models()
+            ]
+            return Cursor(("name", "model", "params"), sorted(rows))
+        if isinstance(stmt, sql_ast.UnionAll):
+            from .relational.operators import Concat
+
+            ops = [self._planner.plan_select(q) for q in stmt.queries]
+            op = Concat(ops)
+            return Cursor(op.schema.names, list(op))
+        if isinstance(stmt, sql_ast.Explain):
+            stmt = stmt.query
+        if not isinstance(stmt, sql_ast.Select):
+            raise SqlError("EXPLAIN supports SELECT statements only")
+        return "\n".join(self._explain(stmt))
+
+    def _explain(self, stmt: sql_ast.Select) -> list[str]:
+        op = self._planner.plan_select(stmt)
+        lines = op.explain().split("\n")
+        for item in stmt.items:
+            if isinstance(item.expr, sql_ast.PredictCall):
+                compiled = self._compiled.get(item.expr.model.lower())
+                if compiled is not None:
+                    plan = compiled.select(self._config.default_batch_size)
+                    lines.append("")
+                    lines.extend(plan.explain().split("\n"))
+        return lines
+
+    # -- bulk loading ----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        self._catalog.create_table(name, schema)
+
+    def load_rows(self, table: str, rows: Sequence[tuple]) -> int:
+        """Bulk-insert pre-validated rows (faster than INSERT statements)."""
+        info = self._catalog.get_table(table)
+        count = 0
+        for row in rows:
+            info.heap.insert(row)
+            count += 1
+        info.row_count += count
+        return count
+
+    # -- models -----------------------------------------------------------
+
+    def register_model(self, model: Model, name: str | None = None) -> str:
+        """Register a model and AoT-compile its plans (Sec. 2)."""
+        model_name = (name or model.name).lower()
+        self._catalog.register_model(model_name, model)
+        self._compiled[model_name] = self._compiler.compile(model)
+        return model_name
+
+    def model_info(self, name: str) -> ModelInfo:
+        return self._catalog.get_model(name)
+
+    def inference_plan(
+        self, name: str, batch_size: int, force: Representation | str | None = None
+    ) -> InferencePlan:
+        """The plan PREDICT would use for this model and batch size."""
+        model = self._catalog.get_model(name).model
+        if force is not None:
+            return self._optimizer.plan_model(model, batch_size, force=force)
+        compiled = self._compiled.get(name.lower())
+        if compiled is None:
+            raise CatalogError(f"model {name!r} was not registered through this session")
+        return compiled.select(batch_size)
+
+    def predict(
+        self,
+        name: str,
+        features: np.ndarray,
+        force: Representation | str | None = None,
+        dl_budget: MemoryBudget | None = None,
+    ) -> EngineResult:
+        """Run inference through the adaptive (or forced) plan."""
+        info = self._catalog.get_model(name)
+        plan = self.inference_plan(name, features.shape[0], force=force)
+        executor = self._executor
+        if dl_budget is not None:
+            executor = HybridExecutor(
+                self._catalog, self._config, dl_budget=dl_budget
+            )
+        return executor.execute(plan, features, info)
+
+    # -- vector indexes (Sec. 5.1 / the Sec. 6.3 retrieval engine) --------
+
+    def create_vector_index(
+        self,
+        index_name: str,
+        table: str,
+        column: str,
+        kind: str = "hnsw",
+    ) -> int:
+        """Build an ANN index over a BLOB vector column.
+
+        Every row's BLOB is interpreted as a float64 vector; all vectors
+        must share one dimension.  Returns the number of vectors indexed.
+        The index is a snapshot — call :meth:`refresh_vector_index` after
+        bulk loads.  This is the paper's Sec. 6.3 scenario: the RDBMS as
+        a high-performance retrieval engine (e.g. for augmenting LLM
+        inference), with HNSW/LSH/IVF indexing borrowed from vector
+        databases.
+        """
+        key = index_name.lower()
+        if key in self._vector_indexes:
+            raise CatalogError(f"vector index {index_name!r} already exists")
+        info = self._catalog.get_table(table)
+        col_idx = info.schema.index_of(column)
+        if info.schema[col_idx].ctype.value != "BLOB":
+            raise SqlError(f"vector index requires a BLOB column, got {column!r}")
+        entry = _VectorIndexEntry(table=info.name, column=column, kind=kind)
+        self._vector_indexes[key] = entry
+        return self._build_vector_index(entry)
+
+    def refresh_vector_index(self, index_name: str) -> int:
+        """Rebuild an index from the current table contents."""
+        entry = self._vector_index_entry(index_name)
+        return self._build_vector_index(entry)
+
+    def vector_search(self, index_name: str, query: np.ndarray, k: int = 1) -> Cursor:
+        """k-NN over an indexed column; returns the matching rows plus a
+        trailing ``__distance`` column, nearest first."""
+        entry = self._vector_index_entry(index_name)
+        if entry.index is None:
+            raise CatalogError(f"vector index {index_name!r} was never built")
+        result = entry.index.search(np.asarray(query, dtype=np.float64), k=k)
+        info = self._catalog.get_table(entry.table)
+        rows = []
+        for vid, dist in zip(result.ids, result.distances):
+            if vid < 0:
+                continue
+            rows.append(info.heap.fetch(entry.rids[int(vid)]) + (float(dist),))
+        return Cursor(tuple(info.schema.names) + ("__distance",), rows)
+
+    def _vector_index_entry(self, index_name: str) -> "_VectorIndexEntry":
+        entry = self._vector_indexes.get(index_name.lower())
+        if entry is None:
+            raise CatalogError(f"no vector index named {index_name!r}")
+        return entry
+
+    def _build_vector_index(self, entry: "_VectorIndexEntry") -> int:
+        from .indexes import FlatIndex, HnswIndex, IvfIndex, LshIndex
+
+        info = self._catalog.get_table(entry.table)
+        col_idx = info.schema.index_of(entry.column)
+        vectors = []
+        rids = []
+        for rid, row in info.heap.scan():
+            payload = row[col_idx]
+            if payload is None:
+                continue
+            vectors.append(np.frombuffer(payload, dtype=np.float64))
+            rids.append(rid)
+        if not vectors:
+            raise SqlError(
+                f"table {entry.table!r} has no vectors in column {entry.column!r}"
+            )
+        dims = {v.shape[0] for v in vectors}
+        if len(dims) != 1:
+            raise SqlError(
+                f"column {entry.column!r} holds vectors of mixed dimensions {sorted(dims)}"
+            )
+        dim = dims.pop()
+        makers = {
+            "hnsw": lambda: HnswIndex(dim, seed=self._config.seed),
+            "lsh": lambda: LshIndex(dim, seed=self._config.seed),
+            "ivf": lambda: IvfIndex(dim, seed=self._config.seed),
+            "flat": lambda: FlatIndex(dim),
+        }
+        if entry.kind not in makers:
+            raise SqlError(
+                f"unknown vector index kind {entry.kind!r}; expected one of "
+                f"{sorted(makers)}"
+            )
+        index = makers[entry.kind]()
+        index.add(np.vstack(vectors))
+        entry.index = index
+        entry.rids = rids
+        return len(rids)
+
+    # -- result caching (Sec. 5.1) ---------------------------------------
+
+    def enable_result_cache(
+        self,
+        name: str,
+        distance_threshold: float,
+        index: str = "hnsw",
+        exact: bool = False,
+    ) -> None:
+        """Serve this model's PREDICT calls through a result cache.
+
+        ``exact=True`` uses hash-keyed exact caching (no accuracy loss,
+        only byte-identical repeats hit); otherwise an ANN index
+        (``"hnsw"``, ``"lsh"``, ``"ivf"``, or ``"flat"``) answers queries
+        within ``distance_threshold``.  Cache entries are persisted into a
+        catalog table, making the cache an ordinary managed relation.
+        """
+        from .indexes import FlatIndex, HnswIndex, IvfIndex, LshIndex
+        from .serving.result_cache import ExactResultCache, InferenceResultCache
+
+        info = self._catalog.get_model(name)
+        model = info.model
+        if exact:
+            self._caches[info.name] = ExactResultCache(model)
+            return
+        dim = int(np.prod(model.input_shape))
+        index_types = {
+            "hnsw": lambda: HnswIndex(dim, m=8, ef_search=16, seed=self._config.seed),
+            "lsh": lambda: LshIndex(dim, seed=self._config.seed),
+            "ivf": lambda: IvfIndex(dim, seed=self._config.seed),
+            "flat": lambda: FlatIndex(dim),
+        }
+        if index not in index_types:
+            raise SqlError(
+                f"unknown cache index {index!r}; expected one of "
+                f"{sorted(index_types)}"
+            )
+        self._caches[info.name] = InferenceResultCache(
+            model,
+            index_types[index](),
+            distance_threshold=distance_threshold,
+            catalog=self._catalog,
+            table_name=f"__cache_{info.name}",
+        )
+
+    def disable_result_cache(self, name: str) -> None:
+        self._caches.pop(name.lower(), None)
+
+    def result_cache(self, name: str):
+        """The model's active cache object (None if caching is disabled)."""
+        return self._caches.get(name.lower())
+
+    def _predict_labels(
+        self, name: str, features: np.ndarray, proba_class: int | None = None
+    ) -> np.ndarray:
+        if proba_class is not None:
+            # Probability outputs bypass the result cache (it stores labels).
+            result = self.predict(name, features)
+            scores = result.outputs
+            if not 0 <= proba_class < scores.shape[-1]:
+                raise SqlError(
+                    f"PREDICT_PROBA class {proba_class} out of range for "
+                    f"model {name!r} with {scores.shape[-1]} outputs"
+                )
+            return scores[:, proba_class]
+        cache = self._caches.get(name.lower())
+        if cache is not None:
+            predictions, __ = cache.serve(features)
+            return predictions
+        result = self.predict(name, features)
+        return np.argmax(result.outputs, axis=-1)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._path is not None:
+            from .storage import persist
+
+            block_shape = (
+                self._config.tensor_block_rows,
+                self._config.tensor_block_cols,
+            )
+            snapshot = persist.serialize_catalog(self._catalog, block_shape)
+            persist.save_sidecar(persist.sidecar_path(self._path), snapshot)
+        self._pool.flush_all()
+        self._disk.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,52 @@
+"""A small SQL dialect with a ``PREDICT`` table function.
+
+Enough SQL to express the paper's inference queries::
+
+    SELECT id, PREDICT(fraud_model, f0, f1, ..., f27) AS score
+    FROM transactions
+    WHERE f0 > 0.5
+
+plus CREATE TABLE, INSERT ... VALUES, joins, aggregates, ORDER BY and
+LIMIT.  ``PREDICT`` routes through the adaptive optimizer, so the same
+query text can execute DL-centric, UDF-centric, relation-centric, or a
+mix, depending on operator sizes.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .ast import (
+    AggregateCall,
+    CreateTable,
+    DropTable,
+    Explain,
+    Insert,
+    Join,
+    PredictCall,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableRef,
+)
+from .parser import parse
+from .planner import Planner, PredictFunction
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "Statement",
+    "CreateTable",
+    "DropTable",
+    "Explain",
+    "Insert",
+    "Select",
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "Star",
+    "AggregateCall",
+    "PredictCall",
+    "Planner",
+    "PredictFunction",
+]

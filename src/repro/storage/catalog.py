@@ -1,0 +1,137 @@
+"""The system catalog: tables, registered models, and vector indexes.
+
+The paper argues that managing models *inside* the RDBMS catalog (Sec. 4)
+binds each model to its storage representation and training metadata, which
+enables the optimizer to pick representations per operator.  Our catalog
+therefore tracks, for every registered model, both the in-process object and
+the tensor-block tables created for its relation-centric representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import CatalogError
+from ..relational.schema import Schema
+from .buffer_pool import BufferPool
+from .heap import HeapFile
+from .page import PageId
+from .serde import RowSerde
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..dlruntime.layers import Model
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry for one relational table."""
+
+    name: str
+    schema: Schema
+    heap: HeapFile
+    row_count: int = 0
+
+    @property
+    def first_page_id(self) -> PageId:
+        return self.heap.first_page_id
+
+
+@dataclass
+class ModelInfo:
+    """Catalog entry for one registered model.
+
+    ``block_tables`` maps parameter names (e.g. ``"fc1.weight"``) to the
+    relational tables holding their tensor blocks, populated lazily the
+    first time the relation-centric engine needs them.
+    """
+
+    name: str
+    model: "Model"
+    block_tables: dict[str, str] = field(default_factory=dict)
+    versions: dict[str, "Model"] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class Catalog:
+    """Name → object resolution for tables and models."""
+
+    def __init__(self, pool: BufferPool):
+        self._pool = pool
+        self._tables: dict[str, TableInfo] = {}
+        self._models: dict[str, ModelInfo] = {}
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    # -- tables --------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> TableInfo:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        heap = HeapFile(self._pool, RowSerde(schema))
+        info = TableInfo(name=key, schema=schema, heap=heap)
+        self._tables[key] = info
+        return info
+
+    def attach_table(self, info: TableInfo) -> None:
+        """Re-register a table restored from a persisted catalog."""
+        if info.name in self._tables:
+            raise CatalogError(f"table {info.name!r} already exists")
+        self._tables[info.name] = info
+
+    def attach_model(self, info: ModelInfo) -> None:
+        """Re-register a model restored from a persisted catalog."""
+        if info.name in self._models:
+            raise CatalogError(f"model {info.name!r} already registered")
+        self._models[info.name] = info
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+
+    def get_table(self, name: str) -> TableInfo:
+        key = name.lower()
+        info = self._tables.get(key)
+        if info is None:
+            raise CatalogError(f"no table named {name!r}")
+        return info
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[TableInfo]:
+        return iter(self._tables.values())
+
+    # -- models ----------------------------------------------------------
+
+    def register_model(self, name: str, model: "Model", **metadata: object) -> ModelInfo:
+        key = name.lower()
+        if key in self._models:
+            raise CatalogError(f"model {name!r} already registered")
+        info = ModelInfo(name=key, model=model, metadata=dict(metadata))
+        self._models[key] = info
+        return info
+
+    def unregister_model(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._models:
+            raise CatalogError(f"no model named {name!r}")
+        del self._models[key]
+
+    def get_model(self, name: str) -> ModelInfo:
+        key = name.lower()
+        info = self._models.get(key)
+        if info is None:
+            raise CatalogError(f"no model named {name!r}")
+        return info
+
+    def has_model(self, name: str) -> bool:
+        return name.lower() in self._models
+
+    def models(self) -> Iterator[ModelInfo]:
+        return iter(self._models.values())

@@ -1,0 +1,152 @@
+"""Disk managers: where evicted pages go.
+
+Two implementations share one interface:
+
+* :class:`FileDiskManager` writes pages to a real file (the default for a
+  :class:`repro.session.Database` with a path) so spilling is genuine I/O.
+* :class:`InMemoryDiskManager` keeps pages in a dict, for fast unit tests.
+
+Both count reads and writes; the relation-centric benchmarks report these
+to show how much of a large operator was served from disk versus the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from .page import PageId
+
+
+@dataclass
+class DiskStats:
+    """I/O counters maintained by every disk manager."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    allocated_pages: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+class DiskManager:
+    """Abstract page-granular persistent store."""
+
+    def __init__(self, page_size: int):
+        self.page_size = page_size
+        self.stats = DiskStats()
+        self._next_page_id: PageId = 0
+
+    def allocate_page(self) -> PageId:
+        """Reserve a new page id (contents undefined until first write)."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self.stats.allocated_pages += 1
+        return page_id
+
+    @property
+    def num_pages(self) -> int:
+        return self._next_page_id
+
+    def read_page(self, page_id: PageId) -> bytes:
+        raise NotImplementedError
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    def _check(self, page_id: PageId, data: bytes | None = None) -> None:
+        if page_id < 0 or page_id >= self._next_page_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        if data is not None and len(data) != self.page_size:
+            raise StorageError(
+                f"page write must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+
+
+class InMemoryDiskManager(DiskManager):
+    """Dict-backed disk manager for tests and ephemeral databases."""
+
+    def __init__(self, page_size: int):
+        super().__init__(page_size)
+        self._pages: dict[PageId, bytes] = {}
+
+    def read_page(self, page_id: PageId) -> bytes:
+        self._check(page_id)
+        data = self._pages.get(page_id)
+        if data is None:
+            data = bytes(self.page_size)
+        self.stats.reads += 1
+        self.stats.bytes_read += self.page_size
+        return data
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        self._check(page_id, data)
+        self._pages[page_id] = bytes(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += self.page_size
+
+
+class FileDiskManager(DiskManager):
+    """Single-file disk manager, one page per fixed-size slot.
+
+    If no path is given, a temporary file is created and deleted on close.
+    """
+
+    def __init__(self, page_size: int, path: str | None = None):
+        super().__init__(page_size)
+        if path is None:
+            fd, self._path = tempfile.mkstemp(prefix="repro-db-", suffix=".pages")
+            self._owns_file = True
+            self._file = os.fdopen(fd, "r+b")
+        else:
+            self._path = path
+            self._owns_file = False
+            mode = "r+b" if os.path.exists(path) else "w+b"
+            self._file = open(path, mode)
+            existing = os.path.getsize(path)
+            self._next_page_id = existing // page_size
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def read_page(self, page_id: PageId) -> bytes:
+        self._check(page_id)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            # Allocated but never written: zero-filled, like a sparse file.
+            data = data.ljust(self.page_size, b"\x00")
+        self.stats.reads += 1
+        self.stats.bytes_read += self.page_size
+        return data
+
+    def write_page(self, page_id: PageId, data: bytes) -> None:
+        self._check(page_id, data)
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += self.page_size
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.flush()
+        self._file.close()
+        if self._owns_file:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass

@@ -1,0 +1,248 @@
+"""Catalog persistence: tables *and models* survive close/reopen.
+
+Heap pages already live in the disk file; what is lost on close is the
+catalog — which table owns which first page, and the registered models.
+This module serializes that metadata to a JSON sidecar next to the page
+file:
+
+* tables — name, column list, first page id, row count;
+* models — the architecture (layer specs) plus references to the weight
+  block tables, which are ordinary heap tables in the same page file.
+
+Model weights therefore persist *as relations*, exactly the paper's
+storage story (Sec. 4): reopening a database rebuilds each model by
+scanning its block tables back into layer parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..dlruntime.layers import (
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+    Sigmoid,
+    Softmax,
+)
+from ..errors import StorageError
+from ..relational.schema import Column, ColumnType, Schema
+from ..tensor.blocked import BlockedMatrix
+from .catalog import Catalog, ModelInfo
+from .heap import HeapFile
+from .serde import RowSerde
+
+FORMAT_VERSION = 1
+
+_SIMPLE_LAYERS: dict[str, type[Layer]] = {
+    "ReLU": ReLU,
+    "Sigmoid": Sigmoid,
+    "Softmax": Softmax,
+    "Flatten": Flatten,
+}
+
+
+def sidecar_path(page_file_path: str) -> str:
+    return page_file_path + ".catalog"
+
+
+# -- layer (de)serialization ---------------------------------------------
+
+
+def _layer_spec(layer: Layer) -> dict:
+    if isinstance(layer, Linear):
+        return {
+            "type": "Linear",
+            "name": layer.name,
+            "in_features": layer.in_features,
+            "out_features": layer.out_features,
+            "bias": layer.bias.data.tolist(),
+        }
+    if isinstance(layer, Conv2d):
+        return {
+            "type": "Conv2d",
+            "name": layer.name,
+            "in_channels": layer.in_channels,
+            "out_channels": layer.out_channels,
+            "kernel_size": list(layer.kernel_size),
+            "stride": layer.stride,
+            "padding": layer.padding,
+            "bias": layer.bias.data.tolist(),
+        }
+    if isinstance(layer, MaxPool2d):
+        return {"type": "MaxPool2d", "name": layer.name, "pool": layer.pool}
+    for type_name, layer_type in _SIMPLE_LAYERS.items():
+        if isinstance(layer, layer_type):
+            return {"type": type_name, "name": layer.name}
+    raise StorageError(f"cannot persist layer type {type(layer).__name__}")
+
+
+def _rebuild_layer(
+    spec: dict,
+    catalog: Catalog,
+    block_tables: dict[str, str],
+    block_shape: tuple[int, int],
+) -> Layer:
+    layer_type = spec["type"]
+    if layer_type in _SIMPLE_LAYERS:
+        layer = _SIMPLE_LAYERS[layer_type]()
+        layer.name = spec["name"]
+        return layer
+    if layer_type == "MaxPool2d":
+        return MaxPool2d(spec["pool"], name=spec["name"])
+    if layer_type == "Linear":
+        weight = _load_blocks(
+            catalog,
+            block_tables[spec["name"]],
+            (spec["in_features"], spec["out_features"]),
+            block_shape,
+        )
+        return Linear(
+            spec["in_features"],
+            spec["out_features"],
+            weight=weight,
+            bias=np.array(spec["bias"]),
+            name=spec["name"],
+        )
+    if layer_type == "Conv2d":
+        kh, kw = spec["kernel_size"]
+        out_ch = spec["out_channels"]
+        in_ch = spec["in_channels"]
+        kernel_matrix = _load_blocks(
+            catalog,
+            block_tables[spec["name"]],
+            (kh * kw * in_ch, out_ch),
+            block_shape,
+        )
+        kernels = kernel_matrix.T.reshape(out_ch, kh, kw, in_ch)
+        return Conv2d(
+            in_ch,
+            out_ch,
+            (kh, kw),
+            stride=spec["stride"],
+            padding=spec["padding"],
+            kernels=kernels,
+            bias=np.array(spec["bias"]),
+            name=spec["name"],
+        )
+    raise StorageError(f"unknown persisted layer type {layer_type!r}")
+
+
+def _load_blocks(
+    catalog: Catalog, table: str, shape: tuple[int, int], block_shape: tuple[int, int]
+) -> np.ndarray:
+    return BlockedMatrix.load(catalog.get_table(table), shape, block_shape).to_dense()
+
+
+# -- catalog (de)serialization ------------------------------------------
+
+
+def serialize_catalog(catalog: Catalog, block_shape: tuple[int, int]) -> dict:
+    """Snapshot the catalog; ensures every model's weights are in block
+    tables first (so only metadata needs the sidecar)."""
+    from ..models.store import store_model_blocks
+
+    for info in catalog.models():
+        store_model_blocks(catalog, info, block_shape)
+    tables = [
+        {
+            "name": info.name,
+            "columns": [[c.name, c.ctype.value] for c in info.schema],
+            "first_page_id": info.first_page_id,
+            "row_count": info.row_count,
+        }
+        for info in catalog.tables()
+    ]
+    models = [
+        {
+            "name": info.name,
+            "input_shape": list(info.model.input_shape),
+            "model_name": info.model.name,
+            "layers": [_layer_spec(layer) for layer in info.model.layers],
+            "block_tables": dict(info.block_tables),
+            "metadata": {
+                k: v for k, v in info.metadata.items() if _json_safe(v)
+            },
+        }
+        for info in catalog.models()
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "block_shape": list(block_shape),
+        "tables": tables,
+        "models": models,
+    }
+
+
+def restore_catalog(catalog: Catalog, snapshot: dict) -> None:
+    """Rebuild tables and models into an empty catalog."""
+    if snapshot.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported catalog format version {snapshot.get('version')!r}"
+        )
+    from .catalog import TableInfo
+
+    block_shape = tuple(snapshot["block_shape"])
+    for table in snapshot["tables"]:
+        schema = Schema(
+            Column(name, ColumnType(ctype)) for name, ctype in table["columns"]
+        )
+        heap = HeapFile(
+            catalog.pool, RowSerde(schema), first_page_id=table["first_page_id"]
+        )
+        catalog.attach_table(
+            TableInfo(
+                name=table["name"],
+                schema=schema,
+                heap=heap,
+                row_count=table["row_count"],
+            )
+        )
+    for model_snapshot in snapshot["models"]:
+        block_tables = model_snapshot["block_tables"]
+        layers = [
+            _rebuild_layer(spec, catalog, block_tables, block_shape)  # type: ignore[arg-type]
+            for spec in model_snapshot["layers"]
+        ]
+        model = Model(
+            model_snapshot["model_name"],
+            layers,
+            input_shape=tuple(model_snapshot["input_shape"]),
+        )
+        catalog.attach_model(
+            ModelInfo(
+                name=model_snapshot["name"],
+                model=model,
+                block_tables=dict(block_tables),
+                metadata=dict(model_snapshot["metadata"]),
+            )
+        )
+
+
+def _json_safe(value: object) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False
+
+
+def save_sidecar(path: str, snapshot: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f)
+    os.replace(tmp, path)
+
+
+def load_sidecar(path: str) -> dict | None:
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)

@@ -1,0 +1,104 @@
+"""Schema-driven row (de)serialization.
+
+Encoding per row:
+
+* a null bitmap of ``ceil(ncols / 8)`` bytes, then
+* for each non-null column, a fixed- or length-prefixed value:
+  INT → 8-byte little-endian signed, DOUBLE → 8-byte IEEE, BOOL → 1 byte,
+  TEXT → u32 length + UTF-8 bytes, BLOB → u32 length + raw bytes.
+
+BLOBs carry tensor blocks in the relation-centric representation, so rows
+can be far larger than a page; the heap file handles that with overflow
+chains — the serde itself is size-agnostic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from ..errors import StorageError
+from ..relational.schema import ColumnType, Schema
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+
+class RowSerde:
+    """Serialize/deserialize rows for one schema."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._bitmap_len = (len(schema) + 7) // 8
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def serialize(self, row: Sequence[object]) -> bytes:
+        if len(row) != len(self._schema):
+            raise StorageError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self._schema)}"
+            )
+        bitmap = bytearray(self._bitmap_len)
+        body = bytearray()
+        for i, (value, col) in enumerate(zip(row, self._schema)):
+            if value is None:
+                bitmap[i // 8] |= 1 << (i % 8)
+                continue
+            ctype = col.ctype
+            if ctype is ColumnType.INT:
+                body += _I64.pack(int(value))
+            elif ctype is ColumnType.DOUBLE:
+                body += _F64.pack(float(value))
+            elif ctype is ColumnType.BOOL:
+                body.append(1 if value else 0)
+            elif ctype is ColumnType.TEXT:
+                encoded = str(value).encode("utf-8")
+                body += _U32.pack(len(encoded))
+                body += encoded
+            elif ctype is ColumnType.BLOB:
+                payload = bytes(value)
+                body += _U32.pack(len(payload))
+                body += payload
+            else:  # pragma: no cover - exhaustive over ColumnType
+                raise StorageError(f"unsupported column type {ctype}")
+        return bytes(bitmap) + bytes(body)
+
+    def deserialize(self, data: bytes) -> tuple[object, ...]:
+        bitmap = data[: self._bitmap_len]
+        offset = self._bitmap_len
+        values: list[object] = []
+        for i, col in enumerate(self._schema):
+            if bitmap[i // 8] & (1 << (i % 8)):
+                values.append(None)
+                continue
+            ctype = col.ctype
+            if ctype is ColumnType.INT:
+                values.append(_I64.unpack_from(data, offset)[0])
+                offset += 8
+            elif ctype is ColumnType.DOUBLE:
+                values.append(_F64.unpack_from(data, offset)[0])
+                offset += 8
+            elif ctype is ColumnType.BOOL:
+                values.append(data[offset] != 0)
+                offset += 1
+            elif ctype is ColumnType.TEXT:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                values.append(data[offset : offset + length].decode("utf-8"))
+                offset += length
+            elif ctype is ColumnType.BLOB:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                values.append(bytes(data[offset : offset + length]))
+                offset += length
+            else:  # pragma: no cover
+                raise StorageError(f"unsupported column type {ctype}")
+        if offset != len(data):
+            raise StorageError(
+                f"trailing bytes after row: consumed {offset} of {len(data)}"
+            )
+        return tuple(values)

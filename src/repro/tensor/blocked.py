@@ -1,0 +1,222 @@
+"""Blocked matrices: chunked views of dense matrices.
+
+``BlockedMatrix`` holds blocks in a dict keyed by (block-row, block-col).
+The relation-centric engine never materializes the dense matrix: it streams
+blocks into heap tables and back out.  Dense round trips exist for tests
+and for small results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..storage.catalog import Catalog, TableInfo
+from .block import TensorBlock, block_table_schema, block_to_row, row_to_block
+
+
+class BlockedMatrix:
+    """A (possibly ragged-edged) blocked 2-D matrix."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        block_shape: tuple[int, int],
+        blocks: dict[tuple[int, int], np.ndarray] | None = None,
+    ):
+        if shape[0] <= 0 or shape[1] <= 0:
+            raise ShapeError(f"matrix shape must be positive, got {shape}")
+        if block_shape[0] <= 0 or block_shape[1] <= 0:
+            raise ShapeError(f"block shape must be positive, got {block_shape}")
+        self.shape = shape
+        self.block_shape = block_shape
+        self._blocks: dict[tuple[int, int], np.ndarray] = blocks if blocks is not None else {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, array: np.ndarray, block_shape: tuple[int, int]
+    ) -> "BlockedMatrix":
+        if array.ndim != 2:
+            raise ShapeError(f"expected a 2-D array, got shape {array.shape}")
+        array = np.asarray(array, dtype=np.float64)
+        out = cls(array.shape, block_shape)  # type: ignore[arg-type]
+        br, bc = block_shape
+        for i in range(out.num_block_rows):
+            for j in range(out.num_block_cols):
+                block = array[i * br : (i + 1) * br, j * bc : (j + 1) * bc]
+                out._blocks[(i, j)] = np.ascontiguousarray(block)
+        return out
+
+    @classmethod
+    def zeros(
+        cls, shape: tuple[int, int], block_shape: tuple[int, int]
+    ) -> "BlockedMatrix":
+        return cls.from_dense(np.zeros(shape), block_shape)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def num_block_rows(self) -> int:
+        return -(-self.shape[0] // self.block_shape[0])
+
+    @property
+    def num_block_cols(self) -> int:
+        return -(-self.shape[1] // self.block_shape[1])
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values())
+
+    def block_dims(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of block (i, j), accounting for ragged edges."""
+        br, bc = self.block_shape
+        rows = min(br, self.shape[0] - i * br)
+        cols = min(bc, self.shape[1] - j * bc)
+        if rows <= 0 or cols <= 0:
+            raise ShapeError(f"block ({i}, {j}) out of range for {self.shape}")
+        return rows, cols
+
+    # -- block access --------------------------------------------------------
+
+    def get_block(self, i: int, j: int) -> np.ndarray:
+        """Block (i, j); missing blocks read as zeros (sparse-friendly)."""
+        block = self._blocks.get((i, j))
+        if block is None:
+            return np.zeros(self.block_dims(i, j))
+        return block
+
+    def set_block(self, i: int, j: int, data: np.ndarray) -> None:
+        expected = self.block_dims(i, j)
+        if data.shape != expected:
+            raise ShapeError(
+                f"block ({i}, {j}) must have shape {expected}, got {data.shape}"
+            )
+        self._blocks[(i, j)] = np.ascontiguousarray(data, dtype=np.float64)
+
+    def iter_blocks(self) -> Iterator[TensorBlock]:
+        for (i, j), data in sorted(self._blocks.items()):
+            yield TensorBlock(i, j, data)
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        br, bc = self.block_shape
+        for (i, j), block in self._blocks.items():
+            out[
+                i * br : i * br + block.shape[0], j * bc : j * bc + block.shape[1]
+            ] = block
+        return out
+
+    # -- blockwise math (reference implementations) --------------------------
+
+    def matmul(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        """Direct blocked matmul (reference for the relational rewrite)."""
+        if self.shape[1] != other.shape[0]:
+            raise ShapeError(
+                f"cannot multiply {self.shape} by {other.shape}"
+            )
+        if self.block_shape[1] != other.block_shape[0]:
+            raise ShapeError(
+                f"inner block dims differ: {self.block_shape[1]} vs "
+                f"{other.block_shape[0]}"
+            )
+        result = BlockedMatrix(
+            (self.shape[0], other.shape[1]),
+            (self.block_shape[0], other.block_shape[1]),
+        )
+        partials: dict[tuple[int, int], np.ndarray] = {}
+        for (i, k), a_block in self._blocks.items():
+            for j in range(other.num_block_cols):
+                b_block = other._blocks.get((k, j))
+                if b_block is None:
+                    continue
+                partial = a_block @ b_block
+                key = (i, j)
+                if key in partials:
+                    partials[key] += partial
+                else:
+                    partials[key] = partial
+        result._blocks = partials
+        return result
+
+    def map_blocks(self, fn: Callable[[np.ndarray], np.ndarray]) -> "BlockedMatrix":
+        """Apply an element-wise function block by block (e.g. ReLU)."""
+        out = BlockedMatrix(self.shape, self.block_shape)
+        for key, block in self._blocks.items():
+            mapped = fn(block)
+            if mapped.shape != block.shape:
+                raise ShapeError("map_blocks function must preserve block shape")
+            out._blocks[key] = np.ascontiguousarray(mapped, dtype=np.float64)
+        return out
+
+    def add_row_vector(self, vector: np.ndarray) -> "BlockedMatrix":
+        """Broadcast-add a length-``ncols`` vector to every row (bias add)."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.size != self.shape[1]:
+            raise ShapeError(
+                f"bias length {vector.size} does not match ncols {self.shape[1]}"
+            )
+        bc = self.block_shape[1]
+        out = BlockedMatrix(self.shape, self.block_shape)
+        for i in range(self.num_block_rows):
+            for j in range(self.num_block_cols):
+                segment = vector[j * bc : j * bc + self.block_dims(i, j)[1]]
+                out._blocks[(i, j)] = self.get_block(i, j) + segment
+        return out
+
+    def row_softmax(self) -> "BlockedMatrix":
+        """Numerically stable row-wise softmax across column blocks.
+
+        Softmax needs whole rows, which span column blocks, so this is the
+        classic two-pass blocked algorithm: pass one computes per-row max
+        and the sum of shifted exponentials; pass two normalises.
+        """
+        row_max = np.full(self.shape[0], -np.inf)
+        br = self.block_shape[0]
+        for (i, __), block in self._blocks.items():
+            rows = slice(i * br, i * br + block.shape[0])
+            np.maximum(row_max[rows], block.max(axis=1), out=row_max[rows])
+        row_sum = np.zeros(self.shape[0])
+        for (i, __), block in self._blocks.items():
+            rows = slice(i * br, i * br + block.shape[0])
+            row_sum[rows] += np.exp(block - row_max[rows, None]).sum(axis=1)
+        out = BlockedMatrix(self.shape, self.block_shape)
+        for (i, j), block in self._blocks.items():
+            rows = slice(i * br, i * br + block.shape[0])
+            out._blocks[(i, j)] = np.exp(block - row_max[rows, None]) / row_sum[
+                rows, None
+            ]
+        return out
+
+    # -- persistence through the relational engine ---------------------------
+
+    def store(self, catalog: Catalog, table_name: str) -> TableInfo:
+        """Materialise the blocks into a heap table (creates the table)."""
+        info = catalog.create_table(table_name, block_table_schema())
+        for block in self.iter_blocks():
+            info.heap.insert(block_to_row(block))
+            info.row_count += 1
+        return info
+
+    @classmethod
+    def load(
+        cls,
+        table: TableInfo,
+        shape: tuple[int, int],
+        block_shape: tuple[int, int],
+    ) -> "BlockedMatrix":
+        """Rebuild a blocked matrix by scanning its heap table."""
+        out = cls(shape, block_shape)
+        for __, row in table.heap.scan():
+            block = row_to_block(row)
+            out.set_block(block.row_blk, block.col_blk, block.data)
+        return out

@@ -1,0 +1,32 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.storage import BufferPool, InMemoryDiskManager
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture
+def pool(config: SystemConfig) -> BufferPool:
+    disk = InMemoryDiskManager(config.page_size)
+    return BufferPool(disk, capacity_pages=config.buffer_pool_pages)
+
+
+@pytest.fixture
+def small_pool() -> BufferPool:
+    """A deliberately tiny pool (8 pages) so eviction paths are exercised."""
+    disk = InMemoryDiskManager(16 * 1024)
+    return BufferPool(disk, capacity_pages=8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

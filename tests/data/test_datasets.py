@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.data import (
+    bosch_wide_table,
+    deepbench_inputs,
+    feature_column_names,
+    fraud_schema,
+    fraud_transactions,
+    landcover_tiles,
+    most_correlated_pair,
+    repeated_query_stream,
+    synthetic_mnist,
+    vertical_split,
+    zipf_query_stream,
+)
+from repro.data.landcover import tiles_as_rows
+
+
+def test_fraud_shapes_and_schema():
+    features, labels, rows = fraud_transactions(500, seed=1)
+    assert features.shape == (500, 28)
+    assert labels.shape == (500,)
+    assert len(rows) == 500
+    schema = fraud_schema()
+    assert len(schema) == 30
+    schema.validate_row(rows[0])
+    assert feature_column_names()[0] == "f0"
+
+
+def test_fraud_rate_respected():
+    __, labels, __ = fraud_transactions(2000, seed=2, fraud_rate=0.1)
+    assert 0.05 < labels.mean() < 0.15
+
+
+def test_fraud_deterministic_by_seed():
+    f1, __, __ = fraud_transactions(50, seed=7)
+    f2, __, __ = fraud_transactions(50, seed=7)
+    np.testing.assert_array_equal(f1, f2)
+
+
+def test_bosch_planted_correlation_found():
+    features, schema, rows = bosch_wide_table(800, n_features=64, seed=3)
+    assert features.shape == (800, 64)
+    assert len(schema) == 65
+    left, right = vertical_split(features)
+    i, j, corr = most_correlated_pair(left, right, sample=None)
+    assert (i, j) == (31, 31)  # last column of each half
+    assert corr > 0.99
+
+
+def test_bosch_validation():
+    with pytest.raises(ValueError):
+        bosch_wide_table(10, n_features=7)
+
+
+def test_landcover_tiles_structure():
+    tiles = landcover_tiles(2, spatial=32, seed=4)
+    assert tiles.shape == (2, 32, 32, 3)
+    # Structured imagery: spatial variance should exceed the noise floor.
+    assert tiles.std() > 0.05
+    rows = tiles_as_rows(tiles)
+    assert rows[0][0] == 0
+    restored = np.frombuffer(rows[1][1], dtype=np.float64).reshape(32, 32, 3)
+    np.testing.assert_array_equal(restored, tiles[1])
+
+
+def test_synthetic_mnist_learnable_structure():
+    x_train, y_train, x_test, y_test = synthetic_mnist(200, 50, seed=5)
+    assert x_train.shape == (200, 28, 28, 1)
+    assert x_test.shape == (50, 28, 28, 1)
+    assert set(np.unique(y_train)) <= set(range(10))
+    assert x_train.min() >= 0.0 and x_train.max() <= 1.0
+    # Same-class images are closer than cross-class images on average.
+    flat = x_train.reshape(200, -1)
+    same, diff = [], []
+    for i in range(0, 60, 2):
+        for j in range(1, 60, 2):
+            d = np.linalg.norm(flat[i] - flat[j])
+            (same if y_train[i] == y_train[j] else diff).append(d)
+    assert np.mean(same) < np.mean(diff)
+
+
+def test_deepbench_inputs_nonnegative():
+    x = deepbench_inputs(2, side=16, channels=4, seed=6)
+    assert x.shape == (2, 16, 16, 4)
+    assert x.min() >= 0.0
+    assert (x == 0.0).mean() > 0.3  # ReLU-like sparsity
+
+
+def test_zipf_stream_skewed_and_jittered(rng):
+    base = rng.normal(size=(100, 8))
+    queries, indices = zipf_query_stream(base, 1000, skew=1.3, jitter=0.01, seed=7)
+    assert queries.shape == (1000, 8)
+    counts = np.bincount(indices, minlength=100)
+    assert counts[0] > counts[50:].mean() * 2  # head much hotter than tail
+    assert not np.array_equal(queries[0], base[indices[0]])  # jittered
+
+
+def test_zipf_validation(rng):
+    with pytest.raises(ValueError):
+        zipf_query_stream(rng.normal(size=(10, 2)), 10, skew=1.0)
+
+
+def test_repeated_stream_hits_target_fraction(rng):
+    base = rng.normal(size=(500, 4))
+    queries, indices = repeated_query_stream(base, 1000, repeat_fraction=0.8, seed=8)
+    assert queries.shape == (1000, 4)
+    unique_fraction = len(np.unique(indices)) / 1000
+    assert 0.1 < unique_fraction < 0.35  # ~20% fresh
+
+
+def test_repeated_stream_validation(rng):
+    with pytest.raises(ValueError):
+        repeated_query_stream(rng.normal(size=(10, 2)), 10, repeat_fraction=1.5)

@@ -1,0 +1,215 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dedup import (
+    BlockDedupStore,
+    CoPartitioner,
+    ModelVersionManager,
+    dequantize,
+    magnitude_prune,
+    quantize,
+    sparsity,
+)
+from repro.dedup.quantize import quantization_error
+from repro.dlruntime import Linear, Model, ReLU, Softmax
+from repro.errors import ShapeError, SlaViolationError
+
+
+# -- block dedup ----------------------------------------------------------
+
+
+def test_exact_duplicate_blocks_share_storage(rng):
+    store = BlockDedupStore((4, 4))
+    block = rng.normal(size=(4, 4))
+    id1 = store.put(block)
+    id2 = store.put(block.copy())
+    assert id1 == id2
+    report = store.report()
+    assert report.logical_blocks == 2
+    assert report.stored_blocks == 1
+    assert report.exact_hits == 1
+    assert report.space_saving == pytest.approx(0.5)
+
+
+def test_approximate_dedup_bounded_error(rng):
+    store = BlockDedupStore((4, 4), epsilon=0.01)
+    base = rng.normal(size=(4, 4)) * 10  # large values: noise won't flip signs
+    store.put(base)
+    near = base + 0.005
+    bid = store.put(near)
+    np.testing.assert_array_equal(store.get(bid), base)
+    assert store.report().approximate_hits == 1
+
+
+def test_approximate_dedup_rejects_large_difference(rng):
+    store = BlockDedupStore((4, 4), epsilon=0.01)
+    base = rng.normal(size=(4, 4))
+    store.put(base)
+    store.put(base + 1.0)
+    assert store.report().stored_blocks == 2
+
+
+def test_put_matrix_round_trip_with_shared_blocks(rng):
+    store = BlockDedupStore((3, 3))
+    tile = rng.normal(size=(3, 3))
+    matrix = np.tile(tile, (2, 3))  # 6 identical blocks
+    grid = store.put_matrix(matrix)
+    assert store.report().stored_blocks == 1
+    np.testing.assert_allclose(store.get_matrix(grid, matrix.shape), matrix)
+
+
+def test_put_matrix_handles_ragged_edges(rng):
+    store = BlockDedupStore((4, 4))
+    matrix = rng.normal(size=(7, 9))
+    grid = store.put_matrix(matrix)
+    np.testing.assert_allclose(store.get_matrix(grid, (7, 9)), matrix)
+
+
+def test_wrong_block_shape_rejected(rng):
+    store = BlockDedupStore((4, 4))
+    with pytest.raises(ShapeError):
+        store.put(rng.normal(size=(3, 3)))
+
+
+# -- quantization -----------------------------------------------------------
+
+
+def test_quantize_round_trip_error_bounded(rng):
+    weights = rng.normal(size=(32, 16))
+    q = quantize(weights, bits=8)
+    restored = dequantize(q)
+    step = (weights.max() - weights.min()) / 255
+    assert np.max(np.abs(restored - weights)) <= step / 2 + 1e-12
+    assert q.compression_ratio == pytest.approx(8.0)
+
+
+def test_more_bits_less_error(rng):
+    weights = rng.normal(size=(64, 64))
+    assert quantization_error(weights, 4) > quantization_error(weights, 8)
+    assert quantization_error(weights, 8) > quantization_error(weights, 12)
+
+
+def test_quantize_constant_tensor():
+    q = quantize(np.full((4, 4), 3.5), bits=8)
+    np.testing.assert_allclose(dequantize(q), np.full((4, 4), 3.5))
+
+
+@settings(max_examples=50)
+@given(bits=st.integers(1, 16), seed=st.integers(0, 100))
+def test_property_quantization_error_within_half_step(bits, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(8, 8))
+    q = quantize(weights, bits=bits)
+    step = q.scale
+    assert np.max(np.abs(dequantize(q) - weights)) <= step / 2 + 1e-9
+
+
+# -- pruning -----------------------------------------------------------------
+
+
+def test_magnitude_prune_hits_target(rng):
+    weights = rng.normal(size=(50, 50))
+    pruned = magnitude_prune(weights, 0.7)
+    assert sparsity(pruned) >= 0.7
+    # Survivors are the largest-magnitude entries.
+    surviving = np.abs(pruned[pruned != 0])
+    removed_max = np.abs(weights[pruned == 0]).max()
+    assert surviving.min() >= removed_max - 1e-12
+
+
+def test_prune_zero_sparsity_is_identity(rng):
+    weights = rng.normal(size=(10, 10))
+    np.testing.assert_array_equal(magnitude_prune(weights, 0.0), weights)
+
+
+def test_prune_validation(rng):
+    with pytest.raises(ShapeError):
+        magnitude_prune(rng.normal(size=(4, 4)), 1.0)
+
+
+# -- model versions ----------------------------------------------------------
+
+
+@pytest.fixture
+def version_setup(rng):
+    model = Model(
+        "clf",
+        [
+            Linear(10, 32, rng=rng, name="fc1"),
+            ReLU(),
+            Linear(32, 3, rng=rng, name="fc2"),
+            Softmax(),
+        ],
+        input_shape=(10,),
+    )
+    x = rng.normal(size=(300, 10))
+    y = model.predict(x)  # the base model defines the "truth"
+
+    def accuracy(m):
+        return float((m.predict(x) == y).mean())
+
+    return model, accuracy
+
+
+def test_versions_created_with_tradeoffs(version_setup):
+    model, accuracy = version_setup
+    manager = ModelVersionManager(model, accuracy)
+    assert manager.base_accuracy == 1.0
+    q8 = manager.add_quantized(8)
+    q2 = manager.add_quantized(2)
+    p90 = manager.add_pruned(0.9)
+    assert q8.size_bytes < model.param_bytes
+    assert q2.size_bytes < q8.size_bytes
+    assert q8.accuracy > q2.accuracy  # harsher compression, lower accuracy
+    assert p90.size_bytes < model.param_bytes
+    assert q2.accuracy < 1.0
+
+
+def test_version_selection_under_sla(version_setup):
+    model, accuracy = version_setup
+    manager = ModelVersionManager(model, accuracy)
+    manager.add_quantized(8)
+    manager.add_quantized(2)
+    strict = manager.select(min_accuracy=0.99)
+    assert strict.accuracy >= 0.99
+    relaxed = manager.select(min_accuracy=0.0)
+    assert relaxed.size_bytes <= strict.size_bytes
+    with pytest.raises(SlaViolationError):
+        manager.select(min_accuracy=1.1)
+
+
+def test_versions_do_not_mutate_base(version_setup, rng):
+    model, accuracy = version_setup
+    before = model.layers[0].weight.data.copy()
+    manager = ModelVersionManager(model, accuracy)
+    manager.add_quantized(2)
+    manager.add_pruned(0.95)
+    np.testing.assert_array_equal(model.layers[0].weight.data, before)
+
+
+# -- co-partitioning ---------------------------------------------------------
+
+
+def test_copartitioned_join_is_fully_local():
+    partitioner = CoPartitioner(num_partitions=8, block_rows=128)
+    report = partitioner.report(num_features=1024, num_rows=10_000)
+    assert report.locality == 1.0
+    assert report.shuffle_bytes_avoided > 0
+
+
+def test_random_layout_poor_locality():
+    partitioner = CoPartitioner(num_partitions=8, block_rows=128)
+    report = partitioner.report(
+        num_features=8192, num_rows=1000, co_partitioned=False
+    )
+    assert report.locality < 0.5
+
+
+def test_partition_function_consistency():
+    partitioner = CoPartitioner(num_partitions=4, block_rows=64)
+    chunks = partitioner.feature_chunks(300)
+    assert chunks == [0, 1, 2, 3, 4]
+    assert partitioner.weight_row_blocks(300) == chunks
+    assert partitioner.partition_of_chunk(5) == partitioner.partition_of_chunk(9)

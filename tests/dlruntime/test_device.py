@@ -1,0 +1,40 @@
+"""Device cost-model validation."""
+
+import pytest
+
+from repro.dlruntime import cpu_device, gpu_device
+from repro.dlruntime.device import Device
+from repro.errors import ConfigError
+
+
+def test_cpu_transfers_are_free():
+    cpu = cpu_device()
+    assert cpu.transfer_time(1 << 30) == 0.0
+    assert cpu.compute_time(5.0e10) == pytest.approx(1.0)
+
+
+def test_gpu_transfer_includes_latency_and_bandwidth():
+    gpu = gpu_device(bandwidth_bytes_per_s=1e9, transfer_latency_s=1e-5)
+    assert gpu.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+    assert gpu.transfer_time(0) == pytest.approx(1e-5)
+
+
+def test_gpu_compute_much_faster_than_cpu():
+    cpu, gpu = cpu_device(), gpu_device()
+    flops = 1e12
+    assert gpu.compute_time(flops) < cpu.compute_time(flops) / 10
+
+
+def test_device_validation():
+    with pytest.raises(ConfigError):
+        Device("x", "tpu", 1e9, 1e9, 0.0, 1 << 20)
+    with pytest.raises(ConfigError):
+        Device("x", "cpu", 0.0, 1e9, 0.0, 1 << 20)
+    with pytest.raises(ConfigError):
+        Device("x", "gpu", 1e9, 1e9, 0.0, 0)
+
+
+def test_device_is_immutable():
+    cpu = cpu_device()
+    with pytest.raises(Exception):
+        cpu.flops_per_s = 1.0  # type: ignore[misc]

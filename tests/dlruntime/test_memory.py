@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.dlruntime import MemoryBudget
+from repro.dlruntime.memory import unlimited
+from repro.errors import OutOfMemoryError
+
+
+def test_allocate_release_tracks_usage():
+    budget = MemoryBudget(1000)
+    budget.allocate(400)
+    budget.allocate(300)
+    assert budget.used == 700
+    budget.release(300)
+    assert budget.used == 400
+    assert budget.peak == 700
+
+
+def test_over_allocation_raises_with_context():
+    budget = MemoryBudget(100, name="dl")
+    budget.allocate(80)
+    with pytest.raises(OutOfMemoryError) as exc:
+        budget.allocate(30, tag="activation")
+    assert exc.value.requested == 30
+    assert exc.value.used == 80
+    assert exc.value.limit == 100
+    assert "activation" in str(exc.value)
+    assert budget.stats.oom_events == 1
+    assert budget.used == 80  # failed allocation does not charge
+
+
+def test_borrow_context_manager_releases_on_error():
+    budget = MemoryBudget(100)
+    with pytest.raises(RuntimeError):
+        with budget.borrow(50):
+            assert budget.used == 50
+            raise RuntimeError("boom")
+    assert budget.used == 0
+
+
+def test_charge_array_uses_nbytes():
+    budget = MemoryBudget(10_000)
+    array = np.zeros((10, 10))  # 800 bytes
+    assert budget.charge_array(array) == 800
+    assert budget.used == 800
+
+
+def test_release_more_than_used_raises():
+    budget = MemoryBudget(100)
+    budget.allocate(10)
+    with pytest.raises(ValueError):
+        budget.release(20)
+
+
+def test_negative_sizes_rejected():
+    budget = MemoryBudget(100)
+    with pytest.raises(ValueError):
+        budget.allocate(-1)
+    with pytest.raises(ValueError):
+        budget.release(-1)
+
+
+def test_unlimited_budget_never_ooms():
+    budget = unlimited()
+    budget.allocate(1 << 50)
+    budget.release(1 << 50)
+
+
+def test_reset_peak():
+    budget = MemoryBudget(1000)
+    budget.allocate(500)
+    budget.release(500)
+    assert budget.peak == 500
+    budget.reset_peak()
+    assert budget.peak == 0

@@ -1,0 +1,116 @@
+import numpy as np
+
+from repro.dlruntime import (
+    SGD,
+    Adam,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Model,
+    ReLU,
+)
+
+
+def make_blobs(rng, n=200, features=6, classes=3):
+    """Linearly separable gaussian blobs."""
+    centers = rng.normal(scale=4.0, size=(classes, features))
+    labels = rng.integers(0, classes, size=n)
+    x = centers[labels] + rng.normal(scale=0.5, size=(n, features))
+    return x, labels
+
+
+def train(model, x, y, optimizer, epochs=40, batch=32):
+    n = x.shape[0]
+    losses = []
+    for __ in range(epochs):
+        perm = np.random.default_rng(0).permutation(n)
+        for start in range(0, n, batch):
+            idx = perm[start : start + batch]
+            optimizer.zero_grad()
+            logits = model.forward_ad(x[idx])
+            loss = logits.softmax_cross_entropy(y[idx])
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+    return losses
+
+
+def test_sgd_trains_ffnn_on_blobs(rng):
+    x, y = make_blobs(rng)
+    model = Model(
+        "clf",
+        [Linear(6, 16, rng=rng, name="fc1"), ReLU(), Linear(16, 3, rng=rng, name="fc2")],
+        input_shape=(6,),
+    )
+    params = [p for __, p in model.parameters()]
+    losses = train(model, x, y, SGD(params, lr=0.05), epochs=30)
+    accuracy = (model.predict(x) == y).mean()
+    assert losses[-1] < losses[0]
+    assert accuracy > 0.9
+
+
+def test_adam_converges_faster_than_plain_sgd_early(rng):
+    x, y = make_blobs(rng, n=150)
+
+    def fresh_model():
+        local_rng = np.random.default_rng(5)
+        return Model(
+            "clf",
+            [
+                Linear(6, 16, rng=local_rng, name="fc1"),
+                ReLU(),
+                Linear(16, 3, rng=local_rng, name="fc2"),
+            ],
+            input_shape=(6,),
+        )
+
+    sgd_model = fresh_model()
+    sgd_losses = train(
+        sgd_model, x, y, SGD([p for __, p in sgd_model.parameters()], lr=0.001),
+        epochs=3,
+    )
+    adam_model = fresh_model()
+    adam_losses = train(
+        adam_model, x, y, Adam([p for __, p in adam_model.parameters()], lr=0.01),
+        epochs=3,
+    )
+    assert adam_losses[-1] < sgd_losses[-1]
+
+
+def test_momentum_updates_parameters(rng):
+    model = Model("m", [Linear(4, 2, rng=rng)], input_shape=(4,))
+    params = [p for __, p in model.parameters()]
+    before = [p.data.copy() for p in params]
+    x = rng.normal(size=(8, 4))
+    y = rng.integers(0, 2, size=8)
+    opt = SGD(params, lr=0.1, momentum=0.9)
+    for __ in range(3):
+        opt.zero_grad()
+        model.forward_ad(x).softmax_cross_entropy(y).backward()
+        opt.step()
+    assert any(not np.allclose(b, p.data) for b, p in zip(before, params))
+
+
+def test_cnn_trains_on_tiny_images(rng):
+    """The Sec. 7.2.2 cache experiment needs a trainable CNN; smoke-test it."""
+    n, classes = 120, 3
+    y = rng.integers(0, classes, size=n)
+    x = rng.normal(scale=0.1, size=(n, 8, 8, 1))
+    for i in range(n):  # plant a class-dependent bright patch
+        x[i, y[i] * 2 : y[i] * 2 + 2, :4, 0] += 2.0
+    model = Model(
+        "cnn",
+        [
+            Conv2d(1, 4, (3, 3), padding=1, rng=rng, name="c1"),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(4 * 4 * 4, classes, rng=rng, name="out"),
+        ],
+        input_shape=(8, 8, 1),
+    )
+    params = [p for __, p in model.parameters()]
+    train(model, x, y, Adam(params, lr=0.01), epochs=15, batch=32)
+    accuracy = (model.predict(x) == y).mean()
+    assert accuracy > 0.85

@@ -1,0 +1,213 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnnIndexError
+from repro.indexes import (
+    FlatIndex,
+    HnswIndex,
+    IvfIndex,
+    LshIndex,
+    PqIndex,
+    kmeans,
+)
+
+
+def clustered_data(rng, n=400, dim=16, clusters=8, spread=0.15):
+    centers = rng.normal(scale=3.0, size=(clusters, dim))
+    labels = rng.integers(0, clusters, size=n)
+    return centers[labels] + rng.normal(scale=spread, size=(n, dim))
+
+
+def recall_at_1(index, exact, queries):
+    hits = 0
+    for q in queries:
+        truth = exact.search(q, k=1).nearest_id
+        got = index.search(q, k=1).nearest_id
+        hits += truth == got
+    return hits / len(queries)
+
+
+# -- flat (exact baseline) -------------------------------------------------
+
+
+def test_flat_exact_search(rng):
+    data = rng.normal(size=(50, 8))
+    index = FlatIndex(8)
+    index.add(data)
+    q = data[17] + 1e-9
+    result = index.search(q, k=3)
+    assert result.nearest_id == 17
+    assert result.distances[0] < result.distances[1] <= result.distances[2]
+
+
+def test_flat_custom_ids(rng):
+    index = FlatIndex(4)
+    index.add(rng.normal(size=(3, 4)), ids=np.array([100, 200, 300]))
+    assert index.search(np.zeros(4), k=5).ids[3] == -1
+    assert set(index.search(np.zeros(4), k=3).ids) == {100, 200, 300}
+
+
+def test_flat_empty_and_dim_checks():
+    index = FlatIndex(4)
+    result = index.search(np.zeros(4), k=2)
+    assert list(result.ids) == [-1, -1]
+    with pytest.raises(AnnIndexError):
+        index.add(np.zeros((2, 5)))
+    with pytest.raises(AnnIndexError):
+        index.search(np.zeros(3))
+
+
+# -- kmeans ---------------------------------------------------------------
+
+
+def test_kmeans_recovers_separated_clusters(rng):
+    centers_true = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    data = np.vstack(
+        [c + rng.normal(scale=0.2, size=(50, 2)) for c in centers_true]
+    )
+    centers, assignments = kmeans(data, 3, seed=1)
+    assert len(np.unique(assignments)) == 3
+    # Each true center has a learned centroid within 0.5.
+    for c in centers_true:
+        assert np.min(np.linalg.norm(centers - c, axis=1)) < 0.5
+
+
+def test_kmeans_rejects_too_few_points(rng):
+    with pytest.raises(AnnIndexError):
+        kmeans(rng.normal(size=(3, 2)), 5)
+
+
+# -- HNSW ------------------------------------------------------------------
+
+
+def test_hnsw_high_recall_on_clustered_data(rng):
+    data = clustered_data(rng)
+    flat = FlatIndex(16)
+    flat.add(data)
+    hnsw = HnswIndex(16, m=12, ef_construction=80, ef_search=60, seed=1)
+    hnsw.add(data)
+    queries = clustered_data(rng, n=50)
+    assert recall_at_1(hnsw, flat, queries) >= 0.9
+
+
+def test_hnsw_exact_match_distance_zero(rng):
+    data = rng.normal(size=(100, 8))
+    index = HnswIndex(8, seed=2)
+    index.add(data)
+    result = index.search(data[42], k=1)
+    assert result.nearest_id == 42
+    assert result.nearest_distance == pytest.approx(0.0, abs=1e-9)
+
+
+def test_hnsw_incremental_adds(rng):
+    index = HnswIndex(8, seed=3)
+    chunks = [rng.normal(size=(30, 8)) for __ in range(4)]
+    for chunk in chunks:
+        index.add(chunk)
+    assert len(index) == 120
+    all_data = np.vstack(chunks)
+    flat = FlatIndex(8)
+    flat.add(all_data)
+    assert recall_at_1(index, flat, all_data[::10]) >= 0.9
+
+
+def test_hnsw_k_larger_than_size(rng):
+    index = HnswIndex(4, seed=0)
+    index.add(rng.normal(size=(3, 4)))
+    result = index.search(np.zeros(4), k=10)
+    assert (result.ids >= 0).sum() == 3
+
+
+# -- LSH ---------------------------------------------------------------------
+
+
+def test_lsh_finds_near_duplicates(rng):
+    data = clustered_data(rng, n=300)
+    index = LshIndex(16, num_tables=10, num_bits=10, seed=4)
+    index.add(data)
+    for i in (5, 50, 150):
+        q = data[i] + rng.normal(scale=1e-4, size=16)
+        assert index.search(q, k=1).nearest_id == i
+
+
+def test_lsh_empty_bucket_returns_padding(rng):
+    index = LshIndex(8, num_tables=1, num_bits=16, seed=0)
+    index.add(np.ones((1, 8)))
+    result = index.search(-np.ones(8) * 100, k=1)
+    # Either found the single vector or landed in an empty bucket.
+    assert result.ids[0] in (-1, 0)
+
+
+# -- IVF -------------------------------------------------------------------
+
+
+def test_ivf_trains_lazily_and_searches(rng):
+    data = clustered_data(rng, n=300)
+    index = IvfIndex(16, num_lists=8, nprobe=3, seed=5)
+    index.add(data)
+    assert index.is_trained
+    flat = FlatIndex(16)
+    flat.add(data)
+    assert recall_at_1(index, flat, data[::10]) >= 0.85
+
+
+def test_ivf_exact_before_training(rng):
+    index = IvfIndex(8, num_lists=16, nprobe=4)
+    data = rng.normal(size=(5, 8))
+    index.add(data)
+    assert not index.is_trained
+    assert index.search(data[2], k=1).nearest_id == 2
+
+
+def test_ivf_nprobe_validation():
+    with pytest.raises(AnnIndexError):
+        IvfIndex(8, num_lists=4, nprobe=5)
+
+
+# -- PQ --------------------------------------------------------------------
+
+
+def test_pq_compresses_and_recalls_clusters(rng):
+    data = clustered_data(rng, n=400, dim=16)
+    index = PqIndex(16, num_subspaces=4, bits=6, seed=6)
+    index.add(data)
+    assert index.is_trained
+    flat = FlatIndex(16)
+    flat.add(data)
+    # PQ is lossy; cluster-level recall should still be decent.
+    assert recall_at_1(index, flat, data[::20]) >= 0.5
+
+
+def test_pq_rerank_improves_recall(rng):
+    data = clustered_data(rng, n=400, dim=16, spread=0.4)
+    flat = FlatIndex(16)
+    flat.add(data)
+    plain = PqIndex(16, num_subspaces=4, bits=5, seed=7)
+    plain.add(data)
+    reranked = PqIndex(16, num_subspaces=4, bits=5, rerank=32, seed=7)
+    reranked.add(data)
+    queries = data[::15]
+    assert recall_at_1(reranked, flat, queries) >= recall_at_1(plain, flat, queries)
+
+
+def test_pq_dimension_divisibility():
+    with pytest.raises(AnnIndexError):
+        PqIndex(10, num_subspaces=4)
+
+
+# -- cross-index property ---------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), n=st.integers(20, 80))
+def test_property_exact_duplicate_is_always_top1_for_hnsw(seed, n):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, 8))
+    index = HnswIndex(8, seed=seed)
+    index.add(data)
+    probe = rng.integers(0, n)
+    assert index.search(data[probe], k=1).nearest_distance == pytest.approx(
+        0.0, abs=1e-9
+    )

@@ -1,0 +1,110 @@
+import pytest
+
+from repro.errors import BindError
+from repro.relational import (
+    BinaryOp,
+    ColumnRef,
+    ColumnType,
+    Comparison,
+    FunctionCall,
+    Literal,
+    LogicalOp,
+    Schema,
+    UnaryOp,
+)
+
+SCHEMA = Schema.of(
+    ("a", ColumnType.INT),
+    ("b", ColumnType.DOUBLE),
+    ("s", ColumnType.TEXT),
+    ("flag", ColumnType.BOOL),
+)
+
+ROW = (4, 2.5, "hello", True)
+
+
+def test_column_ref_resolves_position_and_type():
+    bound = ColumnRef("b").bind(SCHEMA)
+    assert bound.eval(ROW) == 2.5
+    assert bound.ctype is ColumnType.DOUBLE
+
+
+def test_column_ref_unknown_raises():
+    with pytest.raises(BindError):
+        ColumnRef("nope").bind(SCHEMA)
+
+
+def test_unqualified_matches_qualified_column():
+    qualified = Schema.of(("t.id", ColumnType.INT), ("u.val", ColumnType.INT))
+    bound = ColumnRef("id").bind(qualified)
+    assert bound.eval((9, 10)) == 9
+
+
+def test_ambiguous_unqualified_raises():
+    qualified = Schema.of(("t.id", ColumnType.INT), ("u.id", ColumnType.INT))
+    with pytest.raises(BindError):
+        ColumnRef("id").bind(qualified)
+
+
+def test_arithmetic_and_types():
+    expr = BinaryOp("+", ColumnRef("a"), Literal(2))
+    bound = expr.bind(SCHEMA)
+    assert bound.eval(ROW) == 6
+    assert bound.ctype is ColumnType.INT
+    div = BinaryOp("/", ColumnRef("a"), Literal(2)).bind(SCHEMA)
+    assert div.ctype is ColumnType.DOUBLE
+    assert div.eval(ROW) == 2.0
+
+
+def test_arithmetic_rejects_text():
+    with pytest.raises(BindError):
+        BinaryOp("+", ColumnRef("s"), Literal(1)).bind(SCHEMA)
+
+
+def test_null_propagates_through_arithmetic():
+    bound = (ColumnRef("a") + ColumnRef("b")).bind(SCHEMA)
+    assert bound.eval((None, 2.5, "x", True)) is None
+
+
+def test_comparisons():
+    assert Comparison("<", ColumnRef("a"), Literal(10)).bind(SCHEMA).eval(ROW) is True
+    assert Comparison(">=", ColumnRef("b"), Literal(3.0)).bind(SCHEMA).eval(ROW) is False
+    assert Comparison("=", ColumnRef("s"), Literal("hello")).bind(SCHEMA).eval(ROW) is True
+
+
+def test_comparison_type_mismatch_raises():
+    with pytest.raises(BindError):
+        Comparison("=", ColumnRef("s"), Literal(1)).bind(SCHEMA)
+
+
+def test_logical_three_valued_semantics():
+    schema = Schema.of(("p", ColumnType.BOOL), ("q", ColumnType.BOOL))
+    and_ = LogicalOp("AND", ColumnRef("p"), ColumnRef("q")).bind(schema)
+    or_ = LogicalOp("OR", ColumnRef("p"), ColumnRef("q")).bind(schema)
+    assert and_.eval((True, None)) is None
+    assert and_.eval((False, None)) is False
+    assert or_.eval((True, None)) is True
+    assert or_.eval((None, False)) is None
+
+
+def test_unary_minus_and_not():
+    neg = UnaryOp("-", ColumnRef("a")).bind(SCHEMA)
+    assert neg.eval(ROW) == -4
+    not_ = UnaryOp("NOT", ColumnRef("flag")).bind(SCHEMA)
+    assert not_.eval(ROW) is False
+
+
+def test_scalar_functions():
+    schema = Schema.of(("x", ColumnType.DOUBLE), ("t", ColumnType.TEXT))
+    row = (-9.0, "MiXeD")
+    assert FunctionCall("ABS", (ColumnRef("x"),)).bind(schema).eval(row) == 9.0
+    assert FunctionCall("SQRT", (FunctionCall("ABS", (ColumnRef("x"),)),)).bind(
+        schema
+    ).eval(row) == 3.0
+    assert FunctionCall("LOWER", (ColumnRef("t"),)).bind(schema).eval(row) == "mixed"
+    assert FunctionCall("LENGTH", (ColumnRef("t"),)).bind(schema).eval(row) == 5
+
+
+def test_unknown_function_raises():
+    with pytest.raises(BindError):
+        FunctionCall("FROB", (ColumnRef("a"),)).bind(SCHEMA)

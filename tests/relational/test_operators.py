@@ -1,0 +1,275 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.relational import ColumnRef, ColumnType, Comparison, Literal, Schema
+from repro.relational.operators import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    GeneratorScan,
+    HashJoin,
+    Limit,
+    MapRows,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    SimilarityJoin,
+    Sort,
+    SortKey,
+    ValuesScan,
+    collect,
+)
+from repro.storage import BufferPool, Catalog, InMemoryDiskManager
+
+PEOPLE = Schema.of(("id", ColumnType.INT), ("age", ColumnType.INT), ("name", ColumnType.TEXT))
+PEOPLE_ROWS = [
+    (1, 30, "ann"),
+    (2, 25, "bob"),
+    (3, 30, "cat"),
+    (4, None, "dee"),
+]
+
+
+def people_scan():
+    return ValuesScan(PEOPLE, PEOPLE_ROWS)
+
+
+def test_values_scan_is_restartable():
+    scan = people_scan()
+    assert list(scan) == PEOPLE_ROWS
+    assert list(scan) == PEOPLE_ROWS
+
+
+def test_seq_scan_reads_heap():
+    pool = BufferPool(InMemoryDiskManager(4096), capacity_pages=16)
+    catalog = Catalog(pool)
+    info = catalog.create_table("people", PEOPLE)
+    for row in PEOPLE_ROWS:
+        info.heap.insert(row)
+    assert list(SeqScan(info)) == PEOPLE_ROWS
+
+
+def test_seq_scan_alias_qualifies_schema():
+    pool = BufferPool(InMemoryDiskManager(4096), capacity_pages=16)
+    catalog = Catalog(pool)
+    info = catalog.create_table("people", PEOPLE)
+    scan = SeqScan(info, alias="p")
+    assert scan.schema.names == ("p.id", "p.age", "p.name")
+
+
+def test_filter_drops_null_predicate_rows():
+    out = collect(Filter(people_scan(), Comparison(">", ColumnRef("age"), Literal(26))))
+    assert [r[0] for r in out] == [1, 3]  # the NULL-age row is dropped
+
+
+def test_project_computes_and_renames():
+    op = Project(
+        people_scan(),
+        [(ColumnRef("name"), "who"), (ColumnRef("age") + Literal(1), "age1")],
+    )
+    out = collect(op)
+    assert out.schema.names == ("who", "age1")
+    assert out.rows[0] == ("ann", 31)
+    assert out.rows[3] == ("dee", None)
+
+
+def test_hash_join_inner():
+    orders = ValuesScan(
+        Schema.of(("person_id", ColumnType.INT), ("amount", ColumnType.DOUBLE)),
+        [(1, 10.0), (1, 20.0), (3, 5.0), (99, 1.0)],
+    )
+    join = HashJoin(people_scan(), orders, [ColumnRef("id")], [ColumnRef("person_id")])
+    out = collect(join)
+    assert len(out) == 3
+    amounts = sorted(row[-1] for row in out)
+    assert amounts == [5.0, 10.0, 20.0]
+
+
+def test_hash_join_left_preserves_unmatched():
+    orders = ValuesScan(
+        Schema.of(("person_id", ColumnType.INT), ("amount", ColumnType.DOUBLE)),
+        [(1, 10.0)],
+    )
+    join = HashJoin(
+        people_scan(), orders, [ColumnRef("id")], [ColumnRef("person_id")],
+        join_type="left",
+    )
+    out = collect(join)
+    assert len(out) == 4
+    unmatched = [r for r in out if r[3] is None]
+    assert len(unmatched) == 3
+
+
+def test_hash_join_null_keys_never_match():
+    left = ValuesScan(Schema.of(("k", ColumnType.INT)), [(None,), (1,)])
+    right = ValuesScan(Schema.of(("k2", ColumnType.INT)), [(None,), (1,)])
+    out = collect(HashJoin(left, right, [ColumnRef("k")], [ColumnRef("k2")]))
+    assert out.rows == [(1, 1)]
+
+
+def test_hash_join_spills_when_build_side_exceeds_limit():
+    n = 5000
+    left = ValuesScan(Schema.of(("k", ColumnType.INT)), [(i,) for i in range(n)])
+    right = ValuesScan(Schema.of(("k2", ColumnType.INT)), [(i,) for i in range(0, n, 2)])
+    join = HashJoin(
+        left, right, [ColumnRef("k")], [ColumnRef("k2")], max_build_rows=100
+    )
+    out = collect(join)
+    assert len(out) == n // 2
+    assert sorted(r[0] for r in out) == list(range(0, n, 2))
+
+
+def test_nested_loop_join_arbitrary_predicate():
+    left = ValuesScan(Schema.of(("x", ColumnType.INT)), [(1,), (5,)])
+    right = ValuesScan(Schema.of(("y", ColumnType.INT)), [(2,), (7,)])
+    join = NestedLoopJoin(left, right, Comparison("<", ColumnRef("x"), ColumnRef("y")))
+    assert sorted(collect(join).rows) == [(1, 2), (1, 7), (5, 7)]
+
+
+def test_similarity_join_band():
+    left = ValuesScan(Schema.of(("a", ColumnType.DOUBLE)), [(1.0,), (5.0,), (9.0,)])
+    right = ValuesScan(Schema.of(("b", ColumnType.DOUBLE)), [(1.2,), (4.0,), (20.0,)])
+    join = SimilarityJoin(left, right, ColumnRef("a"), ColumnRef("b"), epsilon=1.0)
+    assert sorted(collect(join).rows) == [(1.0, 1.2), (5.0, 4.0)]
+
+
+def test_similarity_join_matches_nested_loop_reference():
+    rng = np.random.default_rng(0)
+    lvals = [(float(v),) for v in rng.normal(size=60)]
+    rvals = [(float(v),) for v in rng.normal(size=60)]
+    ls = Schema.of(("a", ColumnType.DOUBLE))
+    rs = Schema.of(("b", ColumnType.DOUBLE))
+    eps = 0.1
+    fast = sorted(
+        collect(
+            SimilarityJoin(ValuesScan(ls, lvals), ValuesScan(rs, rvals), ColumnRef("a"), ColumnRef("b"), eps)
+        ).rows
+    )
+    slow = sorted(
+        (l + r) for l in lvals for r in rvals if abs(l[0] - r[0]) <= eps
+    )
+    assert fast == slow
+
+
+def test_aggregate_group_by():
+    agg = Aggregate(
+        people_scan(),
+        group_by=[(ColumnRef("age"), "age")],
+        aggregates=[AggregateSpec("COUNT_STAR", None, "n")],
+    )
+    out = dict(collect(agg).rows)
+    assert out == {30: 2, 25: 1, None: 1}
+
+
+def test_aggregate_global_over_empty_input():
+    empty = ValuesScan(PEOPLE, [])
+    agg = Aggregate(
+        empty,
+        group_by=[],
+        aggregates=[
+            AggregateSpec("COUNT_STAR", None, "n"),
+            AggregateSpec("SUM", ColumnRef("age"), "total"),
+        ],
+    )
+    assert collect(agg).rows == [(0, None)]
+
+
+def test_aggregate_functions():
+    agg = Aggregate(
+        people_scan(),
+        group_by=[],
+        aggregates=[
+            AggregateSpec("SUM", ColumnRef("age"), "s"),
+            AggregateSpec("AVG", ColumnRef("age"), "a"),
+            AggregateSpec("MIN", ColumnRef("age"), "lo"),
+            AggregateSpec("MAX", ColumnRef("age"), "hi"),
+            AggregateSpec("COUNT", ColumnRef("age"), "n"),
+        ],
+    )
+    row = collect(agg).rows[0]
+    assert row == (85, 85 / 3, 25, 30, 3)
+
+
+def test_sum_block_aggregates_arrays():
+    blocks = [
+        (0, np.ones(4).tobytes()),
+        (0, (2 * np.ones(4)).tobytes()),
+        (1, (5 * np.ones(4)).tobytes()),
+    ]
+    scan = ValuesScan(
+        Schema.of(("g", ColumnType.INT), ("blk", ColumnType.BLOB)), blocks
+    )
+    agg = Aggregate(
+        scan,
+        group_by=[(ColumnRef("g"), "g")],
+        aggregates=[AggregateSpec("SUM_BLOCK", ColumnRef("blk"), "total")],
+    )
+    out = {g: np.frombuffer(b) for g, b in collect(agg).rows}
+    np.testing.assert_allclose(out[0], 3 * np.ones(4))
+    np.testing.assert_allclose(out[1], 5 * np.ones(4))
+
+
+def test_sort_multi_key_and_nulls_last():
+    op = Sort(
+        people_scan(),
+        [SortKey(ColumnRef("age")), SortKey(ColumnRef("name"), descending=True)],
+    )
+    names = [r[2] for r in collect(op)]
+    assert names == ["bob", "cat", "ann", "dee"]
+
+
+def test_limit_offset():
+    op = Limit(people_scan(), limit=2, offset=1)
+    assert [r[0] for r in collect(op)] == [2, 3]
+    with pytest.raises(PlanError):
+        Limit(people_scan(), limit=-1)
+
+
+def test_map_rows_batches():
+    seen_batches = []
+
+    def udf(batch):
+        seen_batches.append(len(batch))
+        return [(row[0] * 10,) for row in batch]
+
+    op = MapRows(
+        people_scan(), udf, Schema.of(("x10", ColumnType.INT)), batch_size=3
+    )
+    assert [r[0] for r in collect(op)] == [10, 20, 30, 40]
+    assert seen_batches == [3, 1]
+
+
+def test_generator_scan_restartable():
+    schema = Schema.of(("i", ColumnType.INT))
+    scan = GeneratorScan(schema, lambda: iter([(i,) for i in range(3)]))
+    assert list(scan) == [(0,), (1,), (2,)]
+    assert list(scan) == [(0,), (1,), (2,)]
+
+
+def test_explain_renders_tree():
+    op = Limit(Filter(people_scan(), Comparison(">", ColumnRef("age"), Literal(0))), 1)
+    text = op.explain()
+    assert "Limit" in text and "Filter" in text and "ValuesScan" in text
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(st.integers(0, 20), max_size=40),
+    right=st.lists(st.integers(0, 20), max_size=40),
+)
+def test_property_hash_join_matches_reference(left, right):
+    ls = Schema.of(("k", ColumnType.INT))
+    rs = Schema.of(("k2", ColumnType.INT))
+    join = HashJoin(
+        ValuesScan(ls, [(v,) for v in left]),
+        ValuesScan(rs, [(v,) for v in right]),
+        [ColumnRef("k")],
+        [ColumnRef("k2")],
+        max_build_rows=8,  # force the spill path often
+    )
+    got = sorted(collect(join).rows)
+    expected = sorted((l, r) for l in left for r in right if l == r)
+    assert got == expected

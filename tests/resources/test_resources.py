@@ -1,0 +1,175 @@
+import numpy as np
+import pytest
+
+from repro.config import mb
+from repro.core import lower_model
+from repro.dlruntime import Linear, Model, cpu_device, gpu_device
+from repro.errors import ConfigError
+from repro.resources import (
+    DeviceAllocator,
+    ResourceCoordinator,
+    ThreadConfig,
+    ThreadTuner,
+    throughput_model,
+)
+from repro.resources.allocator import modeled_latency
+from repro.resources.threads import candidate_grid
+
+
+# -- coordinator -------------------------------------------------------------
+
+
+def test_coordinator_splits_and_enforces_total():
+    coordinator = ResourceCoordinator(mb(100))
+    db = coordinator.allocate_budget("db", mb(60))
+    dl = coordinator.allocate_budget("dl", mb(30))
+    assert coordinator.allocated_bytes == mb(90)
+    with pytest.raises(ConfigError):
+        coordinator.allocate_budget("extra", mb(20))
+    db.allocate(mb(10))
+    assert coordinator.utilisation()["db"] == pytest.approx(10 / 60)
+    assert coordinator.utilisation()["dl"] == 0.0
+
+
+def test_coordinator_resize_protects_usage():
+    coordinator = ResourceCoordinator(mb(100))
+    db = coordinator.allocate_budget("db", mb(50))
+    db.allocate(mb(40))
+    with pytest.raises(ConfigError):
+        coordinator.resize("db", mb(30))
+    bigger = coordinator.resize("db", mb(70))
+    assert bigger.limit == mb(70)
+    assert bigger.used == mb(40)
+
+
+def test_coordinator_rebalance_even_slack():
+    coordinator = ResourceCoordinator(mb(100))
+    db = coordinator.allocate_budget("db", mb(50))
+    coordinator.allocate_budget("dl", mb(50))
+    db.allocate(mb(20))
+    coordinator.rebalance_even_slack()
+    shares = {name: coordinator.budget(name).limit for name in ("db", "dl")}
+    assert shares["db"] == mb(20) + (mb(100) - mb(20)) // 2
+    assert shares["dl"] == (mb(100) - mb(20)) // 2
+    assert sum(shares.values()) <= mb(100)
+
+
+def test_coordinator_duplicate_name_rejected():
+    coordinator = ResourceCoordinator(mb(10))
+    coordinator.allocate_budget("db", mb(5))
+    with pytest.raises(ConfigError):
+        coordinator.allocate_budget("db", mb(1))
+
+
+# -- device allocator ------------------------------------------------------
+
+
+def small_matmul_node(in_f=32, out_f=16):
+    model = Model("m", [Linear(in_f, out_f, name="fc")], input_shape=(in_f,))
+    return lower_model(model)[0]
+
+
+def big_matmul_node():
+    return small_matmul_node(in_f=4096, out_f=4096)
+
+
+def test_small_operator_stays_on_cpu():
+    allocator = DeviceAllocator([cpu_device(), gpu_device()])
+    decision = allocator.place(small_matmul_node(), batch_size=4)
+    assert decision.device.kind == "cpu"
+    assert set(decision.estimates) == {"cpu0", "gpu0"}
+
+
+def test_large_operator_moves_to_gpu():
+    allocator = DeviceAllocator([cpu_device(), gpu_device()])
+    decision = allocator.place(big_matmul_node(), batch_size=8192)
+    assert decision.device.kind == "gpu"
+
+
+def test_crossover_batch_is_monotone():
+    allocator = DeviceAllocator([cpu_device(), gpu_device()])
+    node = big_matmul_node()
+    cpu, gpu = cpu_device(), gpu_device()
+    crossover = allocator.crossover_batch(node, cpu, gpu)
+    assert crossover is not None
+    assert modeled_latency(node, crossover, gpu) < modeled_latency(node, crossover, cpu)
+    if crossover > 1:
+        assert modeled_latency(node, crossover - 1, gpu) >= modeled_latency(
+            node, crossover - 1, cpu
+        )
+
+
+def test_crossover_none_when_gpu_never_wins():
+    # A "GPU" with terrible bandwidth and no compute advantage.
+    bad_gpu = gpu_device(flops_per_s=5.0e10, bandwidth_bytes_per_s=1e6)
+    allocator = DeviceAllocator([cpu_device(), bad_gpu])
+    assert allocator.crossover_batch(small_matmul_node(), cpu_device(), bad_gpu, max_batch=4096) is None
+
+
+def test_memory_infeasible_device_skipped():
+    tiny_gpu = gpu_device(memory_bytes=1024)
+    allocator = DeviceAllocator([cpu_device(), tiny_gpu])
+    decision = allocator.place(big_matmul_node(), batch_size=1024)
+    assert decision.device.kind == "cpu"
+
+
+def test_no_feasible_device_raises():
+    tiny = cpu_device(memory_bytes=16)
+    allocator = DeviceAllocator([tiny])
+    with pytest.raises(ConfigError):
+        allocator.place(big_matmul_node(), batch_size=1024)
+
+
+# -- thread model and tuner ---------------------------------------------------
+
+
+def test_throughput_peaks_at_core_count():
+    cores = 8
+    matched = throughput_model(ThreadConfig(4, 2), cores)
+    oversubscribed = throughput_model(ThreadConfig(8, 8), cores)
+    undersubscribed = throughput_model(ThreadConfig(1, 1), cores)
+    assert matched > oversubscribed
+    assert matched > undersubscribed
+
+
+def test_oversubscription_monotone_penalty():
+    cores = 8
+    t16 = throughput_model(ThreadConfig(4, 4), cores)
+    t32 = throughput_model(ThreadConfig(8, 4), cores)
+    t64 = throughput_model(ThreadConfig(8, 8), cores)
+    assert t16 > t32 > t64
+
+
+def test_candidate_grid_covers_space():
+    grid = candidate_grid(4, max_threads=3)
+    assert len(grid) == 9
+    assert ThreadConfig(2, 3) in grid
+
+
+def test_tuner_finds_near_optimal_config():
+    cores = 8
+    tuner = ThreadTuner(cores, rng_seed=1)
+    result = tuner.tune(initial_candidates=32, rounds=3)
+    best_possible = max(
+        throughput_model(c, cores) for c in candidate_grid(cores)
+    )
+    achieved = throughput_model(result.best, cores)
+    assert achieved >= 0.85 * best_possible
+    assert result.evaluations == 32 + 16 + 8
+
+
+def test_tuner_warm_start_reuses_history():
+    tuner = ThreadTuner(8, rng_seed=2)
+    descriptor = np.array([1.0, 2.0, 3.0])
+    tuner.tune(descriptor=descriptor)
+    warm = tuner.warm_start(descriptor + 1e-3)
+    assert warm is not None
+    result = tuner.tune(descriptor=descriptor + 1e-3, initial_candidates=4, rounds=1)
+    assert warm in [config for config, __ in result.history]
+
+
+def test_tuner_config_validation():
+    with pytest.raises(ConfigError):
+        ThreadConfig(0, 1)
+    with pytest.raises(ConfigError):
+        ThreadTuner(0)

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.dlruntime import Linear, Model, ReLU, cpu_device, gpu_device
+from repro.errors import PlanError
+from repro.serving import (
+    PipelineExecutor,
+    partition_layers,
+    simulate_pipeline_makespan,
+    simulate_sequential_time,
+)
+
+
+def deep_model(rng, width=64, depth=6):
+    layers = []
+    for i in range(depth):
+        layers.append(Linear(width, width, rng=rng, name=f"fc{i}"))
+        layers.append(ReLU())
+    return Model("deep", layers, input_shape=(width,))
+
+
+def test_partition_respects_device_memory(rng):
+    model = deep_model(rng)
+    per_layer = 64 * 64 * 8 + 64 * 8
+    # Devices sized to hold about two Linear layers each.
+    devices = [
+        cpu_device(name=f"d{i}", memory_bytes=3 * per_layer + 64 * 1024)
+        for i in range(6)
+    ]
+    stages = partition_layers(model, devices, micro_batch=16)
+    assert len(stages) >= 2
+    assert sum(len(s.layers) for s in stages) == len(model.layers)
+    for stage in stages:
+        assert stage.memory_bytes(16) <= stage.device.memory_bytes
+
+
+def test_partition_fails_when_model_too_big(rng):
+    model = deep_model(rng)
+    tiny = [cpu_device(name="tiny", memory_bytes=100)]
+    with pytest.raises(PlanError):
+        partition_layers(model, tiny, micro_batch=4)
+
+
+def test_partition_fails_when_not_enough_devices(rng):
+    model = deep_model(rng, depth=8)
+    per_layer = 64 * 64 * 8 + 64 * 8
+    devices = [cpu_device(name="only", memory_bytes=2 * per_layer)]
+    with pytest.raises(PlanError):
+        partition_layers(model, devices, micro_batch=4)
+
+
+def test_pipeline_executor_matches_sequential_forward(rng):
+    model = deep_model(rng, depth=4)
+    devices = [cpu_device(name=f"d{i}") for i in range(4)]
+    stages = partition_layers(model, devices, micro_batch=8)
+    executor = PipelineExecutor(stages)
+    x = rng.normal(size=(40, 64))
+    outputs, seconds = executor.run(x, micro_batch=8)
+    np.testing.assert_allclose(outputs, model.forward(x), atol=1e-10)
+    assert seconds > 0
+
+
+def test_pipeline_executor_preserves_order_with_uneven_batches(rng):
+    model = deep_model(rng, depth=2)
+    stages = partition_layers(model, [cpu_device(), cpu_device(name="c2")], micro_batch=7)
+    outputs, __ = PipelineExecutor(stages).run(rng.normal(size=(25, 64)), micro_batch=7)
+    assert outputs.shape[0] == 25
+
+
+def test_simulated_pipeline_beats_sequential(rng):
+    model = deep_model(rng, depth=6)
+    devices = [gpu_device(name=f"g{i}") for i in range(3)]
+    # Force 3 stages of 2 Linear layers by sizing memory.
+    per_layer = 64 * 64 * 8 + 64 * 8
+    devices = [
+        gpu_device(name=f"g{i}", memory_bytes=5 * per_layer) for i in range(3)
+    ]
+    stages = partition_layers(model, devices, micro_batch=32)
+    assert len(stages) >= 2
+    pipelined = simulate_pipeline_makespan(stages, total_rows=4096, micro_batch=32)
+    sequential = simulate_sequential_time(stages, total_rows=4096, micro_batch=32)
+    assert pipelined < sequential
+    # With many micro-batches the speedup approaches the stage count.
+    assert sequential / pipelined > 1.5
+
+
+def test_simulated_single_stage_has_no_speedup(rng):
+    model = deep_model(rng, depth=2)
+    stages = partition_layers(model, [cpu_device()], micro_batch=16)
+    assert len(stages) == 1
+    pipelined = simulate_pipeline_makespan(stages, 1024, 16)
+    sequential = simulate_sequential_time(stages, 1024, 16)
+    assert pipelined == pytest.approx(sequential)
+
+
+def test_pipeline_propagates_stage_errors(rng):
+    model = deep_model(rng, depth=2)
+    stages = partition_layers(model, [cpu_device()], micro_batch=8)
+    executor = PipelineExecutor(stages)
+    with pytest.raises(Exception):
+        executor.run(rng.normal(size=(16, 13)), micro_batch=8)  # wrong width

@@ -1,0 +1,215 @@
+import numpy as np
+import pytest
+
+from repro.dlruntime import Linear, Model, ReLU, Softmax
+from repro.indexes import FlatIndex, HnswIndex
+from repro.serving import (
+    AdaptiveCachePolicy,
+    InferenceResultCache,
+    monte_carlo_error_bound,
+)
+from repro.storage import BufferPool, Catalog, InMemoryDiskManager
+
+
+def make_model(rng, dim=8, classes=4):
+    return Model(
+        "m",
+        [
+            Linear(dim, 16, rng=rng, name="fc1"),
+            ReLU(),
+            Linear(16, classes, rng=rng, name="fc2"),
+            Softmax(),
+        ],
+        input_shape=(dim,),
+    )
+
+
+def clustered(rng, n=200, dim=8):
+    centers = rng.normal(scale=3.0, size=(6, dim))
+    labels = rng.integers(0, 6, size=n)
+    return centers[labels] + rng.normal(scale=0.05, size=(n, dim))
+
+
+def test_cache_miss_then_hit(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.1)
+    x = rng.normal(size=(10, 8))
+    preds1, report1 = cache.serve(x)
+    assert report1.misses == 10 and report1.hits == 0
+    preds2, report2 = cache.serve(x)
+    assert report2.hits == 10 and report2.misses == 0
+    np.testing.assert_array_equal(preds1, preds2)
+    np.testing.assert_array_equal(preds1, model.predict(x))
+
+
+def test_cache_near_duplicates_hit(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.5)
+    base = rng.normal(size=(20, 8))
+    cache.warm(base)
+    perturbed = base + rng.normal(scale=1e-3, size=base.shape)
+    __, report = cache.serve(perturbed)
+    assert report.hit_rate == 1.0
+
+
+def test_cache_respects_threshold(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=1e-6)
+    base = rng.normal(size=(20, 8))
+    cache.warm(base)
+    far = base + rng.normal(scale=1.0, size=base.shape)
+    __, report = cache.serve(far)
+    assert report.hit_rate < 0.2
+
+
+def test_cache_with_hnsw_and_persistence(rng):
+    pool = BufferPool(InMemoryDiskManager(8192), capacity_pages=32)
+    catalog = Catalog(pool)
+    model = make_model(rng)
+    cache = InferenceResultCache(
+        model,
+        HnswIndex(8, seed=1),
+        distance_threshold=0.2,
+        catalog=catalog,
+        table_name="cache_entries",
+    )
+    x = clustered(rng, n=60)
+    cache.serve(x)
+    table = catalog.get_table("cache_entries")
+    assert table.row_count == len(cache)
+    stored = [row for __, row in table.heap.scan()]
+    assert len(stored) == len(cache)
+    vec = np.frombuffer(stored[0][1], dtype=np.float64)
+    assert vec.shape == (8,)
+
+
+def test_cache_stats_accumulate(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.3)
+    x = clustered(rng, n=50)
+    cache.serve(x)
+    cache.serve(x)
+    assert cache.stats.hits >= 50
+    assert cache.stats.misses >= 1
+    assert 0 < cache.stats.hit_rate < 1
+    assert cache.stats.model_seconds > 0
+
+
+def test_cache_speedup_on_repetitive_stream(rng):
+    """The core Sec. 7.2.2 effect: high hit rates beat exact inference."""
+    model = Model(
+        "wide",
+        [
+            Linear(8, 2048, rng=rng, name="fc1"),
+            ReLU(),
+            Linear(2048, 4, rng=rng, name="fc2"),
+        ],
+        input_shape=(8,),
+    )
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.05)
+    base = clustered(rng, n=40)
+    cache.warm(base)
+    # A highly repetitive query stream (cache hits dominate).
+    stream = np.repeat(base, 20, axis=0) + rng.normal(scale=1e-4, size=(800, 8))
+    __, exact_seconds = cache.serve_exact(stream)
+    preds, report = cache.serve(stream)
+    assert report.hit_rate > 0.95
+    # The cache eliminates nearly all model work (the wall-clock speedup
+    # this buys is measured by the Sec. 7.2.2 benchmark, not unit tests).
+    assert report.model_seconds < 0.5 * exact_seconds
+    accuracy = (preds == model.predict(stream)).mean()
+    assert accuracy > 0.9
+
+
+def test_error_bound_zero_when_threshold_tiny(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=1e-9)
+    base = clustered(rng, n=50)
+    cache.warm(base)
+    estimate = monte_carlo_error_bound(cache, base)
+    assert estimate.disagreements == 0
+    assert estimate.hoeffding_upper < 0.2
+    assert estimate.clopper_pearson_upper < 0.1
+    assert estimate.clopper_pearson_upper <= estimate.hoeffding_upper + 1e-9
+
+
+def test_error_bound_detects_disagreement(rng):
+    model = make_model(rng)
+    # Absurdly loose threshold: everything hits, many answers are wrong.
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=100.0)
+    cache.warm(rng.normal(size=(30, 8)))
+    queries = rng.normal(size=(200, 8)) * 3
+    estimate = monte_carlo_error_bound(cache, queries)
+    assert estimate.disagreements > 0
+    assert estimate.observed_disagreement > 0
+    assert estimate.hoeffding_upper >= estimate.observed_disagreement
+
+
+def test_error_bound_does_not_mutate_cache(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.1)
+    cache.warm(rng.normal(size=(10, 8)))
+    before = len(cache)
+    monte_carlo_error_bound(cache, rng.normal(size=(50, 8)))
+    assert len(cache) == before
+    assert cache.insert_on_miss is True
+
+
+def test_adaptive_policy_picks_compliant_threshold(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.0)
+    base = clustered(rng, n=150)
+    cache.warm(base)
+    validation = base + rng.normal(scale=0.02, size=base.shape)
+    policy = AdaptiveCachePolicy(max_accuracy_drop=0.15, confidence=0.9)
+    decision = policy.decide(cache, validation, [5.0, 0.5, 0.05])
+    assert decision.enabled
+    assert cache.distance_threshold == decision.threshold
+    assert decision.candidates_tried[0][0] == 5.0  # loosest tried first
+
+
+def test_adaptive_policy_disables_when_sla_unreachable(rng):
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.0)
+    cache.warm(rng.normal(size=(20, 8)))
+    queries = rng.normal(size=(100, 8)) * 5
+    policy = AdaptiveCachePolicy(max_accuracy_drop=0.0, confidence=0.99)
+    decision = policy.decide(cache, queries, [10.0, 5.0])
+    assert not decision.enabled
+    assert cache.distance_threshold == 0.0  # restored
+
+
+def test_exact_cache_hits_only_on_identical_bytes(rng):
+    from repro.serving import ExactResultCache
+
+    model = make_model(rng)
+    cache = ExactResultCache(model)
+    x = rng.normal(size=(10, 8))
+    __, first = cache.serve(x)
+    assert first.misses == 10
+    __, second = cache.serve(x)
+    assert second.hits == 10
+    perturbed = x + 1e-12
+    __, third = cache.serve(perturbed)
+    assert third.misses == 10  # any byte difference misses
+
+
+def test_exact_cache_never_disagrees_with_model(rng):
+    from repro.serving import ExactResultCache
+
+    model = make_model(rng)
+    cache = ExactResultCache(model)
+    x = rng.normal(size=(50, 8))
+    cache.serve(x)
+    preds, report = cache.serve(x)
+    assert report.hit_rate == 1.0
+    np.testing.assert_array_equal(preds, model.predict(x))
+
+
+def test_exact_cache_respects_max_entries(rng):
+    from repro.serving import ExactResultCache
+
+    model = make_model(rng)
+    cache = ExactResultCache(model, max_entries=5)
+    cache.serve(rng.normal(size=(20, 8)))
+    assert len(cache) == 5

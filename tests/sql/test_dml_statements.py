@@ -1,0 +1,81 @@
+"""INSERT INTO ... SELECT, CREATE TABLE AS, and DELETE."""
+
+import pytest
+
+from repro import Database
+from repro.errors import SqlError, SqlParseError
+from repro.sql import parse
+from repro.sql.ast import CreateTableAs, Delete, InsertSelect
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE src (id INT, v DOUBLE)")
+    database.execute(
+        "INSERT INTO src VALUES (1, 1.5), (2, 2.5), (3, 3.5), (4, 4.5)"
+    )
+    yield database
+    database.close()
+
+
+def test_parse_new_statements():
+    assert isinstance(parse("DELETE FROM t"), Delete)
+    assert isinstance(parse("INSERT INTO t SELECT * FROM u"), InsertSelect)
+    assert isinstance(parse("CREATE TABLE t AS SELECT 1 + 1 AS x FROM u"), CreateTableAs)
+    with pytest.raises(SqlParseError):
+        parse("DELETE src")
+
+
+def test_insert_select_copies_rows(db):
+    db.execute("CREATE TABLE dst (id INT, v DOUBLE)")
+    db.execute("INSERT INTO dst SELECT id, v * 10 FROM src WHERE id > 2")
+    cur = db.execute("SELECT id, v FROM dst ORDER BY id")
+    assert cur.rows == [(3, 35.0), (4, 45.0)]
+    assert db.catalog.get_table("dst").row_count == 2
+
+
+def test_insert_select_arity_checked(db):
+    db.execute("CREATE TABLE narrow (id INT)")
+    with pytest.raises(SqlError):
+        db.execute("INSERT INTO narrow SELECT id, v FROM src")
+
+
+def test_create_table_as_select(db):
+    db.execute(
+        "CREATE TABLE summary AS SELECT id, v + 1 AS vplus FROM src WHERE v < 3"
+    )
+    cur = db.execute("SELECT * FROM summary ORDER BY id")
+    assert cur.columns == ("id", "vplus")
+    assert cur.rows == [(1, 2.5), (2, 3.5)]
+
+
+def test_create_table_as_with_aggregate(db):
+    db.execute("CREATE TABLE stats AS SELECT COUNT(*) AS n, AVG(v) AS mean FROM src")
+    assert db.execute("SELECT n, mean FROM stats").fetchone() == (4, 3.0)
+
+
+def test_delete_with_predicate(db):
+    cur = db.execute("DELETE FROM src WHERE v > 2.0")
+    assert cur.fetchone() == (3,)
+    remaining = db.execute("SELECT id FROM src")
+    assert remaining.rows == [(1,)]
+    assert db.catalog.get_table("src").row_count == 1
+
+
+def test_delete_all_rows(db):
+    cur = db.execute("DELETE FROM src")
+    assert cur.fetchone() == (4,)
+    assert db.execute("SELECT COUNT(*) AS n FROM src").fetchone() == (0,)
+
+
+def test_delete_then_insert_reuses_table(db):
+    db.execute("DELETE FROM src WHERE id = 1")
+    db.execute("INSERT INTO src VALUES (9, 9.5)")
+    ids = sorted(r[0] for r in db.execute("SELECT id FROM src"))
+    assert ids == [2, 3, 4, 9]
+
+
+def test_delete_is_not_an_identifier(db):
+    with pytest.raises(SqlParseError):
+        db.execute("SELECT delete FROM src")

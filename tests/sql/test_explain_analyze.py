@@ -1,0 +1,70 @@
+"""EXPLAIN ANALYZE: per-operator row counts and timings."""
+
+import pytest
+
+from repro import Database
+from repro.errors import SqlError
+from repro.relational import ColumnRef, ColumnType, Comparison, Literal, Schema
+from repro.relational.operators import Filter, Limit, ValuesScan, collect
+from repro.relational.operators.instrument import instrument
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT, v DOUBLE)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0), (5, 5.0)"
+    )
+    yield database
+    database.close()
+
+
+def test_instrument_counts_rows_per_node():
+    schema = Schema.of(("x", ColumnType.INT))
+    scan = ValuesScan(schema, [(i,) for i in range(10)])
+    filtered = Filter(scan, Comparison(">", ColumnRef("x"), Literal(4)))
+    limited = Limit(filtered, 3)
+    report = instrument(limited)
+    rows = collect(limited).rows
+    assert rows == [(5,), (6,), (7,)]
+    assert report.for_node(limited).rows == 3
+    assert report.for_node(filtered).rows == 3  # limit stops pulling
+    # The scan produced up to x=7 before the limit stopped it.
+    assert 8 <= report.for_node(scan).rows <= 10
+    text = report.render(limited)
+    assert "Limit" in text and "rows=3" in text
+
+
+def test_explain_analyze_through_session(db):
+    cursor, report = db.explain_analyze("SELECT id FROM t WHERE v > 2.5")
+    assert [r[0] for r in cursor] == [3, 4, 5]
+    assert "SeqScan(t)  [rows=5" in report
+    assert "Filter" in report
+    assert "rows=3" in report
+    assert "ms]" in report
+
+
+def test_explain_analyze_with_join(db):
+    db.execute("CREATE TABLE u (tid INT, w TEXT)")
+    db.execute("INSERT INTO u VALUES (1, 'a'), (1, 'b'), (9, 'z')")
+    cursor, report = db.explain_analyze(
+        "SELECT t.id, u.w FROM t JOIN u ON t.id = u.tid"
+    )
+    assert len(cursor) == 2
+    assert "HashJoin" in report
+
+
+def test_explain_analyze_rejects_non_select(db):
+    with pytest.raises(SqlError):
+        db.explain_analyze("CREATE TABLE x (a INT)")
+
+
+def test_instrumented_plan_is_re_runnable():
+    schema = Schema.of(("x", ColumnType.INT))
+    scan = ValuesScan(schema, [(1,), (2,)])
+    report = instrument(scan)
+    assert list(scan) == [(1,), (2,)]
+    assert list(scan) == [(1,), (2,)]
+    assert report.for_node(scan).rows == 4
+    assert report.for_node(scan).opened == 2

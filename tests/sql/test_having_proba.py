@@ -1,0 +1,131 @@
+"""HAVING and PREDICT_PROBA."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import mb
+from repro.data import feature_column_names, fraud_schema, fraud_transactions
+from repro.errors import SqlError, SqlParseError
+from repro.models import fraud_fc_256
+
+FEATURES = ", ".join(feature_column_names())
+
+
+@pytest.fixture
+def db():
+    database = Database(memory_threshold_bytes=mb(64))
+    features, __, rows = fraud_transactions(120, seed=81)
+    database.create_table("tx", fraud_schema())
+    database.load_rows("tx", rows)
+    database.register_model(fraud_fc_256(), name="fraud")
+    yield database, features
+    database.close()
+
+
+def test_having_filters_groups(db):
+    database, __ = db
+    cur = database.execute(
+        "SELECT label, COUNT(*) AS n FROM tx GROUP BY label HAVING n > 10"
+    )
+    assert all(n > 10 for __, n in cur.rows)
+    unfiltered = database.execute(
+        "SELECT label, COUNT(*) AS n FROM tx GROUP BY label"
+    )
+    assert len(cur) < len(unfiltered) or all(n > 10 for __, n in unfiltered.rows)
+
+
+def test_having_on_aggregate_alias(db):
+    database, __ = db
+    cur = database.execute(
+        "SELECT label, AVG(f0) AS mean0 FROM tx GROUP BY label HAVING mean0 > -100.0"
+    )
+    assert len(cur) == 2  # both labels pass a trivially true HAVING
+
+
+def test_predict_proba_matches_forward(db):
+    database, features = db
+    model = database.model_info("fraud").model
+    cur = database.execute(
+        f"SELECT PREDICT_PROBA(fraud, 0, {FEATURES}) AS p0, "
+        f"PREDICT_PROBA(fraud, 1, {FEATURES}) AS p1 FROM tx"
+    )
+    p0 = np.array(cur.column("p0"))
+    p1 = np.array(cur.column("p1"))
+    probs = model.forward(features)
+    np.testing.assert_allclose(p0, probs[:, 0], atol=1e-12)
+    np.testing.assert_allclose(p1, probs[:, 1], atol=1e-12)
+    np.testing.assert_allclose(p0 + p1, np.ones(len(cur)), atol=1e-12)
+
+
+def test_predict_proba_thresholding_in_where_style_filter(db):
+    database, features = db
+    cur = database.execute(
+        f"SELECT id, PREDICT_PROBA(fraud, 1, {FEATURES}) AS risk FROM tx "
+        "ORDER BY risk DESC LIMIT 5"
+    )
+    risks = cur.column("risk")
+    assert risks == sorted(risks, reverse=True)
+    assert all(0.0 <= r <= 1.0 for r in risks)
+
+
+def test_predict_proba_class_out_of_range(db):
+    database, __ = db
+    with pytest.raises(SqlError):
+        database.execute(f"SELECT PREDICT_PROBA(fraud, 7, {FEATURES}) FROM tx")
+
+
+def test_predict_proba_requires_integer_class(db):
+    database, __ = db
+    with pytest.raises(SqlParseError):
+        database.execute(f"SELECT PREDICT_PROBA(fraud, 0.5, {FEATURES}) FROM tx")
+
+
+def test_predict_proba_bypasses_label_cache(db):
+    database, features = db
+    database.enable_result_cache("fraud", distance_threshold=100.0, index="flat")
+    model = database.model_info("fraud").model
+    cur = database.execute(
+        f"SELECT PREDICT_PROBA(fraud, 1, {FEATURES}) AS p1 FROM tx"
+    )
+    np.testing.assert_allclose(
+        np.array(cur.column("p1")), model.forward(features)[:, 1], atol=1e-12
+    )
+
+
+def test_case_when_expression(db):
+    database, __ = db
+    cur = database.execute(
+        "SELECT CASE WHEN f0 > 0 THEN 'pos' WHEN f0 < 0 THEN 'neg' "
+        "ELSE 'zero' END AS sign, COUNT(*) AS n FROM tx GROUP BY "
+        "CASE WHEN f0 > 0 THEN 'pos' WHEN f0 < 0 THEN 'neg' ELSE 'zero' END"
+    )
+    counts = dict(cur.rows)
+    assert set(counts) <= {"pos", "neg", "zero"}
+    assert sum(counts.values()) == 120
+
+
+def test_case_when_numeric_widening(db):
+    database, __ = db
+    cur = database.execute(
+        "SELECT CASE WHEN id > 5 THEN id ELSE f0 END AS v FROM tx LIMIT 10"
+    )
+    assert all(isinstance(v, float) for v in cur.column("v"))
+
+
+def test_case_without_else_yields_null(db):
+    database, __ = db
+    cur = database.execute(
+        "SELECT CASE WHEN id < 0 THEN 1 END AS v FROM tx LIMIT 3"
+    )
+    assert cur.column("v") == [None, None, None]
+
+
+def test_case_incompatible_branches_rejected(db):
+    from repro.errors import BindError
+
+    database, __ = db
+    with pytest.raises(BindError):
+        database.execute(
+            "SELECT CASE WHEN id > 0 THEN 'text' ELSE 1 END FROM tx"
+        )

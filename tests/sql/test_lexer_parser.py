@@ -1,0 +1,156 @@
+import pytest
+
+from repro.errors import SqlLexError, SqlParseError
+from repro.relational.expressions import ColumnRef, Comparison, Literal, LogicalOp
+from repro.relational.schema import ColumnType
+from repro.sql import (
+    AggregateCall,
+    CreateTable,
+    DropTable,
+    Explain,
+    Insert,
+    PredictCall,
+    Select,
+    Star,
+    TokenType,
+    parse,
+    tokenize,
+)
+
+
+def test_tokenize_basic():
+    tokens = tokenize("SELECT a, b FROM t WHERE a >= 1.5")
+    kinds = [t.type for t in tokens]
+    assert kinds[0] is TokenType.KEYWORD
+    assert tokens[0].value == "SELECT"
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_tokenize_string_with_escape():
+    tokens = tokenize("SELECT 'it''s'")
+    assert tokens[1].type is TokenType.STRING
+    assert tokens[1].value == "it's"
+
+
+def test_tokenize_comments_and_numbers():
+    tokens = tokenize("1e3 -- a comment\n2.5")
+    assert tokens[0].value == "1e3"
+    assert tokens[1].value == "2.5"
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(SqlLexError):
+        tokenize("SELECT @")
+    with pytest.raises(SqlLexError):
+        tokenize("SELECT 'unterminated")
+
+
+def test_parse_create_table():
+    stmt = parse("CREATE TABLE t (id INT, name TEXT, score DOUBLE, ok BOOL)")
+    assert isinstance(stmt, CreateTable)
+    assert stmt.name == "t"
+    assert stmt.columns == [
+        ("id", ColumnType.INT),
+        ("name", ColumnType.TEXT),
+        ("score", ColumnType.DOUBLE),
+        ("ok", ColumnType.BOOL),
+    ]
+
+
+def test_parse_drop_and_insert():
+    assert isinstance(parse("DROP TABLE t"), DropTable)
+    stmt = parse("INSERT INTO t VALUES (1, 'a', -2.5, TRUE), (2, NULL, 0.0, FALSE)")
+    assert isinstance(stmt, Insert)
+    assert stmt.rows == [[1, "a", -2.5, True], [2, None, 0.0, False]]
+
+
+def test_parse_select_full_clause_set():
+    stmt = parse(
+        "SELECT a, b AS bee FROM t WHERE a > 1 AND b < 2 "
+        "ORDER BY a DESC, b LIMIT 10 OFFSET 5"
+    )
+    assert isinstance(stmt, Select)
+    assert stmt.items[1].alias == "bee"
+    assert isinstance(stmt.where, LogicalOp)
+    assert stmt.order_by[0][1] is True
+    assert stmt.order_by[1][1] is False
+    assert stmt.limit == 10
+    assert stmt.offset == 5
+
+
+def test_parse_star():
+    stmt = parse("SELECT * FROM t")
+    assert isinstance(stmt.items[0].expr, Star)
+
+
+def test_parse_join():
+    stmt = parse("SELECT a.x FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.k = c.k")
+    assert len(stmt.joins) == 2
+    assert stmt.joins[0].kind == "inner"
+    assert stmt.joins[1].kind == "left"
+    cond = stmt.joins[0].condition
+    assert isinstance(cond, Comparison)
+    assert cond.left == ColumnRef("a.id")
+
+
+def test_parse_aggregates():
+    stmt = parse("SELECT label, COUNT(*), AVG(score) FROM t GROUP BY label")
+    assert isinstance(stmt.items[1].expr, AggregateCall)
+    assert stmt.items[1].expr.func == "COUNT_STAR"
+    assert stmt.items[2].expr.func == "AVG"
+    assert stmt.group_by == [ColumnRef("label")]
+
+
+def test_parse_predict_call():
+    stmt = parse("SELECT id, PREDICT(fraud, f0, f1 * 2) AS p FROM tx")
+    call = stmt.items[1].expr
+    assert isinstance(call, PredictCall)
+    assert call.model == "fraud"
+    assert len(call.args) == 2
+    assert stmt.items[1].alias == "p"
+
+
+def test_parse_explain():
+    stmt = parse("EXPLAIN SELECT a FROM t")
+    assert isinstance(stmt, Explain)
+    assert isinstance(stmt.query, Select)
+
+
+def test_parse_arithmetic_precedence():
+    stmt = parse("SELECT 1 + 2 * 3 FROM t")
+    expr = stmt.items[0].expr
+    # (1 + (2 * 3)): top node is '+'
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parse_parentheses_override_precedence():
+    stmt = parse("SELECT (1 + 2) * 3 FROM t")
+    assert stmt.items[0].expr.op == "*"
+
+
+def test_parse_scalar_function():
+    stmt = parse("SELECT abs(x) FROM t")
+    expr = stmt.items[0].expr
+    assert expr.name == "abs"
+
+
+def test_parse_errors():
+    with pytest.raises(SqlParseError):
+        parse("SELECT FROM t")
+    with pytest.raises(SqlParseError):
+        parse("SELECT a FROM t WHERE")
+    with pytest.raises(SqlParseError):
+        parse("SELECT a FROM t LIMIT 1.5")
+    with pytest.raises(SqlParseError):
+        parse("SELECT a FROM t extra garbage ,")
+    with pytest.raises(SqlParseError):
+        parse("VACUUM t")
+
+
+def test_literal_expression_values():
+    stmt = parse("SELECT 'text', TRUE, NULL, -4 FROM t")
+    values = [item.expr for item in stmt.items]
+    assert values[0] == Literal("text")
+    assert values[1] == Literal(True)
+    assert values[2] == Literal(None)

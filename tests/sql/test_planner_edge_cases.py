@@ -1,0 +1,158 @@
+"""Planner edge cases: hidden group keys, aliases, expression outputs."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE sales (region TEXT, year INT, amount DOUBLE)")
+    database.execute(
+        "INSERT INTO sales VALUES "
+        "('east', 2023, 10.0), ('east', 2024, 20.0), "
+        "('west', 2023, 5.0), ('west', 2024, 15.0), ('west', 2024, 1.0)"
+    )
+    yield database
+    database.close()
+
+
+def test_group_by_column_not_in_select(db):
+    """Grouping key shapes the groups even when it is not projected."""
+    cur = db.execute("SELECT SUM(amount) AS total FROM sales GROUP BY region")
+    assert sorted(cur.column("total")) == [21.0, 30.0]
+
+
+def test_group_by_multiple_keys(db):
+    cur = db.execute(
+        "SELECT region, year, SUM(amount) AS total FROM sales "
+        "GROUP BY region, year ORDER BY region, year"
+    )
+    assert cur.rows == [
+        ("east", 2023, 10.0),
+        ("east", 2024, 20.0),
+        ("west", 2023, 5.0),
+        ("west", 2024, 16.0),
+    ]
+
+
+def test_group_by_expression(db):
+    cur = db.execute(
+        "SELECT year % 2 AS parity, COUNT(*) AS n FROM sales GROUP BY year % 2"
+    )
+    assert dict(cur.rows) == {0: 3, 1: 2}
+
+
+def test_non_grouped_select_item_rejected(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT region, amount FROM sales GROUP BY region")
+
+
+def test_star_with_aggregate_rejected(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT *, COUNT(*) FROM sales")
+
+
+def test_order_by_output_alias(db):
+    cur = db.execute(
+        "SELECT region, SUM(amount) AS total FROM sales GROUP BY region "
+        "ORDER BY total DESC"
+    )
+    assert [r[0] for r in cur] == ["east", "west"]
+
+
+def test_order_by_dropped_column_in_plain_projection(db):
+    cur = db.execute("SELECT region FROM sales ORDER BY amount DESC LIMIT 2")
+    assert cur.rows == [("east",), ("west",)]
+
+
+def test_scalar_functions_in_projection(db):
+    cur = db.execute(
+        "SELECT upper(region) AS r, abs(0 - amount) AS a FROM sales "
+        "WHERE year = 2023 ORDER BY a"
+    )
+    assert cur.rows == [("WEST", 5.0), ("EAST", 10.0)]
+
+
+def test_having_is_not_supported_but_subsetting_works(db):
+    # No HAVING clause in the dialect; CREATE TABLE AS + WHERE composes it.
+    db.execute(
+        "CREATE TABLE totals AS SELECT region, SUM(amount) AS total "
+        "FROM sales GROUP BY region"
+    )
+    cur = db.execute("SELECT region FROM totals WHERE total > 25")
+    assert cur.rows == [("east",)]
+
+
+def test_computed_join_key_falls_back_to_nested_loop(db):
+    db.execute("CREATE TABLE years (y INT)")
+    db.execute("INSERT INTO years VALUES (2023)")
+    cur = db.execute(
+        "SELECT sales.region FROM sales JOIN years ON sales.year = years.y + 0"
+    )
+    # `years.y + 0` is not a bare column, so the equi-key extraction fails
+    # and the nested-loop join handles it.
+    assert sorted(r[0] for r in cur) == ["east", "west"]
+
+
+def test_alias_in_table_ref(db):
+    cur = db.execute("SELECT s.region FROM sales AS s WHERE s.year = 2023")
+    assert len(cur) == 2
+
+
+def test_select_distinct(db):
+    cur = db.execute("SELECT DISTINCT region FROM sales ORDER BY region")
+    assert cur.rows == [("east",), ("west",)]
+    cur = db.execute("SELECT DISTINCT region, year FROM sales")
+    assert len(cur) == 4  # (west, 2024) deduplicated
+
+
+def test_between_and_in_predicates(db):
+    cur = db.execute(
+        "SELECT amount FROM sales WHERE amount BETWEEN 5 AND 15 ORDER BY amount"
+    )
+    assert cur.column("amount") == [5.0, 10.0, 15.0]
+    cur = db.execute(
+        "SELECT amount FROM sales WHERE year IN (2023) ORDER BY amount"
+    )
+    assert cur.column("amount") == [5.0, 10.0]
+    cur = db.execute(
+        "SELECT COUNT(*) AS n FROM sales WHERE region NOT IN ('east')"
+    )
+    assert cur.fetchone() == (3,)
+    cur = db.execute(
+        "SELECT COUNT(*) AS n FROM sales WHERE amount NOT BETWEEN 5 AND 15"
+    )
+    assert cur.fetchone() == (2,)
+
+
+def test_join_builds_on_smaller_table(db):
+    # sales has 5 rows; lookup has 1: the planner should build on lookup.
+    db.execute("CREATE TABLE lookup (region TEXT, manager TEXT)")
+    db.execute("INSERT INTO lookup VALUES ('east', 'maria')")
+    plan = db.explain(
+        "SELECT sales.year, lookup.manager FROM sales "
+        "JOIN lookup ON sales.region = lookup.region"
+    )
+    # The build (left) input of the swapped HashJoin is the small table.
+    join_line = next(l for l in plan.splitlines() if "HashJoin" in l)
+    after_join = plan[plan.index(join_line):].splitlines()
+    first_scan = next(l for l in after_join if "SeqScan" in l)
+    assert "lookup" in first_scan
+    cur = db.execute(
+        "SELECT sales.year, lookup.manager FROM sales "
+        "JOIN lookup ON sales.region = lookup.region ORDER BY sales.year"
+    )
+    assert cur.rows == [(2023, "maria"), (2024, "maria")]
+
+
+def test_swapped_join_preserves_column_order(db):
+    db.execute("CREATE TABLE tiny (r TEXT, boss TEXT)")
+    db.execute("INSERT INTO tiny VALUES ('west', 'kim')")
+    cur = db.execute("SELECT * FROM sales JOIN tiny ON sales.region = tiny.r")
+    # Column order follows the written join order despite the build swap.
+    assert cur.columns == ("region", "year", "amount", "r", "boss")
+    assert len(cur) == 3
+    assert all(row[3] == "west" and row[4] == "kim" for row in cur)

@@ -1,0 +1,80 @@
+"""SQL PREDICT served through session-managed result caches (Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import mb
+from repro.data import feature_column_names, fraud_schema, fraud_transactions
+from repro.errors import SqlError
+from repro.models import fraud_fc_256
+
+
+@pytest.fixture
+def db():
+    database = Database(memory_threshold_bytes=mb(64))
+    features, __, rows = fraud_transactions(200, seed=61)
+    database.create_table("tx", fraud_schema())
+    database.load_rows("tx", rows)
+    database.register_model(fraud_fc_256(), name="fraud")
+    yield database, features
+    database.close()
+
+
+FEATURES = ", ".join(feature_column_names())
+QUERY = f"SELECT id, PREDICT(fraud, {FEATURES}) AS p FROM tx"
+
+
+def test_cached_predict_matches_exact(db):
+    database, features = db
+    exact = database.execute(QUERY).column("p")
+    database.enable_result_cache("fraud", distance_threshold=1e-9, index="flat")
+    cached_first = database.execute(QUERY).column("p")
+    cached_second = database.execute(QUERY).column("p")
+    assert cached_first == exact
+    assert cached_second == exact
+    cache = database.result_cache("fraud")
+    assert cache.stats.hits >= 200  # the second pass hit for every row
+
+
+def test_cache_entries_become_a_catalog_table(db):
+    database, __ = db
+    database.enable_result_cache("fraud", distance_threshold=0.1, index="hnsw")
+    database.execute(QUERY)
+    table = database.catalog.get_table("__cache_fraud")
+    assert table.row_count == len(database.result_cache("fraud"))
+    # The cache relation is an ordinary table: queryable through SQL.
+    cur = database.execute(
+        "SELECT COUNT(*) AS n, MIN(prediction) AS lo, MAX(prediction) AS hi "
+        "FROM __cache_fraud"
+    )
+    n, lo, hi = cur.fetchone()
+    assert n == table.row_count
+    assert 0 <= lo <= hi <= 1
+
+
+def test_exact_cache_mode(db):
+    database, features = db
+    database.enable_result_cache("fraud", distance_threshold=0.0, exact=True)
+    first = database.execute(QUERY).column("p")
+    second = database.execute(QUERY).column("p")
+    assert first == second
+    cache = database.result_cache("fraud")
+    assert cache.stats.hits == 200
+    assert cache.stats.misses == 200
+
+
+def test_disable_restores_exact_serving(db):
+    database, __ = db
+    database.enable_result_cache("fraud", distance_threshold=5.0, index="flat")
+    database.execute(QUERY)
+    database.disable_result_cache("fraud")
+    assert database.result_cache("fraud") is None
+    exact = database.execute(QUERY).column("p")
+    assert len(exact) == 200
+
+
+def test_unknown_index_rejected(db):
+    database, __ = db
+    with pytest.raises(SqlError):
+        database.enable_result_cache("fraud", distance_threshold=1.0, index="btree")

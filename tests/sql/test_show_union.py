@@ -1,0 +1,65 @@
+"""SHOW TABLES / SHOW MODELS and UNION ALL."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanError, SqlParseError
+from repro.models import fraud_fc_256
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (x INT, label TEXT)")
+    database.execute("CREATE TABLE b (x INT, label TEXT)")
+    database.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2')")
+    database.execute("INSERT INTO b VALUES (2, 'b2'), (3, 'b3')")
+    yield database
+    database.close()
+
+
+def test_show_tables(db):
+    cur = db.execute("SHOW TABLES")
+    assert cur.columns == ("name", "columns", "rows")
+    assert cur.rows == [("a", 2, 2), ("b", 2, 2)]
+
+
+def test_show_models(db):
+    db.register_model(fraud_fc_256(), name="fraud")
+    cur = db.execute("SHOW MODELS")
+    assert cur.rows == [("fraud", "fraud-fc-256", 7938)]
+
+
+def test_show_garbage_rejected(db):
+    with pytest.raises(SqlParseError):
+        db.execute("SHOW INDEXES")
+
+
+def test_union_all_keeps_duplicates(db):
+    cur = db.execute("SELECT x FROM a UNION ALL SELECT x FROM b")
+    assert sorted(r[0] for r in cur) == [1, 2, 2, 3]
+
+
+def test_union_all_with_predicates_and_expressions(db):
+    cur = db.execute(
+        "SELECT x * 10 AS v FROM a WHERE x = 1 "
+        "UNION ALL SELECT x FROM b WHERE x = 3"
+    )
+    assert sorted(r[0] for r in cur) == [3, 10]
+
+
+def test_union_all_three_way(db):
+    cur = db.execute(
+        "SELECT x FROM a UNION ALL SELECT x FROM a UNION ALL SELECT x FROM a"
+    )
+    assert len(cur) == 6
+
+
+def test_union_all_arity_mismatch_rejected(db):
+    with pytest.raises(PlanError):
+        db.execute("SELECT x, label FROM a UNION ALL SELECT x FROM b")
+
+
+def test_union_requires_all(db):
+    with pytest.raises(SqlParseError):
+        db.execute("SELECT x FROM a UNION SELECT x FROM b")

@@ -1,0 +1,96 @@
+"""UPDATE, IS NULL, and LIKE."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, SqlParseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE items (id INT, price DOUBLE, name TEXT)")
+    database.execute(
+        "INSERT INTO items VALUES "
+        "(1, 10.0, 'apple'), (2, 20.0, 'apricot'), "
+        "(3, NULL, 'banana'), (4, 40.0, NULL)"
+    )
+    yield database
+    database.close()
+
+
+def test_update_with_predicate(db):
+    cur = db.execute("UPDATE items SET price = price * 2 WHERE id <= 2")
+    assert cur.fetchone() == (2,)
+    prices = dict(db.execute("SELECT id, price FROM items").rows)
+    assert prices == {1: 20.0, 2: 40.0, 3: None, 4: 40.0}
+
+
+def test_update_multiple_columns(db):
+    db.execute("UPDATE items SET price = 0.0, name = 'sold' WHERE id = 1")
+    assert db.execute("SELECT price, name FROM items WHERE id = 1").fetchone() == (
+        0.0,
+        "sold",
+    )
+
+
+def test_update_all_rows(db):
+    cur = db.execute("UPDATE items SET price = 1.0")
+    assert cur.fetchone() == (4,)
+    assert set(db.execute("SELECT price FROM items").column("price")) == {1.0}
+
+
+def test_update_references_old_values(db):
+    # Assignments read the pre-update row, standard SQL semantics.
+    db.execute("UPDATE items SET price = id + 0.5 WHERE id IN (1, 2)")
+    prices = dict(db.execute("SELECT id, price FROM items WHERE id <= 2").rows)
+    assert prices == {1: 1.5, 2: 2.5}
+
+
+def test_update_unknown_column_rejected(db):
+    with pytest.raises(Exception):
+        db.execute("UPDATE items SET ghost = 1")
+
+
+def test_update_parse_errors(db):
+    with pytest.raises(SqlParseError):
+        db.execute("UPDATE items SET price 1.0")
+
+
+def test_is_null_and_is_not_null(db):
+    assert db.execute("SELECT id FROM items WHERE price IS NULL").rows == [(3,)]
+    assert sorted(
+        db.execute("SELECT id FROM items WHERE price IS NOT NULL").column("id")
+    ) == [1, 2, 4]
+    assert db.execute("SELECT id FROM items WHERE name IS NULL").rows == [(4,)]
+
+
+def test_is_null_composes_with_logic(db):
+    cur = db.execute(
+        "SELECT id FROM items WHERE price IS NULL OR name IS NULL ORDER BY id"
+    )
+    assert cur.column("id") == [3, 4]
+
+
+def test_like_patterns(db):
+    assert sorted(
+        db.execute("SELECT id FROM items WHERE name LIKE 'ap%'").column("id")
+    ) == [1, 2]
+    assert db.execute("SELECT id FROM items WHERE name LIKE '_anana'").rows == [(3,)]
+    assert db.execute("SELECT id FROM items WHERE name LIKE 'apple'").rows == [(1,)]
+    # NULL names neither match nor anti-match.
+    assert sorted(
+        db.execute("SELECT id FROM items WHERE name NOT LIKE 'ap%'").column("id")
+    ) == [3]
+
+
+def test_like_requires_text(db):
+    with pytest.raises(BindError):
+        db.execute("SELECT id FROM items WHERE price LIKE '1%'")
+
+
+def test_like_escapes_regex_metacharacters():
+    with Database() as db:
+        db.execute("CREATE TABLE t (s TEXT)")
+        db.execute("INSERT INTO t VALUES ('a.c'), ('abc')")
+        assert db.execute("SELECT s FROM t WHERE s LIKE 'a.c'").rows == [("a.c",)]

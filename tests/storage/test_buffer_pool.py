@@ -1,0 +1,105 @@
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage import BufferPool, ClockPolicy, InMemoryDiskManager, LruPolicy
+
+
+def make_pool(capacity=4, policy=None, page_size=4096):
+    disk = InMemoryDiskManager(page_size)
+    return BufferPool(disk, capacity_pages=capacity, policy=policy)
+
+
+def test_new_page_is_pinned_and_resident():
+    pool = make_pool()
+    page = pool.new_page()
+    assert page.pin_count == 1
+    assert pool.resident_pages == 1
+    pool.unpin_page(page.page_id, dirty=True)
+
+
+def test_fetch_hit_does_not_touch_disk():
+    pool = make_pool()
+    page = pool.new_page()
+    page.write(0, b"abc")
+    pool.unpin_page(page.page_id, dirty=True)
+    reads_before = pool.disk.stats.reads
+    again = pool.fetch_page(page.page_id)
+    assert again.read(0, 3) == b"abc"
+    assert pool.disk.stats.reads == reads_before
+    assert pool.stats.hits == 1
+    pool.unpin_page(page.page_id)
+
+
+def test_eviction_writes_back_dirty_pages_and_reload_works():
+    pool = make_pool(capacity=2)
+    ids = []
+    for i in range(4):
+        page = pool.new_page()
+        page.write(0, bytes([i]) * 8)
+        pool.unpin_page(page.page_id, dirty=True)
+        ids.append(page.page_id)
+    assert pool.stats.evictions >= 2
+    # The first pages were evicted; fetching them reads back from disk.
+    for i, pid in enumerate(ids):
+        page = pool.fetch_page(pid)
+        assert page.read(0, 8) == bytes([i]) * 8
+        pool.unpin_page(pid)
+
+
+def test_all_pinned_raises():
+    pool = make_pool(capacity=2)
+    pool.new_page()
+    pool.new_page()
+    with pytest.raises(BufferPoolError):
+        pool.new_page()
+
+
+def test_lru_evicts_least_recently_used():
+    pool = make_pool(capacity=2, policy=LruPolicy())
+    a = pool.new_page()
+    pool.unpin_page(a.page_id, dirty=True)
+    b = pool.new_page()
+    pool.unpin_page(b.page_id, dirty=True)
+    # Touch a so b becomes the LRU victim.
+    pool.fetch_page(a.page_id)
+    pool.unpin_page(a.page_id)
+    c = pool.new_page()
+    pool.unpin_page(c.page_id, dirty=True)
+    resident = {a.page_id, c.page_id}
+    assert pool.resident_pages == 2
+    misses_before = pool.stats.misses
+    pool.unpin_page(pool.fetch_page(a.page_id).page_id)
+    assert pool.stats.misses == misses_before  # a stayed resident
+
+
+def test_clock_policy_completes_under_pressure():
+    pool = make_pool(capacity=3, policy=ClockPolicy())
+    ids = []
+    for i in range(10):
+        page = pool.new_page()
+        page.write(0, bytes([i]))
+        pool.unpin_page(page.page_id, dirty=True)
+        ids.append(page.page_id)
+    for i, pid in enumerate(ids):
+        page = pool.fetch_page(pid)
+        assert page.read(0, 1) == bytes([i])
+        pool.unpin_page(pid)
+
+
+def test_flush_all_persists_without_eviction():
+    pool = make_pool(capacity=4)
+    page = pool.new_page()
+    page.write(0, b"persist!")
+    pool.unpin_page(page.page_id, dirty=True)
+    pool.flush_all()
+    assert pool.disk.read_page(page.page_id)[:8] == b"persist!"
+
+
+def test_hit_rate_statistic():
+    pool = make_pool(capacity=4)
+    page = pool.new_page()
+    pool.unpin_page(page.page_id, dirty=True)
+    for __ in range(3):
+        pool.fetch_page(page.page_id)
+        pool.unpin_page(page.page_id)
+    assert pool.stats.hit_rate == 1.0

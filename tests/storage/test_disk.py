@@ -1,0 +1,83 @@
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import FileDiskManager, InMemoryDiskManager
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        manager = InMemoryDiskManager(4096)
+    else:
+        manager = FileDiskManager(4096, path=str(tmp_path / "pages.db"))
+    yield manager
+    manager.close()
+
+
+def test_allocate_read_write_round_trip(disk):
+    pid = disk.allocate_page()
+    payload = bytes(range(256)) * 16
+    disk.write_page(pid, payload)
+    assert disk.read_page(pid) == payload
+
+
+def test_unwritten_page_reads_as_zeros(disk):
+    pid = disk.allocate_page()
+    assert disk.read_page(pid) == bytes(4096)
+
+
+def test_page_ids_are_sequential(disk):
+    ids = [disk.allocate_page() for __ in range(5)]
+    assert ids == list(range(5))
+    assert disk.num_pages == 5
+
+
+def test_unallocated_page_access_raises(disk):
+    with pytest.raises(StorageError):
+        disk.read_page(0)
+    pid = disk.allocate_page()
+    with pytest.raises(StorageError):
+        disk.read_page(pid + 1)
+
+
+def test_wrong_size_write_raises(disk):
+    pid = disk.allocate_page()
+    with pytest.raises(StorageError):
+        disk.write_page(pid, b"short")
+
+
+def test_stats_count_io(disk):
+    pid = disk.allocate_page()
+    disk.write_page(pid, bytes(4096))
+    disk.read_page(pid)
+    disk.read_page(pid)
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 2
+    assert disk.stats.bytes_written == 4096
+    assert disk.stats.bytes_read == 8192
+
+
+def test_file_disk_persists_across_reopen(tmp_path):
+    path = str(tmp_path / "persist.db")
+    disk = FileDiskManager(1024, path=path)
+    pid = disk.allocate_page()
+    disk.write_page(pid, b"z" * 1024)
+    disk.close()
+
+    reopened = FileDiskManager(1024, path=path)
+    assert reopened.num_pages == 1
+    assert reopened.read_page(pid) == b"z" * 1024
+    reopened.close()
+    assert os.path.exists(path)
+
+
+def test_temp_file_disk_cleans_up():
+    disk = FileDiskManager(1024)
+    path = disk.path
+    pid = disk.allocate_page()
+    disk.write_page(pid, b"a" * 1024)
+    disk.close()
+    assert not os.path.exists(path)
+    disk.close()  # idempotent

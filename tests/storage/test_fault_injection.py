@@ -1,0 +1,94 @@
+"""Failure injection: I/O faults must propagate cleanly, not corrupt state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.relational import ColumnType, Schema
+from repro.storage import BufferPool, HeapFile, InMemoryDiskManager, RowSerde
+
+
+class FaultyDisk(InMemoryDiskManager):
+    """A disk that starts failing on command."""
+
+    def __init__(self, page_size: int):
+        super().__init__(page_size)
+        self.fail_reads_after = None
+        self.fail_writes_after = None
+
+    def read_page(self, page_id):
+        if self.fail_reads_after is not None and self.stats.reads >= self.fail_reads_after:
+            raise StorageError(f"injected read fault on page {page_id}")
+        return super().read_page(page_id)
+
+    def write_page(self, page_id, data):
+        if (
+            self.fail_writes_after is not None
+            and self.stats.writes >= self.fail_writes_after
+        ):
+            raise StorageError(f"injected write fault on page {page_id}")
+        super().write_page(page_id, data)
+
+
+SCHEMA = Schema.of(("id", ColumnType.INT), ("payload", ColumnType.TEXT))
+
+
+def loaded_heap(capacity=4, rows=400):
+    disk = FaultyDisk(4096)
+    pool = BufferPool(disk, capacity_pages=capacity)
+    heap = HeapFile(pool, RowSerde(SCHEMA))
+    for i in range(rows):
+        heap.insert((i, "x" * 40))
+    return disk, pool, heap
+
+
+def test_read_fault_surfaces_during_scan():
+    disk, pool, heap = loaded_heap()
+    pool.flush_all()
+    disk.fail_reads_after = disk.stats.reads + 3
+    with pytest.raises(StorageError, match="injected read fault"):
+        list(heap.scan())
+
+
+def test_write_fault_surfaces_on_eviction():
+    disk, pool, heap = loaded_heap(capacity=4, rows=50)
+    disk.fail_writes_after = disk.stats.writes  # next eviction writeback dies
+    with pytest.raises(StorageError, match="injected write fault"):
+        for i in range(1000):
+            heap.insert((1000 + i, "y" * 60))
+
+
+def test_pool_recovers_after_transient_read_fault():
+    disk, pool, heap = loaded_heap()
+    pool.flush_all()
+    disk.fail_reads_after = disk.stats.reads  # fail immediately...
+    with pytest.raises(StorageError):
+        list(heap.scan())
+    disk.fail_reads_after = None  # ...then the fault clears
+    rows = [r for __, r in heap.scan()]
+    assert len(rows) == 400
+    assert rows[0] == (0, "x" * 40)
+
+
+def test_no_pins_leak_after_read_fault():
+    disk, pool, heap = loaded_heap()
+    pool.flush_all()
+    disk.fail_reads_after = disk.stats.reads + 2
+    with pytest.raises(StorageError):
+        list(heap.scan())
+    # The generator died mid-page, but page pins were released per page.
+    assert pool.pinned_page_count() == 0
+
+
+def test_fault_during_overflow_chain_read():
+    disk = FaultyDisk(4096)
+    pool = BufferPool(disk, capacity_pages=4)
+    blob_schema = Schema.of(("id", ColumnType.INT), ("data", ColumnType.BLOB))
+    heap = HeapFile(pool, RowSerde(blob_schema))
+    rid = heap.insert((1, bytes(50_000)))  # long overflow chain
+    pool.flush_all()
+    disk.fail_reads_after = disk.stats.reads + 5  # die mid-chain
+    with pytest.raises(StorageError):
+        heap.fetch(rid)
+    disk.fail_reads_after = None
+    assert heap.fetch(rid) == (1, bytes(50_000))

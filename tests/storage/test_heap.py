@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.relational import ColumnType, Schema
+from repro.storage import BufferPool, HeapFile, InMemoryDiskManager, RowSerde
+
+SCHEMA = Schema.of(("id", ColumnType.INT), ("name", ColumnType.TEXT))
+
+
+def make_heap(page_size=4096, capacity=16, schema=SCHEMA):
+    pool = BufferPool(InMemoryDiskManager(page_size), capacity_pages=capacity)
+    return HeapFile(pool, RowSerde(schema)), pool
+
+
+def test_insert_and_fetch():
+    heap, __ = make_heap()
+    rid = heap.insert((1, "one"))
+    assert heap.fetch(rid) == (1, "one")
+
+
+def test_scan_preserves_insertion_order():
+    heap, __ = make_heap()
+    rows = [(i, f"row-{i}") for i in range(100)]
+    for row in rows:
+        heap.insert(row)
+    assert [r for __, r in heap.scan()] == rows
+
+
+def test_spans_multiple_pages():
+    heap, pool = make_heap(page_size=4096, capacity=4)
+    n = 2000  # far more than one 4 KiB page worth of rows
+    for i in range(n):
+        heap.insert((i, "x" * 50))
+    assert heap.count() == n
+    assert pool.disk.num_pages > 1
+    assert pool.stats.evictions > 0  # the tiny pool had to spill
+
+
+def test_delete_tombstones_row():
+    heap, __ = make_heap()
+    rid1 = heap.insert((1, "a"))
+    rid2 = heap.insert((2, "b"))
+    heap.delete(rid1)
+    assert [r for __, r in heap.scan()] == [(2, "b")]
+    with pytest.raises(StorageError):
+        heap.fetch(rid1)
+    assert heap.fetch(rid2) == (2, "b")
+
+
+def test_overflow_record_larger_than_page():
+    blob_schema = Schema.of(("id", ColumnType.INT), ("data", ColumnType.BLOB))
+    heap, pool = make_heap(page_size=4096, capacity=8, schema=blob_schema)
+    big = bytes(np.arange(5000, dtype=np.int32).tobytes())  # 20 KB > page
+    rid = heap.insert((7, big))
+    small_rid = heap.insert((8, b"small"))
+    assert heap.fetch(rid) == (7, big)
+    assert heap.fetch(small_rid) == (8, b"small")
+    scanned = dict((row[0], row[1]) for __, row in heap.scan())
+    assert scanned == {7: big, 8: b"small"}
+
+
+def test_overflow_survives_eviction():
+    blob_schema = Schema.of(("id", ColumnType.INT), ("data", ColumnType.BLOB))
+    heap, pool = make_heap(page_size=4096, capacity=4, schema=blob_schema)
+    blobs = [bytes([i]) * 10_000 for i in range(10)]
+    rids = [heap.insert((i, blob)) for i, blob in enumerate(blobs)]
+    assert pool.stats.evictions > 0
+    for i, rid in enumerate(rids):
+        assert heap.fetch(rid) == (i, blobs[i])
+
+
+def test_reopen_heap_from_first_page_id():
+    pool = BufferPool(InMemoryDiskManager(4096), capacity_pages=16)
+    heap = HeapFile(pool, RowSerde(SCHEMA))
+    for i in range(300):
+        heap.insert((i, f"r{i}"))
+    reopened = HeapFile(pool, RowSerde(SCHEMA), first_page_id=heap.first_page_id)
+    assert reopened.count() == 300
+    reopened.insert((300, "appended"))
+    assert reopened.count() == 301
+
+
+def test_no_pins_leak_after_operations():
+    heap, pool = make_heap(page_size=4096, capacity=4)
+    for i in range(500):
+        heap.insert((i, "payload" * 10))
+    list(heap.scan())
+    assert pool.pinned_page_count() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(-1000, 1000), st.text(max_size=200)), max_size=60
+    )
+)
+def test_property_insert_then_scan_is_identity(rows):
+    heap, __ = make_heap(page_size=4096, capacity=8)
+    for row in rows:
+        heap.insert(row)
+    assert [r for __, r in heap.scan()] == rows

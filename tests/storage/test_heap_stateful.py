@@ -1,0 +1,82 @@
+"""Stateful property test: the heap file against a model dict.
+
+Hypothesis drives random interleavings of insert / delete / fetch / scan
+against a reference dict; the heap (over a deliberately tiny buffer pool,
+so evictions and overflow chains fire constantly) must agree at every
+step.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.relational import ColumnType, Schema
+from repro.storage import BufferPool, HeapFile, InMemoryDiskManager, RowSerde
+
+SCHEMA = Schema.of(
+    ("id", ColumnType.INT),
+    ("text", ColumnType.TEXT),
+    ("blob", ColumnType.BLOB),
+)
+
+
+class HeapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        pool = BufferPool(InMemoryDiskManager(2048), capacity_pages=4)
+        self.pool = pool
+        self.heap = HeapFile(pool, RowSerde(SCHEMA))
+        self.model: dict = {}  # rid -> row
+        self.insertion_order: list = []
+
+    rids = Bundle("rids")
+
+    @rule(
+        target=rids,
+        ident=st.integers(-(2**40), 2**40),
+        text=st.text(max_size=40),
+        blob_size=st.sampled_from([0, 10, 500, 3000, 9000]),
+    )
+    def insert(self, ident, text, blob_size):
+        blob = bytes((ident + i) % 256 for i in range(blob_size))
+        row = (ident, text, blob)
+        rid = self.heap.insert(row)
+        assert rid not in self.model
+        self.model[rid] = row
+        self.insertion_order.append(rid)
+        return rid
+
+    @rule(rid=rids)
+    def fetch(self, rid):
+        if rid in self.model:
+            assert self.heap.fetch(rid) == self.model[rid]
+
+    @rule(rid=rids)
+    def delete(self, rid):
+        if rid in self.model:
+            self.heap.delete(rid)
+            del self.model[rid]
+            self.insertion_order.remove(rid)
+
+    @invariant()
+    def scan_matches_model(self):
+        scanned = list(self.heap.scan())
+        assert [rid for rid, __ in scanned] == self.insertion_order
+        for rid, row in scanned:
+            assert row == self.model[rid]
+
+    @invariant()
+    def no_leaked_pins(self):
+        assert self.pool.pinned_page_count() == 0
+
+
+TestHeapStateMachine = HeapMachine.TestCase
+TestHeapStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

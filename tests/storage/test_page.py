@@ -1,0 +1,47 @@
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.page import Page
+
+
+def test_new_page_is_zeroed_and_unpinned():
+    page = Page(3, 4096)
+    assert page.page_id == 3
+    assert page.size == 4096
+    assert page.pin_count == 0
+    assert not page.dirty
+    assert page.read(0, 16) == bytes(16)
+
+
+def test_write_marks_dirty_and_round_trips():
+    page = Page(0, 256)
+    page.write(10, b"hello")
+    assert page.dirty
+    assert page.read(10, 5) == b"hello"
+    assert page.read(9, 1) == b"\x00"
+
+
+def test_pin_unpin_accounting():
+    page = Page(0, 64)
+    page.pin()
+    page.pin()
+    page.unpin()
+    page.unpin(dirty=True)
+    assert page.pin_count == 0
+    assert page.dirty
+
+
+def test_unpin_below_zero_raises():
+    page = Page(0, 64)
+    with pytest.raises(StorageError):
+        page.unpin()
+
+
+def test_out_of_bounds_read_and_write_raise():
+    page = Page(0, 64)
+    with pytest.raises(StorageError):
+        page.read(60, 8)
+    with pytest.raises(StorageError):
+        page.write(62, b"abcd")
+    with pytest.raises(StorageError):
+        page.read(-1, 2)

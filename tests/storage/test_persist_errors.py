@@ -1,0 +1,71 @@
+"""Persistence edge cases."""
+
+import json
+
+import pytest
+
+from repro import Database
+from repro.errors import StorageError
+from repro.storage import BufferPool, Catalog, InMemoryDiskManager
+from repro.storage.persist import (
+    FORMAT_VERSION,
+    load_sidecar,
+    restore_catalog,
+    save_sidecar,
+    serialize_catalog,
+    sidecar_path,
+)
+
+
+def test_sidecar_round_trip(tmp_path):
+    catalog = Catalog(BufferPool(InMemoryDiskManager(4096), capacity_pages=8))
+    from repro.relational import ColumnType, Schema
+
+    info = catalog.create_table("t", Schema.of(("x", ColumnType.INT)))
+    info.heap.insert((1,))
+    info.row_count = 1
+    snapshot = serialize_catalog(catalog, (32, 32))
+    path = str(tmp_path / "db.catalog")
+    save_sidecar(path, snapshot)
+    loaded = load_sidecar(path)
+    assert loaded == json.loads(json.dumps(snapshot))
+    assert loaded["version"] == FORMAT_VERSION
+    assert loaded["tables"][0]["name"] == "t"
+
+
+def test_missing_sidecar_returns_none(tmp_path):
+    assert load_sidecar(str(tmp_path / "nothing.catalog")) is None
+
+
+def test_unsupported_version_rejected():
+    catalog = Catalog(BufferPool(InMemoryDiskManager(4096), capacity_pages=8))
+    with pytest.raises(StorageError):
+        restore_catalog(catalog, {"version": 999, "block_shape": [32, 32]})
+
+
+def test_sidecar_path_naming():
+    assert sidecar_path("/data/db.pages") == "/data/db.pages.catalog"
+
+
+def test_reopen_after_delete_preserves_tombstones(tmp_path):
+    path = str(tmp_path / "db.pages")
+    with Database(path=path) as db:
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        db.execute("DELETE FROM t WHERE x = 2")
+    with Database(path=path) as db:
+        assert sorted(r[0] for r in db.execute("SELECT x FROM t")) == [1, 3]
+
+
+def test_model_metadata_survives(tmp_path):
+    from repro.models import fraud_fc_256
+
+    path = str(tmp_path / "db.pages")
+    with Database(path=path) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.model_info("fraud").metadata["trained_on"] = "fraud-v3"
+        db.model_info("fraud").metadata["unserializable"] = object()
+    with Database(path=path) as db:
+        metadata = db.model_info("fraud").metadata
+        assert metadata["trained_on"] == "fraud-v3"
+        assert "unserializable" not in metadata  # silently dropped

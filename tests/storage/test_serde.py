@@ -1,0 +1,62 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.relational import ColumnType, Schema
+from repro.storage import RowSerde
+
+SCHEMA = Schema.of(
+    ("id", ColumnType.INT),
+    ("score", ColumnType.DOUBLE),
+    ("name", ColumnType.TEXT),
+    ("active", ColumnType.BOOL),
+    ("payload", ColumnType.BLOB),
+)
+
+
+def test_round_trip_simple_row():
+    serde = RowSerde(SCHEMA)
+    row = (42, 3.5, "alice", True, b"\x00\x01\x02")
+    assert serde.deserialize(serde.serialize(row)) == row
+
+
+def test_round_trip_with_nulls():
+    serde = RowSerde(SCHEMA)
+    row = (None, None, None, None, None)
+    assert serde.deserialize(serde.serialize(row)) == row
+
+
+def test_round_trip_unicode_text():
+    serde = RowSerde(SCHEMA)
+    row = (1, 0.0, "naïve – ünïcode ✓", False, b"")
+    assert serde.deserialize(serde.serialize(row)) == row
+
+
+def test_wrong_arity_raises():
+    serde = RowSerde(SCHEMA)
+    with pytest.raises(StorageError):
+        serde.serialize((1, 2.0))
+
+
+def test_trailing_bytes_detected():
+    serde = RowSerde(Schema.of(("x", ColumnType.INT)))
+    data = serde.serialize((5,)) + b"junk"
+    with pytest.raises(StorageError):
+        serde.deserialize(data)
+
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-(2**62), max_value=2**62)),
+    st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    st.one_of(st.none(), st.text(max_size=64)),
+    st.one_of(st.none(), st.booleans()),
+    st.one_of(st.none(), st.binary(max_size=256)),
+)
+
+
+@settings(max_examples=200)
+@given(row=row_strategy)
+def test_property_round_trip(row):
+    serde = RowSerde(SCHEMA)
+    assert serde.deserialize(serde.serialize(row)) == row

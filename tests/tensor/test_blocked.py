@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.storage import BufferPool, Catalog, InMemoryDiskManager
+from repro.tensor import BlockedMatrix, TensorBlock, block_to_row, row_to_block
+
+
+def test_from_dense_round_trip_exact_blocks():
+    a = np.arange(24, dtype=float).reshape(4, 6)
+    blocked = BlockedMatrix.from_dense(a, (2, 3))
+    assert blocked.num_block_rows == 2
+    assert blocked.num_block_cols == 2
+    np.testing.assert_array_equal(blocked.to_dense(), a)
+
+
+def test_from_dense_ragged_edges():
+    a = np.arange(35, dtype=float).reshape(5, 7)
+    blocked = BlockedMatrix.from_dense(a, (2, 3))
+    assert blocked.num_block_rows == 3
+    assert blocked.num_block_cols == 3
+    assert blocked.block_dims(2, 2) == (1, 1)
+    np.testing.assert_array_equal(blocked.to_dense(), a)
+
+
+def test_missing_block_reads_as_zeros():
+    blocked = BlockedMatrix((4, 4), (2, 2))
+    np.testing.assert_array_equal(blocked.get_block(1, 1), np.zeros((2, 2)))
+    np.testing.assert_array_equal(blocked.to_dense(), np.zeros((4, 4)))
+
+
+def test_set_block_shape_checked():
+    blocked = BlockedMatrix((4, 4), (2, 2))
+    with pytest.raises(ShapeError):
+        blocked.set_block(0, 0, np.zeros((3, 3)))
+
+
+def test_matmul_matches_dense(rng):
+    a = rng.normal(size=(7, 11))
+    b = rng.normal(size=(11, 5))
+    got = BlockedMatrix.from_dense(a, (3, 4)).matmul(
+        BlockedMatrix.from_dense(b, (4, 2))
+    )
+    np.testing.assert_allclose(got.to_dense(), a @ b, atol=1e-12)
+
+
+def test_matmul_incompatible_shapes_raise(rng):
+    a = BlockedMatrix.from_dense(rng.normal(size=(4, 5)), (2, 2))
+    b = BlockedMatrix.from_dense(rng.normal(size=(4, 5)), (2, 2))
+    with pytest.raises(ShapeError):
+        a.matmul(b)
+
+
+def test_map_blocks_relu(rng):
+    a = rng.normal(size=(6, 6))
+    blocked = BlockedMatrix.from_dense(a, (2, 2))
+    relu = blocked.map_blocks(lambda x: np.maximum(x, 0.0))
+    np.testing.assert_array_equal(relu.to_dense(), np.maximum(a, 0.0))
+
+
+def test_add_row_vector(rng):
+    a = rng.normal(size=(5, 7))
+    bias = rng.normal(size=7)
+    blocked = BlockedMatrix.from_dense(a, (2, 3)).add_row_vector(bias)
+    np.testing.assert_allclose(blocked.to_dense(), a + bias, atol=1e-12)
+
+
+def test_row_softmax_matches_dense(rng):
+    a = rng.normal(size=(6, 9)) * 5
+    blocked = BlockedMatrix.from_dense(a, (2, 4)).row_softmax()
+    shifted = np.exp(a - a.max(axis=1, keepdims=True))
+    expected = shifted / shifted.sum(axis=1, keepdims=True)
+    np.testing.assert_allclose(blocked.to_dense(), expected, atol=1e-12)
+    np.testing.assert_allclose(blocked.to_dense().sum(axis=1), np.ones(6))
+
+
+def test_block_row_round_trip(rng):
+    block = TensorBlock(2, 3, rng.normal(size=(4, 5)))
+    row = block_to_row(block)
+    back = row_to_block(row)
+    assert (back.row_blk, back.col_blk) == (2, 3)
+    np.testing.assert_array_equal(back.data, block.data)
+
+
+def test_row_to_block_rejects_bad_payload():
+    with pytest.raises(ShapeError):
+        row_to_block((0, 0, 2, 2, np.zeros(3).tobytes()))
+
+
+def test_store_and_load_via_heap(rng):
+    pool = BufferPool(InMemoryDiskManager(8192), capacity_pages=8)
+    catalog = Catalog(pool)
+    a = rng.normal(size=(9, 7))
+    blocked = BlockedMatrix.from_dense(a, (4, 3))
+    info = blocked.store(catalog, "w_blocks")
+    assert info.row_count == blocked.num_blocks
+    loaded = BlockedMatrix.load(info, (9, 7), (4, 3))
+    np.testing.assert_array_equal(loaded.to_dense(), a)
+    # The tiny pool forced spilling: blocks survived eviction.
+    assert pool.stats.evictions > 0 or pool.resident_pages <= 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 12),
+    inner=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    br=st.integers(1, 5),
+    bi=st.integers(1, 5),
+    bc=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_property_blocked_matmul_equals_dense(rows, inner, cols, br, bi, bc, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, inner))
+    b = rng.normal(size=(inner, cols))
+    got = BlockedMatrix.from_dense(a, (br, bi)).matmul(
+        BlockedMatrix.from_dense(b, (bi, bc))
+    )
+    assert got.shape == (rows, cols)
+    np.testing.assert_allclose(got.to_dense(), a @ b, atol=1e-10)
