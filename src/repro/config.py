@@ -92,6 +92,12 @@ class SystemConfig:
     # modeled latency of measured_compute / efficiency).
     framework_compute_efficiency: float = 2.5
     num_cores: int = 8
+    # Unified telemetry (repro.telemetry): metrics registry, query spans,
+    # per-query stats.  Disabling swaps in no-op collectors so the hot
+    # paths pay only a null method call.
+    telemetry_enabled: bool = True
+    # Bound on retained finished spans (oldest kept, newest dropped).
+    telemetry_max_spans: int = 65536
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -105,6 +111,7 @@ class SystemConfig:
             "tensor_block_cols",
             "default_batch_size",
             "num_cores",
+            "telemetry_max_spans",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")

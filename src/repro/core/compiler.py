@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from ..config import SystemConfig
 from ..dlruntime.layers import Model
 from ..errors import PlanError
+from ..telemetry import Telemetry
 from .ir import InferencePlan
 from .optimizer import RuleBasedOptimizer
 
@@ -49,10 +50,15 @@ class CompiledModel:
 class AotCompiler:
     """Compiles models against a batch-size grid at load time."""
 
-    def __init__(self, config: SystemConfig, batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID):
+    def __init__(
+        self,
+        config: SystemConfig,
+        batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
+        telemetry: "Telemetry | None" = None,
+    ):
         if not batch_grid or list(batch_grid) != sorted(set(batch_grid)):
             raise PlanError("batch grid must be a sorted set of batch sizes")
-        self._optimizer = RuleBasedOptimizer(config)
+        self._optimizer = RuleBasedOptimizer(config, telemetry=telemetry)
         self._batch_grid = tuple(batch_grid)
 
     def compile(self, model: Model) -> CompiledModel:

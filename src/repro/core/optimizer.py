@@ -18,16 +18,32 @@ from __future__ import annotations
 from ..config import SystemConfig
 from ..dlruntime.layers import Model
 from ..errors import PlanError
+from ..telemetry import DISABLED, Telemetry, get_logger
 from .cost import node_memory_requirement
 from .ir import InferencePlan, LinAlgNode, PlanStage, Representation
 from .lowering import lower_model
+
+log = get_logger("optimizer")
 
 
 class RuleBasedOptimizer:
     """Assigns representations per operator and fuses stages."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, telemetry: Telemetry | None = None):
         self._config = config
+        self._telemetry = telemetry if telemetry is not None else DISABLED
+        registry = self._telemetry.registry
+        self._m_decisions = {
+            rep: registry.counter(
+                "optimizer_decisions_total",
+                "Per-operator representation decisions at plan time",
+                representation=rep.value,
+            )
+            for rep in Representation
+        }
+        self._m_plans = registry.counter(
+            "optimizer_plans_total", "Inference plans produced"
+        )
 
     @property
     def threshold_bytes(self) -> int:
@@ -48,29 +64,44 @@ class RuleBasedOptimizer:
             raise PlanError("batch_size must be >= 1")
         if isinstance(force, str):
             force = Representation.parse(force)
-        nodes = lower_model(model)
-        notes: list[str] = []
-        for node in nodes:
-            if force is not None:
-                node.representation = force
-                continue
-            required = node_memory_requirement(node, batch_size)
-            if required > self.threshold_bytes:
-                node.representation = Representation.RELATION_CENTRIC
-                notes.append(
-                    f"{node.op.value} needs {required:,} bytes "
-                    f"(> threshold {self.threshold_bytes:,}) -> relation-centric"
+        with self._telemetry.tracer.span(
+            f"optimize:{model.name}", category="optimizer", batch_size=batch_size
+        ):
+            nodes = lower_model(model)
+            notes: list[str] = []
+            for node in nodes:
+                if force is not None:
+                    node.representation = force
+                    self._m_decisions[force].inc()
+                    continue
+                required = node_memory_requirement(node, batch_size)
+                if required > self.threshold_bytes:
+                    node.representation = Representation.RELATION_CENTRIC
+                    notes.append(
+                        f"{node.op.value} needs {required:,} bytes "
+                        f"(> threshold {self.threshold_bytes:,}) -> relation-centric"
+                    )
+                else:
+                    node.representation = Representation.UDF_CENTRIC
+                self._m_decisions[node.representation].inc()
+                log.debug(
+                    "model=%s batch=%d op=%s memory=%d threshold=%d -> %s",
+                    model.name,
+                    batch_size,
+                    node.op.value,
+                    required,
+                    self.threshold_bytes,
+                    node.representation.value,
                 )
-            else:
-                node.representation = Representation.UDF_CENTRIC
-        stages = fuse_stages(nodes)
-        return InferencePlan(
-            model=model,
-            batch_size=batch_size,
-            stages=stages,
-            threshold_bytes=self.threshold_bytes,
-            notes=notes,
-        )
+            stages = fuse_stages(nodes)
+            self._m_plans.inc()
+            return InferencePlan(
+                model=model,
+                batch_size=batch_size,
+                stages=stages,
+                threshold_bytes=self.threshold_bytes,
+                notes=notes,
+            )
 
 
 class DeviceAwareOptimizer(RuleBasedOptimizer):
@@ -85,8 +116,13 @@ class DeviceAwareOptimizer(RuleBasedOptimizer):
     operator does not fit any single device.
     """
 
-    def __init__(self, config: SystemConfig, devices: list | None = None):
-        super().__init__(config)
+    def __init__(
+        self,
+        config: SystemConfig,
+        devices: list | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        super().__init__(config, telemetry=telemetry)
         from ..dlruntime.device import cpu_device
         from ..resources.allocator import DeviceAllocator
 
@@ -113,10 +149,17 @@ class DeviceAwareOptimizer(RuleBasedOptimizer):
                 continue
             if decision.device.kind == "gpu":
                 node.representation = Representation.DL_CENTRIC
+                self._m_decisions[Representation.DL_CENTRIC].inc()
                 notes.append(
                     f"{node.op.value} offloaded to {decision.device.name} "
                     f"(modeled {decision.estimates[decision.device.name]:.2e}s "
                     "beats CPU)"
+                )
+                log.debug(
+                    "model=%s op=%s offloaded to %s -> dl-centric",
+                    model.name,
+                    node.op.value,
+                    decision.device.name,
                 )
         return InferencePlan(
             model=model,

@@ -18,15 +18,28 @@ from ..dlruntime.connector import Connector
 from ..dlruntime.layers import Model
 from ..dlruntime.runtime import ExternalRuntime
 from ..relational.operators import Operator
+from ..telemetry import DISABLED, Telemetry
 from .base import EngineResult
 
 
 class DlCentricEngine:
     """Connector + external runtime, as one engine."""
 
-    def __init__(self, connector: Connector, runtime: ExternalRuntime):
+    def __init__(
+        self,
+        connector: Connector,
+        runtime: ExternalRuntime,
+        telemetry: Telemetry | None = None,
+    ):
         self.connector = connector
         self.runtime = runtime
+        self._telemetry = telemetry if telemetry is not None else DISABLED
+        self._m_run_seconds = self._telemetry.registry.histogram(
+            "engine_run_seconds", "Per-invocation engine time", engine="dl-centric"
+        )
+        self._m_wire_bytes = self._telemetry.registry.counter(
+            "connector_wire_bytes_total", "Bytes moved across the connector"
+        )
 
     def run_from_source(
         self,
@@ -70,6 +83,8 @@ class DlCentricEngine:
         start = time.perf_counter()
         run = self.runtime.run(handle, features)
         compute_measured = time.perf_counter() - start
+        self._m_run_seconds.observe(transfer_measured + compute_measured)
+        self._m_wire_bytes.inc(float(wire_bytes))
         # The framework's calibrated compute advantage: the modeled total
         # replaces the measured compute with measured / efficiency.
         compute_discount = run.measured_seconds - run.modeled_seconds

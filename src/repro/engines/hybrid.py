@@ -20,6 +20,7 @@ from ..dlruntime.memory import MemoryBudget
 from ..dlruntime.runtime import ExternalRuntime
 from ..errors import PlanError
 from ..storage.catalog import Catalog, ModelInfo
+from ..telemetry import DISABLED, Telemetry
 from .base import EngineResult
 from .dl_centric import DlCentricEngine
 from .relation_centric import RelationCentricEngine
@@ -36,9 +37,29 @@ class HybridExecutor:
         db_budget: MemoryBudget | None = None,
         dl_budget: MemoryBudget | None = None,
         runtime_flavor: str = "tensorflow-sim",
+        telemetry: Telemetry | None = None,
     ):
         self.catalog = catalog
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        registry = self.telemetry.registry
+        self._m_stage_runs = {
+            rep: registry.counter(
+                "engine_stage_runs_total",
+                "Plan stages executed, by representation",
+                representation=rep.value,
+            )
+            for rep in Representation
+        }
+        self._m_engine_seconds = registry.counter(
+            "engine_measured_seconds_total", "Wall-clock seconds inside engines"
+        )
+        self._m_predict_batches = registry.counter(
+            "predict_batches_total", "Inference plan executions"
+        )
+        self._m_predict_rows = registry.counter(
+            "predict_rows_total", "Rows pushed through inference plans"
+        )
         self.db_budget = (
             db_budget
             if db_budget is not None
@@ -49,8 +70,12 @@ class HybridExecutor:
             if dl_budget is not None
             else MemoryBudget(config.dl_memory_limit_bytes, "dl-runtime")
         )
-        self.udf_engine = UdfCentricEngine(self.db_budget, eager_free=False)
-        self.relation_engine = RelationCentricEngine(catalog, config)
+        self.udf_engine = UdfCentricEngine(
+            self.db_budget, eager_free=False, telemetry=self.telemetry
+        )
+        self.relation_engine = RelationCentricEngine(
+            catalog, config, telemetry=self.telemetry
+        )
         self.dl_engine = DlCentricEngine(
             Connector(config.connector),
             ExternalRuntime(
@@ -58,6 +83,7 @@ class HybridExecutor:
                 self.dl_budget,
                 compute_efficiency=config.framework_compute_efficiency,
             ),
+            telemetry=self.telemetry,
         )
 
     def execute(
@@ -73,18 +99,36 @@ class HybridExecutor:
         peak = 0
         detail: dict[str, float] = {}
         outputs = current
-        for i, stage in enumerate(plan.stages):
-            result = self._run_stage(stage, current, model_info, plan.model)
-            measured += result.measured_seconds
-            modeled_extra += result.modeled_extra_seconds
-            peak = max(peak, result.peak_memory_bytes)
-            for key, value in result.detail.items():
-                detail[f"stage{i}.{key}"] = value
-            detail[f"stage{i}.representation"] = float(
-                list(Representation).index(stage.representation)
-            )
-            outputs = result.outputs
-            current = outputs
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            f"predict:{plan.model.name}",
+            category="engine",
+            rows=int(current.shape[0]),
+            stages=len(plan.stages),
+        ):
+            for i, stage in enumerate(plan.stages):
+                with tracer.span(
+                    f"stage{i}:{stage.representation.value}", category="engine"
+                ) as stage_span:
+                    result = self._run_stage(stage, current, model_info, plan.model)
+                    stage_span.set(
+                        engine=result.engine,
+                        measured_seconds=result.measured_seconds,
+                    )
+                self._m_stage_runs[stage.representation].inc()
+                measured += result.measured_seconds
+                modeled_extra += result.modeled_extra_seconds
+                peak = max(peak, result.peak_memory_bytes)
+                for key, value in result.detail.items():
+                    detail[f"stage{i}.{key}"] = value
+                detail[f"stage{i}.representation"] = float(
+                    list(Representation).index(stage.representation)
+                )
+                outputs = result.outputs
+                current = outputs
+        self._m_predict_batches.inc()
+        self._m_predict_rows.inc(float(x.shape[0]))
+        self._m_engine_seconds.inc(measured)
         return EngineResult(
             outputs=outputs,
             engine="hybrid",

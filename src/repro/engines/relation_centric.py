@@ -31,6 +31,7 @@ from ..errors import PlanError
 from ..models.store import weight_block_table
 from ..relational.operators import Operator
 from ..storage.catalog import Catalog, ModelInfo, TableInfo
+from ..telemetry import DISABLED, Telemetry
 from ..tensor.blocked import BlockedMatrix
 from ..tensor.im2col import im2col
 from ..tensor.linalg import (
@@ -55,6 +56,7 @@ class RelationCentricEngine:
         config: SystemConfig,
         budget: MemoryBudget | None = None,
         stripe_rows: int | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if config.tensor_block_rows != config.tensor_block_cols:
             raise PlanError(
@@ -66,6 +68,13 @@ class RelationCentricEngine:
         self.budget = budget if budget is not None else MemoryBudget(None, "relation")
         self.stripe_rows = (
             stripe_rows if stripe_rows is not None else config.tensor_block_rows * 8
+        )
+        self._telemetry = telemetry if telemetry is not None else DISABLED
+        self._m_run_seconds = self._telemetry.registry.histogram(
+            "engine_run_seconds", "Per-invocation engine time", engine="relation-centric"
+        )
+        self._m_stripes = self._telemetry.registry.counter(
+            "relation_stripes_total", "Row stripes processed block-wise"
         )
 
     @property
@@ -95,7 +104,9 @@ class RelationCentricEngine:
                 result = self._run_stripe(layers, stripe, model_info)
                 with self.budget.borrow(result.nbytes, tag="stripe-out"):
                     outputs[lo : lo + stripe.shape[0]] = result
+            self._m_stripes.inc()
         measured = time.perf_counter() - start
+        self._m_run_seconds.observe(measured)
         return EngineResult(
             outputs=outputs,
             engine="relation-centric",
@@ -218,7 +229,9 @@ class RelationCentricEngine:
                         out_info.heap.insert(shifted)
                         out_info.row_count += 1
                     block_row_offset += -(-stripe.shape[0] // block_shape[0])
+                    self._m_stripes.inc()
         measured = time.perf_counter() - start
+        self._m_run_seconds.observe(measured)
         return EngineResult(
             outputs=np.empty((0,)),
             engine="relation-centric",

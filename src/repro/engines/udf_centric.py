@@ -20,15 +20,25 @@ from ..dlruntime.layers import Layer, Model
 from ..dlruntime.memory import MemoryBudget
 from ..relational.operators import MapRows, Operator
 from ..relational.schema import ColumnType, Schema
+from ..telemetry import DISABLED, Telemetry
 from .base import EngineResult
 
 
 class UdfCentricEngine:
     """Runs model layers as in-process UDFs against a DB memory budget."""
 
-    def __init__(self, budget: MemoryBudget, eager_free: bool = False):
+    def __init__(
+        self,
+        budget: MemoryBudget,
+        eager_free: bool = False,
+        telemetry: Telemetry | None = None,
+    ):
         self.budget = budget
         self.eager_free = eager_free
+        self._telemetry = telemetry if telemetry is not None else DISABLED
+        self._m_run_seconds = self._telemetry.registry.histogram(
+            "engine_run_seconds", "Per-invocation engine time", engine="udf-centric"
+        )
 
     def run_layers(self, layers: Sequence[Layer], x: np.ndarray) -> EngineResult:
         """Execute a fused layer sequence over one input array."""
@@ -39,6 +49,7 @@ class UdfCentricEngine:
             x, budget=self.budget, eager_free=self.eager_free
         )
         measured = time.perf_counter() - start
+        self._m_run_seconds.observe(measured)
         return EngineResult(
             outputs=outputs,
             engine="udf-centric",

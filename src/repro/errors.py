@@ -96,3 +96,8 @@ class AnnIndexError(ReproError):
 
 class SlaViolationError(ReproError):
     """No execution alternative satisfies the requested service level agreement."""
+
+
+class TelemetryError(ReproError):
+    """A metric or trace was used inconsistently (e.g. a counter re-registered
+    as a gauge, or a counter decremented)."""

@@ -52,12 +52,21 @@ class AnalyzeReport:
 
 
 def instrument(root: Operator) -> AnalyzeReport:
-    """Attach counters to every node of the plan (idempotent per node)."""
+    """Attach counters to every node of the plan (idempotent per node).
+
+    Re-instrumenting an already-instrumented plan *replaces* the previous
+    wrapper instead of stacking a second counting layer: each wrapper
+    carries the pristine ``rows`` it shadowed in an
+    ``_instrument_original`` sentinel attribute, and wrapping always
+    starts from that original.  Stacked wrappers would drive every
+    report's counters at once and bill each generator's bookkeeping
+    overhead to the reports below it.
+    """
     report = AnalyzeReport()
 
     def wrap(node: Operator) -> None:
         stats = report.for_node(node)
-        original_rows = node.rows
+        original_rows = getattr(node.rows, "_instrument_original", node.rows)
 
         def counting_rows() -> Iterator[Row]:
             stats.opened += 1
@@ -73,7 +82,9 @@ def instrument(root: Operator) -> AnalyzeReport:
                 stats.inclusive_seconds += time.perf_counter() - start
                 raise
 
-        # Shadow the bound method on the instance only.
+        # Shadow the bound method on the instance only; the sentinel lets
+        # a later instrument() call find the unwrapped original.
+        counting_rows._instrument_original = original_rows  # type: ignore[attr-defined]
         node.rows = counting_rows  # type: ignore[method-assign]
         for child in node.children():
             wrap(child)

@@ -26,6 +26,30 @@ from ..dlruntime.layers import Model
 from ..indexes.base import VectorIndex
 from ..relational.schema import ColumnType, Schema
 from ..storage.catalog import Catalog, TableInfo
+from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
+
+
+def _cache_metrics(metrics: MetricsRegistry | None, model: Model, kind: str):
+    """Counter/histogram handles for one cache instance."""
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    labels = {"model": model.name, "kind": kind}
+    return (
+        registry.counter(
+            "result_cache_hits_total", "Queries answered from the cache", **labels
+        ),
+        registry.counter(
+            "result_cache_misses_total", "Queries that ran the model", **labels
+        ),
+        registry.counter(
+            "result_cache_inserts_total", "Entries inserted into the cache", **labels
+        ),
+        registry.histogram(
+            "result_cache_lookup_seconds", "Per-batch cache probe time", **labels
+        ),
+        registry.histogram(
+            "result_cache_model_seconds", "Per-batch model time on misses", **labels
+        ),
+    )
 
 
 @dataclass
@@ -76,12 +100,20 @@ class InferenceResultCache:
         catalog: Catalog | None = None,
         table_name: str | None = None,
         insert_on_miss: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self.model = model
         self.index = index
         self.distance_threshold = float(distance_threshold)
         self.insert_on_miss = insert_on_miss
         self.stats = CacheStats()
+        (
+            self._m_hits,
+            self._m_misses,
+            self._m_inserts,
+            self._m_lookup_seconds,
+            self._m_model_seconds,
+        ) = _cache_metrics(metrics, model, "ann")
         self._predictions: dict[int, int] = {}
         self._next_id = 0
         self._table: TableInfo | None = None
@@ -116,6 +148,7 @@ class InferenceResultCache:
                 )
                 self._table.row_count += 1
         self.stats.inserts += flat.shape[0]
+        self._m_inserts.inc(flat.shape[0])
 
     # -- serving ---------------------------------------------------------
 
@@ -164,6 +197,11 @@ class InferenceResultCache:
         self.stats.misses += len(miss_rows)
         self.stats.model_seconds += model_seconds
         self.stats.lookup_seconds += lookup_seconds
+        self._m_hits.inc(hits)
+        self._m_misses.inc(len(miss_rows))
+        self._m_lookup_seconds.observe(lookup_seconds)
+        if miss_rows:
+            self._m_model_seconds.observe(model_seconds)
         return predictions, CacheServeReport(
             hits=hits,
             misses=len(miss_rows),
@@ -187,11 +225,23 @@ class ExactResultCache:
     the model.  The trade: only exact repeats hit.
     """
 
-    def __init__(self, model: Model, max_entries: int | None = None):
+    def __init__(
+        self,
+        model: Model,
+        max_entries: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.model = model
         self.max_entries = max_entries
         self._entries: dict[bytes, int] = {}
         self.stats = CacheStats()
+        (
+            self._m_hits,
+            self._m_misses,
+            self._m_inserts,
+            self._m_lookup_seconds,
+            self._m_model_seconds,
+        ) = _cache_metrics(metrics, model, "exact")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -223,11 +273,17 @@ class ExactResultCache:
                 if self.max_entries is None or len(self._entries) < self.max_entries:
                     self._entries[keys[i]] = int(pred)
             self.stats.inserts += len(miss_rows)
+            self._m_inserts.inc(len(miss_rows))
         hits = n - len(miss_rows)
         self.stats.hits += hits
         self.stats.misses += len(miss_rows)
         self.stats.model_seconds += model_seconds
         self.stats.lookup_seconds += lookup_seconds
+        self._m_hits.inc(hits)
+        self._m_misses.inc(len(miss_rows))
+        self._m_lookup_seconds.observe(lookup_seconds)
+        if miss_rows:
+            self._m_model_seconds.observe(model_seconds)
         return predictions, CacheServeReport(
             hits=hits,
             misses=len(miss_rows),

@@ -20,6 +20,7 @@ chosen by SLA policies).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -47,6 +48,7 @@ from .storage.buffer_pool import (
 )
 from .storage.catalog import Catalog, ModelInfo
 from .storage.disk import FileDiskManager, InMemoryDiskManager
+from .telemetry import QueryStats, Telemetry
 
 
 @dataclass
@@ -70,10 +72,17 @@ def _make_policy(name: str) -> EvictionPolicy:
 
 @dataclass
 class Cursor:
-    """A fully-materialized query result."""
+    """A fully-materialized query result.
+
+    When telemetry is enabled, ``stats`` carries the
+    :class:`~repro.telemetry.QueryStats` for the statement that produced
+    this cursor (rows, wall-clock time, buffer-pool and result-cache
+    deltas, engine seconds, representations executed).
+    """
 
     columns: tuple[str, ...]
     rows: list[tuple]
+    stats: QueryStats | None = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -106,6 +115,31 @@ class Database:
             base.with_options(**config_overrides) if config_overrides else base
         )
         self._path = path
+        self._telemetry = Telemetry(
+            enabled=self._config.telemetry_enabled,
+            max_spans=self._config.telemetry_max_spans,
+        )
+        registry = self._telemetry.registry
+        self._m_queries = registry.counter(
+            "queries_total", "SQL statements executed"
+        )
+        self._m_query_seconds = registry.histogram(
+            "query_seconds", "End-to-end statement latency"
+        )
+        self._m_plan_selections = {
+            rep: registry.counter(
+                "optimizer_plan_selections_total",
+                "Plan stages selected at query time, by representation",
+                representation=rep.value,
+            )
+            for rep in Representation
+        }
+        self._m_index_builds = registry.counter(
+            "vector_index_builds_total", "ANN index builds/refreshes"
+        )
+        self._m_index_searches = registry.counter(
+            "vector_index_searches_total", "ANN index searches"
+        )
         if path is not None:
             self._disk = FileDiskManager(self._config.page_size, path=path)
         else:
@@ -114,6 +148,7 @@ class Database:
             self._disk,
             self._config.buffer_pool_pages,
             policy=_make_policy(self._config.eviction_policy),
+            metrics=registry if self._telemetry.enabled else None,
         )
         self._catalog = Catalog(self._pool)
         self._compiled: dict[str, CompiledModel] = {}
@@ -147,6 +182,57 @@ class Database:
     def buffer_pool(self) -> BufferPool:
         return self._pool
 
+    # -- telemetry -------------------------------------------------------
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The session's telemetry bundle (registry + tracer)."""
+        return self._telemetry
+
+    def metrics_text(self) -> str:
+        """The metrics registry in the Prometheus text exposition format."""
+        return self._telemetry.registry.render_prometheus()
+
+    def export_trace(self, path: str) -> int:
+        """Write recorded query spans as Chrome-trace JSON.
+
+        Load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+        Returns the number of events written (0 with telemetry disabled,
+        which still produces a valid empty trace file).
+        """
+        return self._telemetry.tracer.export_chrome_trace(path)
+
+    def _system_stats_rows(self) -> list[tuple[str, object]]:
+        """Rows for ``SHOW STATS``: one (stat, value) pair per line."""
+        pool = self._pool.stats
+        rows: list[tuple[str, object]] = [
+            ("bufferpool.capacity_pages", self._pool.capacity),
+            ("bufferpool.resident_pages", self._pool.resident_pages),
+            ("bufferpool.pinned_pages", self._pool.pinned_page_count()),
+            ("bufferpool.hits", pool.hits),
+            ("bufferpool.misses", pool.misses),
+            ("bufferpool.hit_rate", round(pool.hit_rate, 6)),
+            ("bufferpool.evictions", pool.evictions),
+            ("bufferpool.dirty_writebacks", pool.dirty_writebacks),
+            ("catalog.tables", len(list(self._catalog.tables()))),
+            ("catalog.models", len(list(self._catalog.models()))),
+            ("config.eviction_policy", self._config.eviction_policy),
+            ("config.memory_threshold_bytes", self._config.memory_threshold_bytes),
+            ("config.telemetry_enabled", self._config.telemetry_enabled),
+            ("telemetry.spans_recorded", len(self._telemetry.tracer.finished)),
+            ("telemetry.spans_dropped", self._telemetry.tracer.dropped),
+        ]
+        for name, cache in sorted(self._caches.items()):
+            stats = cache.stats
+            rows.append((f"result_cache.{name}.entries", len(cache)))
+            rows.append((f"result_cache.{name}.hits", stats.hits))
+            rows.append((f"result_cache.{name}.misses", stats.misses))
+            rows.append((f"result_cache.{name}.hit_rate", round(stats.hit_rate, 6)))
+        for name, entry in sorted(self._vector_indexes.items()):
+            rows.append((f"vector_index.{name}.kind", entry.kind))
+            rows.append((f"vector_index.{name}.vectors", len(entry.rids)))
+        return rows
+
     def set_option(self, name: str, value: object) -> None:
         """Change a planning option (e.g. ``memory_threshold_bytes``).
 
@@ -161,16 +247,83 @@ class Database:
             )
 
     def _rebuild_planning(self) -> None:
-        self._optimizer = RuleBasedOptimizer(self._config)
-        self._compiler = AotCompiler(self._config)
-        self._executor = HybridExecutor(self._catalog, self._config)
-        self._planner = Planner(self._catalog, predict_fn=self._predict_labels)
+        self._optimizer = RuleBasedOptimizer(self._config, telemetry=self._telemetry)
+        self._compiler = AotCompiler(self._config, telemetry=self._telemetry)
+        self._executor = HybridExecutor(
+            self._catalog, self._config, telemetry=self._telemetry
+        )
+        self._planner = Planner(
+            self._catalog,
+            predict_fn=self._predict_labels,
+            telemetry=self._telemetry,
+        )
 
     # -- SQL ------------------------------------------------------------
 
     def execute(self, sql: str) -> Cursor:
-        """Parse and execute one SQL statement."""
-        stmt = parse(sql)
+        """Parse and execute one SQL statement.
+
+        With telemetry enabled the statement runs under nested
+        ``query -> parse / plan / execute`` spans and the returned
+        cursor's ``stats`` holds the per-query counter deltas.
+        """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return self._execute_statement(parse(sql))
+        tracer = telemetry.tracer
+        pool = self._pool.stats
+        pool_before = (pool.hits, pool.misses, pool.evictions)
+        cache_before = self._cache_totals()
+        engine_before = self._executor._m_engine_seconds.value
+        stage_before = {
+            rep: counter.value
+            for rep, counter in self._executor._m_stage_runs.items()
+        }
+        start = time.perf_counter()
+        with tracer.span("query", category="sql", sql=sql.strip()[:200]):
+            with tracer.span("parse", category="sql"):
+                stmt = parse(sql)
+            if isinstance(stmt, sql_ast.Select):
+                op = self._planner.plan_select(stmt)  # emits the "plan" span
+                with tracer.span("execute", category="sql", statement="Select"):
+                    cursor = Cursor(op.schema.names, list(op))
+            else:
+                with tracer.span(
+                    "execute", category="sql", statement=type(stmt).__name__
+                ):
+                    cursor = self._execute_statement(stmt)
+        elapsed = time.perf_counter() - start
+        self._m_queries.inc()
+        self._m_query_seconds.observe(elapsed)
+        cache_after = self._cache_totals()
+        representations = {
+            rep.value: int(counter.value - stage_before[rep])
+            for rep, counter in self._executor._m_stage_runs.items()
+            if counter.value > stage_before[rep]
+        }
+        cursor.stats = QueryStats(
+            sql=sql,
+            statement=type(stmt).__name__,
+            rows=len(cursor.rows),
+            elapsed_seconds=elapsed,
+            pool_hits=pool.hits - pool_before[0],
+            pool_misses=pool.misses - pool_before[1],
+            pool_evictions=pool.evictions - pool_before[2],
+            cache_hits=cache_after[0] - cache_before[0],
+            cache_misses=cache_after[1] - cache_before[1],
+            engine_seconds=self._executor._m_engine_seconds.value - engine_before,
+            representations=representations,
+        )
+        return cursor
+
+    def _cache_totals(self) -> tuple[int, int]:
+        hits = misses = 0
+        for cache in self._caches.values():
+            hits += cache.stats.hits
+            misses += cache.stats.misses
+        return hits, misses
+
+    def _execute_statement(self, stmt: sql_ast.Statement) -> Cursor:
         if isinstance(stmt, sql_ast.CreateTable):
             schema = Schema.of(*stmt.columns)
             self._catalog.create_table(stmt.name, schema)
@@ -252,6 +405,11 @@ class Database:
                     for t in self._catalog.tables()
                 ]
                 return Cursor(("name", "columns", "rows"), sorted(rows))
+            if stmt.what == "metrics":
+                snapshot = self._telemetry.registry.snapshot()
+                return Cursor(("name", "value"), sorted(snapshot.items()))
+            if stmt.what == "stats":
+                return Cursor(("stat", "value"), self._system_stats_rows())
             rows = [
                 (m.name, m.model.name, m.model.param_count)
                 for m in self._catalog.models()
@@ -287,26 +445,12 @@ class Database:
         return cursor, report.render(op)
 
     def explain(self, sql: str) -> str:
-        """The physical plan, including per-operator representations."""
-        stmt = parse(sql)
-        if isinstance(stmt, sql_ast.Show):
-            if stmt.what == "tables":
-                rows = [
-                    (t.name, len(t.schema), t.row_count)
-                    for t in self._catalog.tables()
-                ]
-                return Cursor(("name", "columns", "rows"), sorted(rows))
-            rows = [
-                (m.name, m.model.name, m.model.param_count)
-                for m in self._catalog.models()
-            ]
-            return Cursor(("name", "model", "params"), sorted(rows))
-        if isinstance(stmt, sql_ast.UnionAll):
-            from .relational.operators import Concat
+        """The physical plan, including per-operator representations.
 
-            ops = [self._planner.plan_select(q) for q in stmt.queries]
-            op = Concat(ops)
-            return Cursor(op.schema.names, list(op))
+        Accepts a SELECT (optionally already wrapped in ``EXPLAIN``);
+        any other statement raises :class:`SqlError`.
+        """
+        stmt = parse(sql)
         if isinstance(stmt, sql_ast.Explain):
             stmt = stmt.query
         if not isinstance(stmt, sql_ast.Select):
@@ -346,7 +490,10 @@ class Database:
         """Register a model and AoT-compile its plans (Sec. 2)."""
         model_name = (name or model.name).lower()
         self._catalog.register_model(model_name, model)
-        self._compiled[model_name] = self._compiler.compile(model)
+        with self._telemetry.tracer.span(
+            f"compile:{model_name}", category="optimizer"
+        ):
+            self._compiled[model_name] = self._compiler.compile(model)
         return model_name
 
     def model_info(self, name: str) -> ModelInfo:
@@ -358,11 +505,17 @@ class Database:
         """The plan PREDICT would use for this model and batch size."""
         model = self._catalog.get_model(name).model
         if force is not None:
-            return self._optimizer.plan_model(model, batch_size, force=force)
-        compiled = self._compiled.get(name.lower())
-        if compiled is None:
-            raise CatalogError(f"model {name!r} was not registered through this session")
-        return compiled.select(batch_size)
+            plan = self._optimizer.plan_model(model, batch_size, force=force)
+        else:
+            compiled = self._compiled.get(name.lower())
+            if compiled is None:
+                raise CatalogError(
+                    f"model {name!r} was not registered through this session"
+                )
+            plan = compiled.select(batch_size)
+        for stage in plan.stages:
+            self._m_plan_selections[stage.representation].inc()
+        return plan
 
     def predict(
         self,
@@ -377,7 +530,10 @@ class Database:
         executor = self._executor
         if dl_budget is not None:
             executor = HybridExecutor(
-                self._catalog, self._config, dl_budget=dl_budget
+                self._catalog,
+                self._config,
+                dl_budget=dl_budget,
+                telemetry=self._telemetry,
             )
         return executor.execute(plan, features, info)
 
@@ -422,7 +578,11 @@ class Database:
         entry = self._vector_index_entry(index_name)
         if entry.index is None:
             raise CatalogError(f"vector index {index_name!r} was never built")
-        result = entry.index.search(np.asarray(query, dtype=np.float64), k=k)
+        self._m_index_searches.inc()
+        with self._telemetry.tracer.span(
+            f"vector-search:{index_name}", category="index", k=k
+        ):
+            result = entry.index.search(np.asarray(query, dtype=np.float64), k=k)
         info = self._catalog.get_table(entry.table)
         rows = []
         for vid, dist in zip(result.ids, result.distances):
@@ -472,9 +632,16 @@ class Database:
                 f"{sorted(makers)}"
             )
         index = makers[entry.kind]()
-        index.add(np.vstack(vectors))
+        with self._telemetry.tracer.span(
+            f"vector-build:{entry.kind}", category="index", vectors=len(rids)
+        ):
+            index.add(np.vstack(vectors))
         entry.index = index
         entry.rids = rids
+        self._m_index_builds.inc()
+        self._telemetry.registry.gauge(
+            "vector_index_vectors", "Vectors held per ANN index", kind=entry.kind
+        ).set(len(rids))
         return len(rids)
 
     # -- result caching (Sec. 5.1) ---------------------------------------
@@ -499,8 +666,11 @@ class Database:
 
         info = self._catalog.get_model(name)
         model = info.model
+        metrics = (
+            self._telemetry.registry if self._telemetry.enabled else None
+        )
         if exact:
-            self._caches[info.name] = ExactResultCache(model)
+            self._caches[info.name] = ExactResultCache(model, metrics=metrics)
             return
         dim = int(np.prod(model.input_shape))
         index_types = {
@@ -520,6 +690,7 @@ class Database:
             distance_threshold=distance_threshold,
             catalog=self._catalog,
             table_name=f"__cache_{info.name}",
+            metrics=metrics,
         )
 
     def disable_result_cache(self, name: str) -> None:

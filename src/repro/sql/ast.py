@@ -133,9 +133,13 @@ class Explain(Statement):
 
 @dataclass
 class Show(Statement):
-    """``SHOW TABLES`` / ``SHOW MODELS``."""
+    """``SHOW TABLES`` / ``SHOW MODELS`` / ``SHOW METRICS`` / ``SHOW STATS``.
 
-    what: str  # "tables" or "models"
+    METRICS renders the session's telemetry registry as a cursor; STATS
+    renders system-level statistics (buffer pool, caches, catalog sizes).
+    """
+
+    what: str  # "tables", "models", "metrics", or "stats"
 
 
 @dataclass

@@ -16,6 +16,12 @@ KEYWORDS = frozenset(
     """.split()
 )
 
+# Contextual ("soft") keywords: meaningful only directly after SHOW, and
+# deliberately NOT in KEYWORDS so they stay usable as ordinary
+# identifiers (``CREATE TABLE stats ...`` must keep parsing).  They lex
+# as IDENT tokens; the parser special-cases them by value.
+SOFT_KEYWORDS = frozenset({"METRICS", "STATS"})
+
 
 class TokenType(enum.Enum):
     KEYWORD = "keyword"

@@ -38,7 +38,7 @@ from .ast import (
     UnionAll,
     Update,
 )
-from .lexer import Token, TokenType, tokenize
+from .lexer import SOFT_KEYWORDS, Token, TokenType, tokenize
 
 _AGGREGATES = aggregate_function_names()
 
@@ -127,8 +127,14 @@ class _Parser:
                 stmt = Show("tables")
             elif what.is_keyword("MODELS"):
                 stmt = Show("models")
+            elif (
+                what.type is TokenType.IDENT and what.value.upper() in SOFT_KEYWORDS
+            ):
+                stmt = Show(what.value)
             else:
-                raise SqlParseError("expected TABLES or MODELS after SHOW")
+                raise SqlParseError(
+                    "expected TABLES, MODELS, METRICS, or STATS after SHOW"
+                )
         else:
             raise SqlParseError(
                 f"cannot parse statement starting with {token.value!r}"

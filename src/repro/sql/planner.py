@@ -33,6 +33,7 @@ from ..relational.operators import (
 )
 from ..relational.schema import Column, ColumnType, Schema
 from ..storage.catalog import Catalog
+from ..telemetry import DISABLED, Telemetry
 from .ast import AggregateCall, Join, PredictCall, Select, SelectItem, Star, TableRef
 
 # (model name, feature matrix, proba class or None) -> predictions:
@@ -48,12 +49,22 @@ class Planner:
         catalog: Catalog,
         predict_fn: PredictFunction | None = None,
         predict_batch_size: int = 1024,
+        telemetry: Telemetry | None = None,
     ):
         self._catalog = catalog
         self._predict_fn = predict_fn
         self._batch_size = predict_batch_size
+        self._telemetry = telemetry if telemetry is not None else DISABLED
+        self._m_plans = self._telemetry.registry.counter(
+            "planner_selects_total", "SELECT statements planned"
+        )
 
     def plan_select(self, stmt: Select) -> Operator:
+        with self._telemetry.tracer.span("plan", category="sql"):
+            self._m_plans.inc()
+            return self._plan_select(stmt)
+
+    def _plan_select(self, stmt: Select) -> Operator:
         source = self._plan_from(stmt)
         if stmt.where is not None:
             source = Filter(source, stmt.where)

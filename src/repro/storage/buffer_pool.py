@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import BufferPoolError, StorageError
+from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
 from .disk import DiskManager
 from .page import Page, PageId
 
@@ -169,6 +170,7 @@ class BufferPool:
         disk: DiskManager,
         capacity_pages: int,
         policy: EvictionPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if capacity_pages < 1:
             raise BufferPoolError("buffer pool needs capacity of at least one page")
@@ -177,6 +179,30 @@ class BufferPool:
         self._policy = policy if policy is not None else LruPolicy()
         self._pages: dict[PageId, Page] = {}
         self.stats = BufferPoolStats()
+        self.set_metrics(metrics)
+
+    def set_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Mirror the pool's counters into a telemetry registry.
+
+        The pool holds direct references to its counters, so the per-access
+        cost is one no-op call when telemetry is disabled.
+        """
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(
+            "bufferpool_hits_total", "Page requests served from memory"
+        )
+        self._m_misses = registry.counter(
+            "bufferpool_misses_total", "Page requests that went to disk"
+        )
+        self._m_evictions = registry.counter(
+            "bufferpool_evictions_total", "Pages evicted to free a frame"
+        )
+        self._m_writebacks = registry.counter(
+            "bufferpool_dirty_writebacks_total", "Dirty pages written back on eviction"
+        )
+        self._m_resident = registry.gauge(
+            "bufferpool_resident_pages", "Pages currently held in frames"
+        )
 
     @property
     def capacity(self) -> int:
@@ -199,6 +225,7 @@ class BufferPool:
         page.dirty = True  # must reach disk at least once
         self._pages[page_id] = page
         self._policy.record_access(page_id)
+        self._m_resident.set(len(self._pages))
         return page
 
     def fetch_page(self, page_id: PageId) -> Page:
@@ -206,16 +233,19 @@ class BufferPool:
         page = self._pages.get(page_id)
         if page is not None:
             self.stats.hits += 1
+            self._m_hits.inc()
             page.pin()
             self._policy.record_access(page_id)
             return page
         self.stats.misses += 1
+        self._m_misses.inc()
         self._ensure_frame_available()
         page = Page(page_id, self._disk.page_size)
         page.data[:] = self._disk.read_page(page_id)
         page.pin()
         self._pages[page_id] = page
         self._policy.record_access(page_id)
+        self._m_resident.set(len(self._pages))
         return page
 
     def unpin_page(self, page_id: PageId, dirty: bool = False) -> None:
@@ -247,9 +277,12 @@ class BufferPool:
         victim = self._pages.pop(victim_id)
         self._policy.record_removal(victim_id)
         self.stats.evictions += 1
+        self._m_evictions.inc()
+        self._m_resident.set(len(self._pages))
         if victim.dirty:
             self._disk.write_page(victim_id, bytes(victim.data))
             self.stats.dirty_writebacks += 1
+            self._m_writebacks.inc()
 
     def pinned_page_count(self) -> int:
         return sum(1 for p in self._pages.values() if p.pin_count > 0)

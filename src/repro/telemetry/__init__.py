@@ -1,0 +1,83 @@
+"""Unified observability: metrics, tracing, per-query stats, logging.
+
+One :class:`Telemetry` object bundles the two collection surfaces —
+
+* a :class:`~repro.telemetry.registry.MetricsRegistry` of counters,
+  gauges, and latency histograms with a Prometheus text exporter;
+* a :class:`~repro.telemetry.tracing.Tracer` of nested spans exportable
+  as Chrome-trace JSON —
+
+behind a single on/off switch (``SystemConfig.telemetry_enabled``).
+Disabled telemetry swaps in shared null objects, so instrumented hot
+paths pay only a no-op method call.
+
+A :class:`~repro.session.Database` owns one ``Telemetry``; query it from
+SQL with ``SHOW METRICS`` / ``SHOW STATS``, per query via
+``cursor.stats`` (:class:`~repro.telemetry.query_stats.QueryStats`), or
+export spans with ``Database.export_trace(path)``.
+"""
+
+from __future__ import annotations
+
+from .logs import ROOT_LOGGER_NAME, enable_console_logging, get_logger
+from .query_stats import QueryStats
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    GLOBAL_REGISTRY,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class Telemetry:
+    """One registry + one tracer behind an enabled/disabled switch."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        max_spans: int = 65536,
+    ):
+        self.enabled = enabled
+        if enabled:
+            self.registry: MetricsRegistry | NullRegistry = (
+                registry if registry is not None else MetricsRegistry()
+            )
+            self.tracer: Tracer | NullTracer = (
+                tracer if tracer is not None else Tracer(max_spans=max_spans)
+            )
+        else:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+
+
+#: Shared disabled instance — components default to this when no
+#: telemetry is supplied, keeping instrumentation cost at one no-op call.
+DISABLED = Telemetry(enabled=False)
+
+__all__ = [
+    "Telemetry",
+    "DISABLED",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "GLOBAL_REGISTRY",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "QueryStats",
+    "get_logger",
+    "enable_console_logging",
+    "ROOT_LOGGER_NAME",
+]

@@ -1,0 +1,45 @@
+"""The ``repro`` logging namespace.
+
+Every subsystem logs under ``repro.<subsystem>`` (e.g.
+``repro.optimizer`` emits a DEBUG record per representation decision).
+Following library convention, the root ``repro`` logger carries a
+:class:`logging.NullHandler` so an embedding application sees nothing
+unless it configures logging itself — or calls
+:func:`enable_console_logging` for a quick interactive setup::
+
+    from repro.telemetry import enable_console_logging
+    enable_console_logging()          # DEBUG to stderr
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(subsystem: str | None = None) -> logging.Logger:
+    """The logger for one subsystem (``repro.<subsystem>``), or the root."""
+    if not subsystem:
+        return _root
+    return _root.getChild(subsystem)
+
+
+def enable_console_logging(level: int = logging.DEBUG) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` namespace.
+
+    Returns the handler so callers can detach it again with
+    ``logging.getLogger("repro").removeHandler(handler)``.
+    """
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    handler.setLevel(level)
+    _root.addHandler(handler)
+    _root.setLevel(min(level, _root.level or level))
+    return handler

@@ -1,0 +1,74 @@
+"""Per-query execution statistics.
+
+Every :class:`repro.session.Cursor` produced by a telemetry-enabled
+:class:`~repro.session.Database` carries a :class:`QueryStats` in its
+``stats`` attribute: the query's row count, wall-clock time, the
+buffer-pool and result-cache traffic it caused (counter *deltas*, so
+concurrent background work is the only noise source), the seconds spent
+inside inference engines, and how many plan stages ran under each
+representation — the paper's central observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Counter deltas and timings attributed to one executed statement."""
+
+    sql: str
+    statement: str
+    rows: int
+    elapsed_seconds: float
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    engine_seconds: float = 0.0
+    #: plan stages executed per representation, e.g. {"udf-centric": 1}
+    representations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def pool_hit_rate(self) -> float:
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        """(stat, value) pairs, for rendering as a cursor."""
+        rows: list[tuple[str, object]] = [
+            ("statement", self.statement),
+            ("rows", self.rows),
+            ("elapsed_seconds", self.elapsed_seconds),
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
+            ("pool_evictions", self.pool_evictions),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("engine_seconds", self.engine_seconds),
+        ]
+        for rep, count in sorted(self.representations.items()):
+            rows.append((f"stages[{rep}]", count))
+        return rows
+
+    def render(self) -> str:
+        """A one-query human-readable report."""
+        lines = [f"{self.statement}: {self.rows} rows in {self.elapsed_seconds * 1e3:.2f}ms"]
+        lines.append(
+            f"  buffer pool: {self.pool_hits} hits / {self.pool_misses} misses"
+            f" ({self.pool_hit_rate:.0%} hit rate), {self.pool_evictions} evictions"
+        )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  result cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            )
+        if self.representations:
+            reps = ", ".join(
+                f"{rep}={count}" for rep, count in sorted(self.representations.items())
+            )
+            lines.append(
+                f"  engines: {self.engine_seconds * 1e3:.2f}ms in stages [{reps}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The registry is the single sink for every counter the system used to keep
+in per-subsystem silos (``BufferPoolStats``, ``CacheStats``, engine
+``detail`` dicts).  Subsystems register metrics by name (plus optional
+labels) and get the *same* metric object back on every call, so hot paths
+hold a direct reference and pay one attribute access plus one float add
+per event.
+
+When telemetry is disabled the registry is replaced by
+:data:`NULL_REGISTRY`, whose metrics are shared no-op singletons — the
+disabled fast path costs a method call that immediately returns.
+
+Rendering follows the Prometheus text exposition format
+(``render_prometheus``), so the output can be scraped or diffed by
+standard tooling; :meth:`MetricsRegistry.snapshot` gives the same data as
+a flat ``{name{labels}: value}`` dict for ``SHOW METRICS``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterator
+
+from ..errors import TelemetryError
+
+#: Default histogram buckets, tuned for operator/query latencies (seconds).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    5e-4,
+    1e-3,
+    5e-3,
+    1e-2,
+    5e-2,
+    1e-1,
+    5e-1,
+    1.0,
+    5.0,
+    10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} can only increase (got {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def samples(self) -> Iterator[tuple[str, str, float]]:
+        yield self.name + _render_labels(self.labels), self.kind, self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. resident buffer-pool pages)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def samples(self) -> Iterator[tuple[str, str, float]]:
+        yield self.name + _render_labels(self.labels), self.kind, self._value
+
+
+class Histogram:
+    """A distribution with cumulative latency buckets (Prometheus-style)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "_bounds", "_bucket_counts", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelKey = (),
+        buckets: tuple[float, ...] | None = None,
+    ):
+        bounds = tuple(sorted(set(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)))
+        if not bounds:
+            raise TelemetryError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative counts keyed by upper bound (+Inf as ``float('inf')``)."""
+        out: dict[float, int] = {}
+        running = 0
+        for bound, n in zip(self._bounds + (float("inf"),), self._bucket_counts):
+            running += n
+            out[bound] = running
+        return out
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def samples(self) -> Iterator[tuple[str, str, float]]:
+        for bound, cumulative in self.bucket_counts().items():
+            le = "+Inf" if bound == float("inf") else repr(bound)
+            yield (
+                self.name + "_bucket" + _render_labels(self.labels, (("le", le),)),
+                self.kind,
+                float(cumulative),
+            )
+        yield self.name + "_sum" + _render_labels(self.labels), self.kind, self._sum
+        yield self.name + "_count" + _render_labels(self.labels), self.kind, float(self._count)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Asking twice for the same ``(name, labels)`` returns the same object;
+    asking for an existing name with a different metric kind raises
+    :class:`~repro.errors.TelemetryError` (one name maps to one kind, as
+    in Prometheus).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(list(self._metrics.values()))
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labels: dict[str, object], **kwargs: object
+    ) -> Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            kind = self._kinds.get(name)
+            if kind is not None and kind != cls.kind:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            metric = cls(name, help, key[1], **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def get(self, name: str, **labels: object) -> Metric | None:
+        """The metric registered under ``(name, labels)``, or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict[str, float]:
+        """Every sample as a flat ``{rendered name: value}`` dict."""
+        out: dict[str, float] = {}
+        for metric in self:
+            for rendered, __, value in metric.samples():
+                out[rendered] = value
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_names: set[str] = set()
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if metric.name not in seen_names:
+                seen_names.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for rendered, __, value in metric.samples():
+                formatted = repr(value) if value != int(value) else str(int(value))
+                lines.append(f"{rendered} {formatted}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Zero every metric (objects and identities are preserved)."""
+        for metric in self:
+            metric.reset()
+
+
+class _NullCounter:
+    """No-op stand-in used when telemetry is disabled."""
+
+    kind = "counter"
+    name = ""
+    help = ""
+    labels: LabelKey = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def bucket_counts(self) -> dict[float, int]:
+        return {}
+
+    def samples(self) -> Iterator[tuple[str, str, float]]:
+        return iter(())
+
+
+_NULL_METRIC = _NullCounter()
+
+
+class NullRegistry:
+    """A registry whose every metric is a shared no-op singleton."""
+
+    enabled = False
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(())
+
+    def counter(self, name: str, help: str = "", **labels: object) -> _NullCounter:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> _NullCounter:
+        return _NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> _NullCounter:
+        return _NULL_METRIC
+
+    def get(self, name: str, **labels: object) -> None:
+        return None
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared no-op registry for disabled telemetry.
+NULL_REGISTRY = NullRegistry()
+
+#: Process-wide default registry for library users who want one global
+#: sink (each :class:`repro.Database` gets its own registry by default so
+#: sessions do not pollute each other's ``SHOW METRICS``).
+GLOBAL_REGISTRY = MetricsRegistry()

@@ -1,0 +1,205 @@
+"""Span-based query tracing with Chrome-trace export.
+
+A :class:`Tracer` hands out context-managed spans; entering a span while
+another is open makes it a child (per thread), so one ``PREDICT`` query
+produces a tree like::
+
+    query
+    ├── parse
+    ├── plan
+    └── execute
+        └── predict:fraud
+            └── stage0:udf-centric
+
+Finished spans accumulate (bounded by ``max_spans``) until exported with
+:meth:`Tracer.export_chrome_trace`, which writes the Chrome trace-event
+JSON format — load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Timestamps come from ``time.perf_counter`` — durations are exact, the
+epoch is arbitrary (Chrome tracing only cares about relative times).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One timed region of work."""
+
+    name: str
+    category: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float | None = None
+    args: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **args: object) -> None:
+        """Attach extra key/value detail to the span."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Collects nested spans; per-thread nesting, shared finished list."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 65536):
+        if max_spans < 1:
+            from ..errors import TelemetryError
+
+            raise TelemetryError("max_spans must be >= 1")
+        self._max_spans = max_spans
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro", **args: object) -> Iterator[Span]:
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        record = Span(
+            name=name,
+            category=category,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            start_s=time.perf_counter(),
+            args=dict(args),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end_s = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                if len(self._finished) < self._max_spans:
+                    self._finished.append(record)
+                else:
+                    self.dropped += 1
+
+    @property
+    def finished(self) -> list[Span]:
+        """Completed spans, in completion order (children before parents)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    def export_chrome_trace(self, path: str) -> int:
+        """Write finished spans as Chrome trace-event JSON; returns the
+        number of events written."""
+        events = []
+        pid = os.getpid()
+        for span in self.finished:
+            args = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.args)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        # Chrome tracing nests by (tid, ts, dur) containment, so events can
+        # be written in any order; sort by start for readable raw JSON.
+        events.sort(key=lambda e: e["ts"])
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(
+                {"traceEvents": events, "displayTimeUnit": "ms"}, f, default=str
+            )
+        return len(events)
+
+
+class _NullSpan:
+    """Shared inert span for the disabled fast path."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    span_id = 0
+    parent_id = None
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    args: dict[str, object] = {}
+
+    def set(self, **args: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """A reusable, reentrant context manager yielding the null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CTX = _NullSpanContext()
+
+
+class NullTracer:
+    """No-op tracer: spans cost one method call, exports are empty."""
+
+    enabled = False
+    dropped = 0
+
+    @property
+    def finished(self) -> list[Span]:
+        return []
+
+    def span(self, name: str, category: str = "repro", **args: object) -> _NullSpanContext:
+        return _NULL_CTX
+
+    def clear(self) -> None:
+        pass
+
+    def export_chrome_trace(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"traceEvents": [], "displayTimeUnit": "ms"}, f)
+        return 0
+
+
+#: Shared no-op tracer for disabled telemetry.
+NULL_TRACER = NullTracer()

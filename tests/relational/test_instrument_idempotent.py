@@ -1,0 +1,49 @@
+"""Regression: re-instrumenting a plan must not stack counting wrappers.
+
+Before the fix, each ``instrument()`` call wrapped whatever ``rows``
+method it found — including a previous call's counting wrapper — so a
+plan analyzed twice drove both reports at once and billed the inner
+wrapper's bookkeeping to the outer report's timings.
+"""
+
+from repro.relational import ColumnType, Schema
+from repro.relational.operators import Limit, ValuesScan, collect
+from repro.relational.operators.instrument import instrument
+
+
+def make_plan():
+    schema = Schema.of(("x", ColumnType.INT))
+    scan = ValuesScan(schema, [(i,) for i in range(6)])
+    return scan, Limit(scan, 4)
+
+
+def test_reinstrument_replaces_wrapper_not_stacks():
+    scan, plan = make_plan()
+    instrument(plan)
+    instrument(plan)
+    instrument(plan)
+    # The live wrapper points straight at the pristine method: exactly
+    # one counting layer, no wrapper-of-wrapper chain.
+    original = plan.rows._instrument_original
+    assert not hasattr(original, "_instrument_original")
+    assert scan.rows._instrument_original.__self__ is scan
+
+
+def test_fresh_report_counts_rows_exactly_once():
+    scan, plan = make_plan()
+    stale = instrument(plan)
+    report = instrument(plan)
+    rows = collect(plan).rows
+    assert rows == [(0,), (1,), (2,), (3,)]
+    assert report.for_node(plan).rows == 4
+    assert report.for_node(scan).rows == 4
+    # The superseded report is disconnected, not double-driven.
+    assert stale.for_node(plan).rows == 0
+
+
+def test_instrumented_plan_still_executes_after_many_passes():
+    __, plan = make_plan()
+    for _ in range(5):
+        report = instrument(plan)
+    assert collect(plan).rows == [(0,), (1,), (2,), (3,)]
+    assert report.for_node(plan).opened == 1
