@@ -3,14 +3,28 @@
 Every benchmark prints the table/figure it reproduces in the paper's own
 row format (bypassing pytest's capture so the tables appear in the run
 log), and registers a representative measurement with pytest-benchmark.
+
+Benchmarks that should gate CI additionally :func:`record` a scenario
+(latency and/or peak memory); the session hook in ``conftest.py`` writes
+everything recorded to a machine-readable ``BENCH_RESULTS.json`` which
+``compare_results.py`` diffs against a checked-in baseline.
 """
 
 from __future__ import annotations
 
+import json
+import statistics
 import time
 from typing import Callable
 
 OOM = "OOM"
+
+RESULTS_VERSION = 1
+
+# scenario -> {"latency_seconds": float|None, "memory_bytes": int|None,
+#              "meta": {...}} — populated by record(), drained by
+# write_results() at session end.
+RESULTS: dict[str, dict] = {}
 
 
 def fmt_seconds(value: object) -> str:
@@ -54,10 +68,36 @@ def emit(capsys, text: str) -> None:
 
 
 def measure(fn: Callable[[], object]) -> tuple[object, float]:
-    """Run once, returning (result, seconds)."""
+    """Run once, returning (result, seconds).
+
+    Single-shot numbers are fine for the printed tables; anything fed to
+    :func:`record` for regression comparison should use
+    :func:`measure_stable` instead.
+    """
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def measure_stable(
+    fn: Callable[[], object], repeats: int = 3, warmup: int = 1
+) -> tuple[object, float]:
+    """Run ``warmup`` discarded passes then ``repeats`` timed ones.
+
+    Returns (result of the last timed pass, median seconds).  The median
+    over a few repeats is what the comparator diffs, so it must not be a
+    single cold-cache sample.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for __ in range(warmup):
+        fn()
+    result: object = None
+    samples: list[float] = []
+    for __ in range(repeats):
+        result, seconds = measure(fn)
+        samples.append(seconds)
+    return result, statistics.median(samples)
 
 
 def measure_or_oom(fn: Callable[[], object]) -> tuple[object | None, object]:
@@ -68,3 +108,97 @@ def measure_or_oom(fn: Callable[[], object]) -> tuple[object | None, object]:
         return measure(fn)
     except OutOfMemoryError:
         return None, OOM
+
+
+# -- machine-readable results -------------------------------------------------
+
+
+def record(
+    scenario: str,
+    latency_seconds: float | None = None,
+    memory_bytes: int | None = None,
+    **meta: object,
+) -> None:
+    """Register a scenario's numbers for the results file.
+
+    Re-recording a scenario overwrites it (last writer wins), so a
+    parametrized benchmark can record once per parameter under distinct
+    scenario names.
+    """
+    RESULTS[scenario] = {
+        "latency_seconds": None if latency_seconds is None else float(latency_seconds),
+        "memory_bytes": None if memory_bytes is None else int(memory_bytes),
+        "meta": {k: v for k, v in meta.items()},
+    }
+
+
+def write_results(path: str) -> int:
+    """Write everything recorded so far to ``path``; returns the count."""
+    payload = {"version": RESULTS_VERSION, "results": dict(sorted(RESULTS.items()))}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(RESULTS)
+
+
+def load_results(path: str) -> dict[str, dict]:
+    """Read a results file, validating the schema version."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = payload.get("version")
+    if version != RESULTS_VERSION:
+        raise ValueError(
+            f"{path}: unsupported results version {version!r} "
+            f"(expected {RESULTS_VERSION})"
+        )
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        raise ValueError(f"{path}: 'results' must be an object")
+    return results
+
+
+def compare_results(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    latency_tolerance: float = 4.0,
+    memory_tolerance: float = 0.25,
+) -> list[str]:
+    """Diff two result sets; returns a list of human-readable problems.
+
+    ``latency_tolerance`` is a *ratio* slack (current may be up to
+    ``(1 + tol)×`` the baseline — wall time on shared CI runners is
+    noisy, so the default is deliberately loose).  ``memory_tolerance``
+    is a fractional slack on deterministic peak-bytes accounting, so it
+    can be tight.  Scenarios present in the baseline but missing from
+    the current run are failures; new scenarios in the current run are
+    fine (the baseline just hasn't caught up).
+    """
+    problems: list[str] = []
+    for scenario, base in sorted(baseline.items()):
+        cur = current.get(scenario)
+        if cur is None:
+            problems.append(f"{scenario}: missing from current results")
+            continue
+        base_latency = base.get("latency_seconds")
+        cur_latency = cur.get("latency_seconds")
+        if base_latency is not None:
+            if cur_latency is None:
+                problems.append(f"{scenario}: latency no longer recorded")
+            elif cur_latency > base_latency * (1.0 + latency_tolerance):
+                problems.append(
+                    f"{scenario}: latency {fmt_seconds(cur_latency)} exceeds "
+                    f"baseline {fmt_seconds(base_latency)} "
+                    f"by more than {latency_tolerance:.0%}"
+                )
+        base_memory = base.get("memory_bytes")
+        cur_memory = cur.get("memory_bytes")
+        if base_memory is not None:
+            if cur_memory is None:
+                problems.append(f"{scenario}: memory no longer recorded")
+            elif cur_memory > base_memory * (1.0 + memory_tolerance):
+                problems.append(
+                    f"{scenario}: peak memory {fmt_bytes(cur_memory)} exceeds "
+                    f"baseline {fmt_bytes(base_memory)} "
+                    f"by more than {memory_tolerance:.0%}"
+                )
+    return problems

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Diff two BENCH_RESULTS.json files within tolerances.
+
+Usage::
+
+    python benchmarks/compare_results.py baseline.json current.json \
+        [--latency-tolerance 4.0] [--memory-tolerance 0.25]
+
+Exits 1 (after listing every problem) when a scenario regresses beyond
+tolerance or disappears from the current run.  Latency tolerance is a
+ratio (4.0 = current may be up to 5x the baseline — CI runners are
+noisy); memory tolerance is fractional slack on the deterministic
+peak-bytes accounting, so keep it tight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _util import compare_results, fmt_bytes, fmt_seconds, load_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_RESULTS.json")
+    parser.add_argument("current", help="current BENCH_RESULTS.json")
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=4.0,
+        metavar="RATIO",
+        help="allowed latency growth as a ratio of baseline (default: 4.0)",
+    )
+    parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed peak-memory growth as a fraction (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    for scenario, entry in sorted(current.items()):
+        latency = entry.get("latency_seconds")
+        memory = entry.get("memory_bytes")
+        parts = [f"latency={fmt_seconds(latency)}" if latency is not None else None]
+        parts.append(f"peak={fmt_bytes(memory)}" if memory is not None else None)
+        tag = " (new)" if scenario not in baseline else ""
+        print(f"{scenario}: {', '.join(p for p in parts if p)}{tag}")
+
+    problems = compare_results(
+        baseline,
+        current,
+        latency_tolerance=args.latency_tolerance,
+        memory_tolerance=args.memory_tolerance,
+    )
+    if problems:
+        print(f"\n{len(problems)} regression(s) beyond tolerance:", file=sys.stderr)
+        for problem in problems:
+            print(f"  FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} baseline scenario(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

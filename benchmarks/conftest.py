@@ -1,11 +1,26 @@
-"""Benchmark fixtures."""
+"""Benchmark fixtures and the results-file session hook."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+import _util
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write recorded scenarios to $BENCH_RESULTS_PATH, if set."""
+    path = os.environ.get("BENCH_RESULTS_PATH")
+    if not path or not _util.RESULTS:
+        return
+    count = _util.write_results(path)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(f"wrote {count} benchmark scenario(s) to {path}")

@@ -18,7 +18,7 @@ from repro.engines import HybridExecutor
 from repro.models import encoder_fc
 from repro.storage import BufferPool, Catalog, InMemoryDiskManager
 
-from _util import emit, fmt_seconds, measure, render_table
+from _util import emit, fmt_seconds, measure_stable, render_table
 
 BATCH = 1024
 THRESHOLDS_MB = (1, 8, 26, 64)
@@ -49,7 +49,11 @@ def test_ablation_threshold_sweep(benchmark, setup, capsys):
         )
         plan = RuleBasedOptimizer(config).plan_model(model, BATCH)
         executor = HybridExecutor(catalog, config)
-        result, seconds = measure(lambda: executor.execute(plan, x, info))
+        # Median-of-3 with a warmup pass: the sweep *asserts* on the
+        # latency ordering below, so single-shot noise would flake.
+        result, seconds = measure_stable(
+            lambda: executor.execute(plan, x, info), repeats=3, warmup=1
+        )
         relation_ops = sum(
             1
             for stage in plan.stages

@@ -1,0 +1,97 @@
+"""CI benchmark smoke: a fast subset recorded to BENCH_RESULTS.json.
+
+These scenarios run in seconds and exist to gate regressions, not to
+reproduce a paper figure: latency is the median of a few warm repeats
+(:func:`_util.measure_stable`) and memory is the engines' deterministic
+peak-bytes accounting, so the comparator can hold tight memory
+tolerances and loose latency ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.config import KB
+from repro.data import fraud_transactions
+from repro.models import fraud_fc_256
+
+from _util import measure_stable, record
+
+ROWS = 200
+FEATURES = ", ".join(f"f{i}" for i in range(28))
+PREDICT_SQL = f"SELECT id, PREDICT(fraud, {FEATURES}) FROM tx"
+
+
+def make_fraud_db(**overrides) -> Database:
+    db = Database(**overrides)
+    __, __, rows = fraud_transactions(ROWS, seed=7)
+    columns = ", ".join(f"f{i} DOUBLE" for i in range(28))
+    db.execute(f"CREATE TABLE tx (id INT, {columns}, label INT)")
+    db.load_rows("tx", rows)
+    db.register_model(fraud_fc_256(), name="fraud")
+    return db
+
+
+@pytest.fixture(scope="module")
+def fraud_db():
+    db = make_fraud_db()
+    yield db
+    db.close()
+
+
+def stage_peak_bytes(cursor) -> int:
+    """Deterministic peak across the query's audited inference stages."""
+    audits = cursor.stats.stage_audits if cursor.stats is not None else []
+    return max((a.actual_peak_bytes for a in audits), default=0)
+
+
+def test_smoke_relational_scan(fraud_db):
+    cur, seconds = measure_stable(
+        lambda: fraud_db.execute("SELECT id FROM tx WHERE f0 > 0.0 ORDER BY id")
+    )
+    assert 0 < len(cur) <= ROWS
+    record("scan-filter-sort", latency_seconds=seconds, rows=len(cur))
+
+
+def test_smoke_predict_sql(fraud_db):
+    cur, seconds = measure_stable(lambda: fraud_db.execute(PREDICT_SQL))
+    assert len(cur) == ROWS
+    peak = stage_peak_bytes(cur)
+    assert peak > 0, "audit should report engine peak bytes"
+    record("predict-fraud-sql", latency_seconds=seconds, memory_bytes=peak, rows=ROWS)
+
+
+def test_smoke_predict_lowered_threshold():
+    """A threshold low enough to lower fraud-fc to relation-centric.
+
+    The blockwise actual peak lands far under the threshold, so this is
+    also the workload that must surface in SHOW AUDIT as a misprediction
+    (acceptance criterion for the plan-quality audit).
+    """
+    db = make_fraud_db(memory_threshold_bytes=512 * KB)
+    try:
+        cur, seconds = measure_stable(lambda: db.execute(PREDICT_SQL))
+        assert len(cur) == ROWS
+        audit = db.execute("SHOW AUDIT")
+        verdict_at = audit.columns.index("verdict")
+        mispredicted = [r for r in audit.rows if r[verdict_at] != "ok"]
+        assert mispredicted, "lowered run should record a misprediction"
+        record(
+            "predict-fraud-lowered",
+            latency_seconds=seconds,
+            memory_bytes=stage_peak_bytes(cur),
+            rows=ROWS,
+            threshold_bytes=512 * KB,
+        )
+    finally:
+        db.close()
+
+
+def test_smoke_explain_analyze(fraud_db):
+    cur, seconds = measure_stable(
+        lambda: fraud_db.execute(f"EXPLAIN ANALYZE {PREDICT_SQL}")
+    )
+    report = "\n".join(row[0] for row in cur)
+    assert "inference stages (predict: fraud)" in report
+    record("explain-analyze-predict", latency_seconds=seconds, rows=ROWS)

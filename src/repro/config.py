@@ -98,6 +98,9 @@ class SystemConfig:
     telemetry_enabled: bool = True
     # Bound on retained finished spans (oldest kept, newest dropped).
     telemetry_max_spans: int = 65536
+    # Ring size of retained plan-quality audit records (estimate-vs-actual
+    # memory per executed inference stage; backs ``SHOW AUDIT``).
+    audit_max_records: int = 1024
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -112,6 +115,7 @@ class SystemConfig:
             "default_batch_size",
             "num_cores",
             "telemetry_max_spans",
+            "audit_max_records",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")

@@ -67,16 +67,24 @@ class LinAlgNode:
     input_shape: tuple[int, ...]
     output_shape: tuple[int, ...]
     representation: Representation = Representation.UNASSIGNED
+    #: The optimizer's memory estimate (input + params + output bytes) for
+    #: the batch size the plan was built for; 0 until the node is planned.
+    #: Carried in the IR so runtime peaks can be audited against the
+    #: number that actually routed the operator.
+    estimated_bytes: int = 0
 
     @property
     def param_bytes(self) -> int:
         return self.layer.param_bytes
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.op.value}[{self.input_shape} -> {self.output_shape}, "
-            f"params={self.layer.param_count:,}] :: {self.representation.value}"
+            f"params={self.layer.param_count:,}"
         )
+        if self.estimated_bytes:
+            text += f", est={self.estimated_bytes:,}B"
+        return f"{text}] :: {self.representation.value}"
 
 
 @dataclass
@@ -109,9 +117,22 @@ class PlanStage:
     def output_shape(self) -> tuple[int, ...]:
         return self.nodes[-1].output_shape
 
+    @property
+    def estimated_bytes(self) -> int:
+        """The stage's planned memory requirement: the worst node estimate.
+
+        This is the number the threshold rule compared against — stages
+        fuse same-representation nodes, so the binding constraint is the
+        single largest operator.
+        """
+        return max((node.estimated_bytes for node in self.nodes), default=0)
+
+    @property
+    def ops(self) -> str:
+        return ", ".join(node.op.value for node in self.nodes)
+
     def describe(self) -> str:
-        ops = ", ".join(node.op.value for node in self.nodes)
-        return f"stage[{self.representation.value}]({ops})"
+        return f"stage[{self.representation.value}]({self.ops})"
 
 
 @dataclass

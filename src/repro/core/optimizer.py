@@ -69,38 +69,52 @@ class RuleBasedOptimizer:
         ):
             nodes = lower_model(model)
             notes: list[str] = []
+            self._assign_representations(nodes, model, batch_size, force, notes)
+            # Decisions are counted once per operator, after every
+            # assignment pass has run — a node reassigned by a subclass
+            # (e.g. UDF -> DL offload) must not be billed to both
+            # representations.
             for node in nodes:
-                if force is not None:
-                    node.representation = force
-                    self._m_decisions[force].inc()
-                    continue
-                required = node_memory_requirement(node, batch_size)
-                if required > self.threshold_bytes:
-                    node.representation = Representation.RELATION_CENTRIC
-                    notes.append(
-                        f"{node.op.value} needs {required:,} bytes "
-                        f"(> threshold {self.threshold_bytes:,}) -> relation-centric"
-                    )
-                else:
-                    node.representation = Representation.UDF_CENTRIC
                 self._m_decisions[node.representation].inc()
-                log.debug(
-                    "model=%s batch=%d op=%s memory=%d threshold=%d -> %s",
-                    model.name,
-                    batch_size,
-                    node.op.value,
-                    required,
-                    self.threshold_bytes,
-                    node.representation.value,
-                )
-            stages = fuse_stages(nodes)
             self._m_plans.inc()
             return InferencePlan(
                 model=model,
                 batch_size=batch_size,
-                stages=stages,
+                stages=fuse_stages(nodes),
                 threshold_bytes=self.threshold_bytes,
                 notes=notes,
+            )
+
+    def _assign_representations(
+        self,
+        nodes: list[LinAlgNode],
+        model: Model,
+        batch_size: int,
+        force: Representation | None,
+        notes: list[str],
+    ) -> None:
+        """Set each node's representation (and its memory estimate)."""
+        for node in nodes:
+            node.estimated_bytes = node_memory_requirement(node, batch_size)
+            if force is not None:
+                node.representation = force
+                continue
+            if node.estimated_bytes > self.threshold_bytes:
+                node.representation = Representation.RELATION_CENTRIC
+                notes.append(
+                    f"{node.op.value} needs {node.estimated_bytes:,} bytes "
+                    f"(> threshold {self.threshold_bytes:,}) -> relation-centric"
+                )
+            else:
+                node.representation = Representation.UDF_CENTRIC
+            log.debug(
+                "model=%s batch=%d op=%s memory=%d threshold=%d -> %s",
+                model.name,
+                batch_size,
+                node.op.value,
+                node.estimated_bytes,
+                self.threshold_bytes,
+                node.representation.value,
             )
 
 
@@ -129,17 +143,17 @@ class DeviceAwareOptimizer(RuleBasedOptimizer):
         self._devices = devices if devices else [cpu_device()]
         self._allocator = DeviceAllocator(self._devices)
 
-    def plan_model(
+    def _assign_representations(
         self,
+        nodes: list[LinAlgNode],
         model: Model,
         batch_size: int,
-        force: Representation | str | None = None,
-    ) -> InferencePlan:
-        plan = super().plan_model(model, batch_size, force=force)
+        force: Representation | None,
+        notes: list[str],
+    ) -> None:
+        super()._assign_representations(nodes, model, batch_size, force, notes)
         if force is not None:
-            return plan
-        nodes = [node for stage in plan.stages for node in stage.nodes]
-        notes = list(plan.notes)
+            return
         for node in nodes:
             if node.representation is not Representation.UDF_CENTRIC:
                 continue
@@ -149,7 +163,6 @@ class DeviceAwareOptimizer(RuleBasedOptimizer):
                 continue
             if decision.device.kind == "gpu":
                 node.representation = Representation.DL_CENTRIC
-                self._m_decisions[Representation.DL_CENTRIC].inc()
                 notes.append(
                     f"{node.op.value} offloaded to {decision.device.name} "
                     f"(modeled {decision.estimates[decision.device.name]:.2e}s "
@@ -161,13 +174,6 @@ class DeviceAwareOptimizer(RuleBasedOptimizer):
                     node.op.value,
                     decision.device.name,
                 )
-        return InferencePlan(
-            model=model,
-            batch_size=batch_size,
-            stages=fuse_stages(nodes),
-            threshold_bytes=self.threshold_bytes,
-            notes=notes,
-        )
 
 
 def fuse_stages(nodes: list[LinAlgNode]) -> list[PlanStage]:

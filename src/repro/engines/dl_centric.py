@@ -85,6 +85,7 @@ class DlCentricEngine:
         compute_measured = time.perf_counter() - start
         self._m_run_seconds.observe(transfer_measured + compute_measured)
         self._m_wire_bytes.inc(float(wire_bytes))
+        self._telemetry.audit.observe_peak("dl-centric", run.peak_memory_bytes)
         # The framework's calibrated compute advantage: the modeled total
         # replaces the measured compute with measured / efficiency.
         compute_discount = run.measured_seconds - run.modeled_seconds

@@ -116,6 +116,19 @@ class HybridExecutor:
                         measured_seconds=result.measured_seconds,
                     )
                 self._m_stage_runs[stage.representation].inc()
+                # Close the optimizer's loop: pair the estimate that routed
+                # this stage with the peak the engine actually reached.
+                self.telemetry.audit.record_stage(
+                    model=plan.model.name,
+                    stage_index=i,
+                    representation=stage.representation.value,
+                    ops=stage.ops,
+                    rows=int(current.shape[0]),
+                    elapsed_seconds=result.measured_seconds,
+                    estimated_bytes=stage.estimated_bytes,
+                    actual_peak_bytes=result.peak_memory_bytes,
+                    threshold_bytes=plan.threshold_bytes,
+                )
                 measured += result.measured_seconds
                 modeled_extra += result.modeled_extra_seconds
                 peak = max(peak, result.peak_memory_bytes)

@@ -107,6 +107,7 @@ class RelationCentricEngine:
             self._m_stripes.inc()
         measured = time.perf_counter() - start
         self._m_run_seconds.observe(measured)
+        self._telemetry.audit.observe_peak("relation-centric", self.budget.peak)
         return EngineResult(
             outputs=outputs,
             engine="relation-centric",
@@ -232,6 +233,7 @@ class RelationCentricEngine:
                     self._m_stripes.inc()
         measured = time.perf_counter() - start
         self._m_run_seconds.observe(measured)
+        self._telemetry.audit.observe_peak("relation-centric", self.budget.peak)
         return EngineResult(
             outputs=np.empty((0,)),
             engine="relation-centric",

@@ -50,6 +50,7 @@ class UdfCentricEngine:
         )
         measured = time.perf_counter() - start
         self._m_run_seconds.observe(measured)
+        self._telemetry.audit.observe_peak("udf-centric", self.budget.peak)
         return EngineResult(
             outputs=outputs,
             engine="udf-centric",

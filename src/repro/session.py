@@ -38,7 +38,7 @@ from .errors import CatalogError, SqlError
 from .relational.schema import Schema
 from .sql import ast as sql_ast
 from .sql.parser import parse
-from .sql.planner import Planner
+from .sql.planner import Planner, predict_models
 from .storage.buffer_pool import (
     BufferPool,
     ClockPolicy,
@@ -48,7 +48,7 @@ from .storage.buffer_pool import (
 )
 from .storage.catalog import Catalog, ModelInfo
 from .storage.disk import FileDiskManager, InMemoryDiskManager
-from .telemetry import QueryStats, Telemetry
+from .telemetry import AUDIT_COLUMNS, QueryStats, StageAudit, Telemetry
 
 
 @dataclass
@@ -60,6 +60,42 @@ class _VectorIndexEntry:
     kind: str
     index: object | None = None
     rids: list = field(default_factory=list)
+
+
+def _render_inference_stages(
+    models: list[str], audits: list[StageAudit], audit_enabled: bool
+) -> list[str]:
+    """The EXPLAIN ANALYZE section covering model inference stages.
+
+    One PREDICT statement runs its plan once per planner batch, so the
+    per-batch audit records are aggregated by (model, stage): rows and
+    time sum, the actual peak is the worst batch, and the verdict is the
+    worst batch's verdict (any misprediction wins over ``ok``).
+    """
+    lines = ["", f"inference stages (predict: {', '.join(models)}):"]
+    if not audit_enabled:
+        lines.append("  (telemetry disabled: no estimate-vs-actual audit)")
+        return lines
+    if not audits:
+        lines.append("  (no inference stages executed)")
+        return lines
+    grouped: dict[tuple[str, int], list[StageAudit]] = {}
+    for audit in audits:
+        grouped.setdefault((audit.model, audit.stage_index), []).append(audit)
+    for (model, idx), batch_audits in sorted(grouped.items()):
+        first = batch_audits[0]
+        rows = sum(a.rows for a in batch_audits)
+        seconds = sum(a.elapsed_seconds for a in batch_audits)
+        actual = max(a.actual_peak_bytes for a in batch_audits)
+        estimated = max(a.estimated_bytes for a in batch_audits)
+        flagged = [a for a in batch_audits if a.mispredicted]
+        verdict = flagged[0].verdict if flagged else "ok"
+        lines.append(
+            f"  {model} stage{idx} [{first.representation}]({first.ops})  "
+            f"[rows={rows}, time={seconds * 1e3:.2f}ms, "
+            f"est={estimated}B, actual={actual}B, verdict={verdict}]"
+        )
+    return lines
 
 
 def _make_policy(name: str) -> EvictionPolicy:
@@ -118,6 +154,7 @@ class Database:
         self._telemetry = Telemetry(
             enabled=self._config.telemetry_enabled,
             max_spans=self._config.telemetry_max_spans,
+            max_audit_records=self._config.audit_max_records,
         )
         registry = self._telemetry.registry
         self._m_queries = registry.counter(
@@ -221,6 +258,9 @@ class Database:
             ("config.telemetry_enabled", self._config.telemetry_enabled),
             ("telemetry.spans_recorded", len(self._telemetry.tracer.finished)),
             ("telemetry.spans_dropped", self._telemetry.tracer.dropped),
+            ("audit.records", len(self._telemetry.audit)),
+            ("audit.records_total", self._telemetry.audit.total_recorded),
+            ("audit.mispredictions", len(self._telemetry.audit.mispredictions())),
         ]
         for name, cache in sorted(self._caches.items()):
             stats = cache.stats
@@ -279,6 +319,7 @@ class Database:
             rep: counter.value
             for rep, counter in self._executor._m_stage_runs.items()
         }
+        audit_marker = telemetry.audit.marker()
         start = time.perf_counter()
         with tracer.span("query", category="sql", sql=sql.strip()[:200]):
             with tracer.span("parse", category="sql"):
@@ -313,6 +354,7 @@ class Database:
             cache_misses=cache_after[1] - cache_before[1],
             engine_seconds=self._executor._m_engine_seconds.value - engine_before,
             representations=representations,
+            stage_audits=telemetry.audit.records_since(audit_marker),
         )
         return cursor
 
@@ -399,22 +441,30 @@ class Database:
             info.row_count -= len(victims)
             return Cursor(("deleted",), [(len(victims),)])
         if isinstance(stmt, sql_ast.Show):
-            if stmt.what == "tables":
+            what = stmt.what.lower()
+            if what == "tables":
                 rows = [
                     (t.name, len(t.schema), t.row_count)
                     for t in self._catalog.tables()
                 ]
                 return Cursor(("name", "columns", "rows"), sorted(rows))
-            if stmt.what == "metrics":
+            if what == "metrics":
                 snapshot = self._telemetry.registry.snapshot()
                 return Cursor(("name", "value"), sorted(snapshot.items()))
-            if stmt.what == "stats":
+            if what == "stats":
                 return Cursor(("stat", "value"), self._system_stats_rows())
-            rows = [
-                (m.name, m.model.name, m.model.param_count)
-                for m in self._catalog.models()
-            ]
-            return Cursor(("name", "model", "params"), sorted(rows))
+            if what == "audit":
+                return Cursor(AUDIT_COLUMNS, self._telemetry.audit.rows())
+            if what == "models":
+                rows = [
+                    (m.name, m.model.name, m.model.param_count)
+                    for m in self._catalog.models()
+                ]
+                return Cursor(("name", "model", "params"), sorted(rows))
+            raise SqlError(
+                f"unknown SHOW target {stmt.what!r}; expected TABLES, "
+                "MODELS, METRICS, STATS, or AUDIT"
+            )
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
 
@@ -423,6 +473,9 @@ class Database:
             return Cursor(op.schema.names, list(op))
         if isinstance(stmt, sql_ast.Explain):
             return Cursor(("plan",), [(line,) for line in self._explain(stmt.query)])
+        if isinstance(stmt, sql_ast.ExplainAnalyze):
+            __, report = self._analyze_select(stmt.query)
+            return Cursor(("plan",), [(line,) for line in report.split("\n")])
         if isinstance(stmt, sql_ast.Select):
             op = self._planner.plan_select(stmt)
             return Cursor(op.schema.names, list(op))
@@ -431,18 +484,38 @@ class Database:
     def explain_analyze(self, sql: str) -> tuple[Cursor, str]:
         """Execute a SELECT with per-operator instrumentation.
 
-        Returns ``(cursor, report)`` where the report annotates every
-        plan node with the rows it produced and its inclusive time.
+        Accepts a SELECT (optionally already wrapped in ``EXPLAIN
+        ANALYZE``).  Returns ``(cursor, report)`` where the report
+        annotates every plan node with the rows it produced and its
+        inclusive time, and — for PREDICT queries — every inference
+        stage with its representation, rows, wall time, and estimated vs
+        actual peak memory.
         """
-        from .relational.operators.instrument import instrument
-
         stmt = parse(sql)
+        if isinstance(stmt, sql_ast.ExplainAnalyze):
+            stmt = stmt.query
         if not isinstance(stmt, sql_ast.Select):
             raise SqlError("EXPLAIN ANALYZE supports SELECT statements only")
+        return self._analyze_select(stmt)
+
+    def _analyze_select(self, stmt: sql_ast.Select) -> tuple[Cursor, str]:
+        """Run one SELECT instrumented; returns (result cursor, report)."""
+        from .relational.operators.instrument import instrument
+
         op = self._planner.plan_select(stmt)
         report = instrument(op)
+        audit = self._telemetry.audit
+        marker = audit.marker()
         cursor = Cursor(op.schema.names, list(op))
-        return cursor, report.render(op)
+        lines = report.render(op).split("\n")
+        models = predict_models(stmt)
+        if models:
+            lines.extend(
+                _render_inference_stages(
+                    models, audit.records_since(marker), audit.enabled
+                )
+            )
+        return cursor, "\n".join(lines)
 
     def explain(self, sql: str) -> str:
         """The physical plan, including per-operator representations.
@@ -460,13 +533,12 @@ class Database:
     def _explain(self, stmt: sql_ast.Select) -> list[str]:
         op = self._planner.plan_select(stmt)
         lines = op.explain().split("\n")
-        for item in stmt.items:
-            if isinstance(item.expr, sql_ast.PredictCall):
-                compiled = self._compiled.get(item.expr.model.lower())
-                if compiled is not None:
-                    plan = compiled.select(self._config.default_batch_size)
-                    lines.append("")
-                    lines.extend(plan.explain().split("\n"))
+        for model in predict_models(stmt):
+            compiled = self._compiled.get(model.lower())
+            if compiled is not None:
+                plan = compiled.select(self._config.default_batch_size)
+                lines.append("")
+                lines.extend(plan.explain().split("\n"))
         return lines
 
     # -- bulk loading ----------------------------------------------------

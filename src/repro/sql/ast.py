@@ -132,14 +132,28 @@ class Explain(Statement):
 
 
 @dataclass
-class Show(Statement):
-    """``SHOW TABLES`` / ``SHOW MODELS`` / ``SHOW METRICS`` / ``SHOW STATS``.
+class ExplainAnalyze(Statement):
+    """``EXPLAIN ANALYZE <select>``: execute the plan instrumented.
 
-    METRICS renders the session's telemetry registry as a cursor; STATS
-    renders system-level statistics (buffer pool, caches, catalog sizes).
+    The report annotates every relational operator with the rows it
+    produced and its inclusive time, and every model inference stage with
+    its representation, rows, wall time, and estimated vs actual peak
+    memory (from the plan-quality audit).
     """
 
-    what: str  # "tables", "models", "metrics", or "stats"
+    query: Select
+
+
+@dataclass
+class Show(Statement):
+    """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``AUDIT``.
+
+    METRICS renders the session's telemetry registry as a cursor; STATS
+    renders system-level statistics (buffer pool, caches, catalog sizes);
+    AUDIT renders the plan-quality audit's estimate-vs-actual records.
+    """
+
+    what: str  # "tables", "models", "metrics", "stats", or "audit"
 
 
 @dataclass

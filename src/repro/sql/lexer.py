@@ -16,11 +16,15 @@ KEYWORDS = frozenset(
     """.split()
 )
 
-# Contextual ("soft") keywords: meaningful only directly after SHOW, and
-# deliberately NOT in KEYWORDS so they stay usable as ordinary
-# identifiers (``CREATE TABLE stats ...`` must keep parsing).  They lex
-# as IDENT tokens; the parser special-cases them by value.
-SOFT_KEYWORDS = frozenset({"METRICS", "STATS"})
+# Contextual ("soft") keywords: meaningful only in one position (directly
+# after SHOW, or ANALYZE directly after EXPLAIN), and deliberately NOT in
+# KEYWORDS so they stay usable as ordinary identifiers
+# (``CREATE TABLE stats ...`` must keep parsing).  They lex as IDENT
+# tokens; the parser special-cases them by value.
+SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
+
+#: The soft keywords valid as a SHOW target.
+SHOW_TARGETS = frozenset({"METRICS", "STATS", "AUDIT"})
 
 
 class TokenType(enum.Enum):

@@ -25,6 +25,7 @@ from .ast import (
     Delete,
     DropTable,
     Explain,
+    ExplainAnalyze,
     Insert,
     InsertSelect,
     Join,
@@ -38,7 +39,7 @@ from .ast import (
     UnionAll,
     Update,
 )
-from .lexer import SOFT_KEYWORDS, Token, TokenType, tokenize
+from .lexer import SHOW_TARGETS, Token, TokenType, tokenize
 
 _AGGREGATES = aggregate_function_names()
 
@@ -109,7 +110,12 @@ class _Parser:
             stmt: Statement = self._parse_select_or_union()
         elif token.is_keyword("EXPLAIN"):
             self._advance()
-            stmt = Explain(self._parse_select())
+            analyze = self._peek()
+            if analyze.type is TokenType.IDENT and analyze.value == "analyze":
+                self._advance()
+                stmt = ExplainAnalyze(self._parse_select())
+            else:
+                stmt = Explain(self._parse_select())
         elif token.is_keyword("CREATE"):
             stmt = self._parse_create()
         elif token.is_keyword("DROP"):
@@ -128,12 +134,12 @@ class _Parser:
             elif what.is_keyword("MODELS"):
                 stmt = Show("models")
             elif (
-                what.type is TokenType.IDENT and what.value.upper() in SOFT_KEYWORDS
+                what.type is TokenType.IDENT and what.value.upper() in SHOW_TARGETS
             ):
                 stmt = Show(what.value)
             else:
                 raise SqlParseError(
-                    "expected TABLES, MODELS, METRICS, or STATS after SHOW"
+                    "expected TABLES, MODELS, METRICS, STATS, or AUDIT after SHOW"
                 )
         else:
             raise SqlParseError(

@@ -249,6 +249,19 @@ class Planner:
         )
 
 
+def predict_models(stmt: Select) -> list[str]:
+    """The model names a SELECT invokes through PREDICT, in select order.
+
+    Used by EXPLAIN/EXPLAIN ANALYZE to attach each inference plan (and
+    its per-stage audit) to the relational plan report.
+    """
+    return [
+        item.expr.model
+        for item in stmt.items
+        if isinstance(item.expr, PredictCall)
+    ]
+
+
 def _output_name(item: SelectItem, index: int) -> str:
     if item.alias:
         return item.alias

@@ -19,6 +19,13 @@ export spans with ``Database.export_trace(path)``.
 
 from __future__ import annotations
 
+from .audit import (
+    AUDIT_COLUMNS,
+    NULL_AUDITOR,
+    NullAuditor,
+    PlanAuditor,
+    StageAudit,
+)
 from .logs import ROOT_LOGGER_NAME, enable_console_logging, get_logger
 from .query_stats import QueryStats
 from .registry import (
@@ -35,7 +42,7 @@ from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 
 class Telemetry:
-    """One registry + one tracer behind an enabled/disabled switch."""
+    """One registry + one tracer + one plan auditor behind an on/off switch."""
 
     def __init__(
         self,
@@ -43,6 +50,7 @@ class Telemetry:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         max_spans: int = 65536,
+        max_audit_records: int = 1024,
     ):
         self.enabled = enabled
         if enabled:
@@ -52,9 +60,13 @@ class Telemetry:
             self.tracer: Tracer | NullTracer = (
                 tracer if tracer is not None else Tracer(max_spans=max_spans)
             )
+            self.audit: PlanAuditor | NullAuditor = PlanAuditor(
+                self.registry, max_records=max_audit_records
+            )
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.audit = NULL_AUDITOR
 
 
 #: Shared disabled instance — components default to this when no
@@ -64,6 +76,11 @@ DISABLED = Telemetry(enabled=False)
 __all__ = [
     "Telemetry",
     "DISABLED",
+    "PlanAuditor",
+    "NullAuditor",
+    "StageAudit",
+    "AUDIT_COLUMNS",
+    "NULL_AUDITOR",
     "MetricsRegistry",
     "NullRegistry",
     "Counter",

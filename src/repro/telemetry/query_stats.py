@@ -30,6 +30,14 @@ class QueryStats:
     engine_seconds: float = 0.0
     #: plan stages executed per representation, e.g. {"udf-centric": 1}
     representations: dict[str, int] = field(default_factory=dict)
+    #: estimate-vs-actual audit records for the inference stages this
+    #: statement executed (:class:`~repro.telemetry.audit.StageAudit`).
+    stage_audits: list = field(default_factory=list)
+
+    @property
+    def audit_mispredictions(self) -> int:
+        """Audited stages whose estimate disagreed with the runtime peak."""
+        return sum(1 for audit in self.stage_audits if audit.mispredicted)
 
     @property
     def pool_hit_rate(self) -> float:
@@ -51,6 +59,9 @@ class QueryStats:
         ]
         for rep, count in sorted(self.representations.items()):
             rows.append((f"stages[{rep}]", count))
+        if self.stage_audits:
+            rows.append(("audit_stages", len(self.stage_audits)))
+            rows.append(("audit_mispredictions", self.audit_mispredictions))
         return rows
 
     def render(self) -> str:
@@ -70,5 +81,11 @@ class QueryStats:
             )
             lines.append(
                 f"  engines: {self.engine_seconds * 1e3:.2f}ms in stages [{reps}]"
+            )
+        for audit in self.stage_audits:
+            lines.append(
+                f"  audit: {audit.model} stage{audit.stage_index} "
+                f"[{audit.representation}] est={audit.estimated_bytes:,}B "
+                f"actual={audit.actual_peak_bytes:,}B -> {audit.verdict}"
             )
         return "\n".join(lines)

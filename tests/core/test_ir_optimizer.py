@@ -153,6 +153,72 @@ def test_aot_plans_vary_with_batch():
     assert Representation.RELATION_CENTRIC in large.representations
 
 
+def test_plan_nodes_carry_memory_estimates():
+    config = SystemConfig(memory_threshold_bytes=mb(2))
+    batch = 256
+    plan = RuleBasedOptimizer(config).plan_model(fraud_fc_256(), batch)
+    for stage in plan.stages:
+        for node in stage.nodes:
+            assert node.estimated_bytes == node_memory_requirement(node, batch)
+            assert node.estimated_bytes > 0
+        # The stage estimate is its widest node (stages run node-at-a-time).
+        assert stage.estimated_bytes == max(
+            n.estimated_bytes for n in stage.nodes
+        )
+        assert "est=" in stage.nodes[0].describe()
+
+
+def test_forced_plans_still_carry_estimates():
+    plan = RuleBasedOptimizer(SystemConfig()).plan_model(
+        fraud_fc_256(), 64, force="relation-centric"
+    )
+    assert all(
+        node.estimated_bytes > 0 for stage in plan.stages for node in stage.nodes
+    )
+
+
+def test_optimizer_decisions_count_each_operator_once():
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(enabled=True)
+    config = SystemConfig(memory_threshold_bytes=mb(2))
+    optimizer = RuleBasedOptimizer(config, telemetry=telemetry)
+    model = fraud_fc_256()
+    optimizer.plan_model(model, 256)
+    snapshot = telemetry.registry.snapshot()
+    decisions = sum(
+        v
+        for k, v in snapshot.items()
+        if k.startswith("optimizer_decisions_total")
+    )
+    assert decisions == len(lower_model(model))
+
+
+def test_device_aware_offload_counts_decision_once():
+    # Regression: the UDF->DL reassignment used to increment both the
+    # udf-centric and dl-centric decision counters for the same operator.
+    from repro.core import DeviceAwareOptimizer
+    from repro.dlruntime import Linear, Model, cpu_device, gpu_device
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(enabled=True)
+    config = SystemConfig(memory_threshold_bytes=mb(512))
+    heavy = Model("heavy", [Linear(2048, 2048, name="fc")], input_shape=(2048,))
+    optimizer = DeviceAwareOptimizer(
+        config, [cpu_device(), gpu_device()], telemetry=telemetry
+    )
+    plan = optimizer.plan_model(heavy, batch_size=2048)
+    assert plan.stages[0].representation is Representation.DL_CENTRIC
+    snapshot = telemetry.registry.snapshot()
+    by_rep = {
+        k: v
+        for k, v in snapshot.items()
+        if k.startswith("optimizer_decisions_total")
+    }
+    assert sum(by_rep.values()) == 1
+    assert by_rep['optimizer_decisions_total{representation="dl-centric"}'] == 1
+
+
 def test_representation_parse():
     assert Representation.parse("udf-centric") is Representation.UDF_CENTRIC
     with pytest.raises(ValueError):

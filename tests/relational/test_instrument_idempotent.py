@@ -6,6 +6,7 @@ plan analyzed twice drove both reports at once and billed the inner
 wrapper's bookkeeping to the outer report's timings.
 """
 
+from repro import Database
 from repro.relational import ColumnType, Schema
 from repro.relational.operators import Limit, ValuesScan, collect
 from repro.relational.operators.instrument import instrument
@@ -47,3 +48,27 @@ def test_instrumented_plan_still_executes_after_many_passes():
         report = instrument(plan)
     assert collect(plan).rows == [(0,), (1,), (2,), (3,)]
     assert report.for_node(plan).opened == 1
+
+
+def test_sql_explain_analyze_is_repeatable():
+    # The SQL statement plans fresh each time, but the row counts must
+    # come out identical run after run: no stale wrapper state leaks
+    # between analyses and each report bills rows exactly once.
+    db = Database()
+    try:
+        db.execute("CREATE TABLE t (id INT)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5), (6)")
+        reports = [
+            "\n".join(
+                row[0]
+                for row in db.execute(
+                    "EXPLAIN ANALYZE SELECT id FROM t WHERE id > 2 LIMIT 2"
+                )
+            )
+            for __ in range(3)
+        ]
+        for report in reports:
+            assert "Limit" in report
+            assert report.count("rows=2") >= 2  # limit and filter both stop at 2
+    finally:
+        db.close()

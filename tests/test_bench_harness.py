@@ -1,0 +1,107 @@
+"""The benchmark results harness: record/write/load/compare round-trip.
+
+``benchmarks/`` is not a package (pytest adds it to ``sys.path`` via
+conftest), so the tier-1 suite loads the helpers by file path.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load(name: str, filename: str):
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / filename)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def util():
+    module = load("_util", "_util.py")
+    module.RESULTS.clear()
+    yield module
+    module.RESULTS.clear()
+
+
+def test_measure_stable_warms_up_and_takes_median(util):
+    calls = []
+
+    def fn():
+        calls.append(len(calls))
+        return "out"
+
+    result, seconds = util.measure_stable(fn, repeats=3, warmup=2)
+    assert result == "out"
+    assert len(calls) == 5  # 2 warmup + 3 timed
+    assert seconds >= 0
+    with pytest.raises(ValueError):
+        util.measure_stable(fn, repeats=0)
+
+
+def test_record_write_load_round_trip(util, tmp_path):
+    util.record("alpha", latency_seconds=0.5, memory_bytes=1024, rows=10)
+    util.record("beta", latency_seconds=0.25)
+    util.record("beta", latency_seconds=0.75)  # last writer wins
+    path = tmp_path / "results.json"
+    assert util.write_results(str(path)) == 2
+    payload = json.loads(path.read_text())
+    assert payload["version"] == util.RESULTS_VERSION
+    loaded = util.load_results(str(path))
+    assert loaded["alpha"]["memory_bytes"] == 1024
+    assert loaded["alpha"]["meta"] == {"rows": 10}
+    assert loaded["beta"]["latency_seconds"] == 0.75
+    assert loaded["beta"]["memory_bytes"] is None
+
+
+def test_load_rejects_wrong_version(util, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "results": {}}')
+    with pytest.raises(ValueError, match="version"):
+        util.load_results(str(path))
+
+
+def test_compare_results_tolerances(util):
+    baseline = {
+        "s": {"latency_seconds": 1.0, "memory_bytes": 1000, "meta": {}},
+    }
+    ok = {"s": {"latency_seconds": 1.5, "memory_bytes": 1100, "meta": {}}}
+    assert util.compare_results(baseline, ok, 1.0, 0.25) == []
+    slow = {"s": {"latency_seconds": 2.5, "memory_bytes": 1000, "meta": {}}}
+    problems = util.compare_results(baseline, slow, 1.0, 0.25)
+    assert len(problems) == 1 and "latency" in problems[0]
+    fat = {"s": {"latency_seconds": 1.0, "memory_bytes": 1500, "meta": {}}}
+    problems = util.compare_results(baseline, fat, 1.0, 0.25)
+    assert len(problems) == 1 and "memory" in problems[0]
+    missing = util.compare_results(baseline, {}, 1.0, 0.25)
+    assert missing == ["s: missing from current results"]
+    # New scenarios in the current run are not a failure.
+    extra = dict(ok, t={"latency_seconds": 9.0, "memory_bytes": None, "meta": {}})
+    assert util.compare_results(baseline, extra, 1.0, 0.25) == []
+
+
+def test_comparator_cli_round_trip(util, tmp_path, capsys):
+    cli = load("compare_results", "compare_results.py")
+    util.record("s", latency_seconds=0.1, memory_bytes=500)
+    base = tmp_path / "base.json"
+    util.write_results(str(base))
+    assert cli.main([str(base), str(base)]) == 0
+    assert "within tolerance" in capsys.readouterr().out
+    util.record("s", latency_seconds=0.1, memory_bytes=5000)
+    current = tmp_path / "current.json"
+    util.write_results(str(current))
+    assert cli.main([str(base), str(current)]) == 1
+    assert "peak memory" in capsys.readouterr().err
+
+
+def test_checked_in_baseline_is_loadable(util):
+    baseline = util.load_results(str(BENCH_DIR / "baselines" / "bench_smoke.json"))
+    assert "predict-fraud-sql" in baseline
+    for entry in baseline.values():
+        assert entry["latency_seconds"] is None or entry["latency_seconds"] > 0
