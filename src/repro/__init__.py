@@ -21,11 +21,16 @@ from .config import DEFAULT_CONFIG, SystemConfig, gb, mb
 from .core.ir import InferencePlan, Representation
 from .dlruntime.memory import MemoryBudget
 from .errors import (
+    DeadlineExceededError,
     OutOfMemoryError,
     ReproError,
+    ServerClosedError,
+    ServerError,
+    ServerOverloadedError,
     SlaViolationError,
     SqlError,
 )
+from .server import ModelServer, RequestFuture, RequestState
 from .session import Cursor, Database
 
 __version__ = "1.0.0"
@@ -40,9 +45,16 @@ __all__ = [
     "MemoryBudget",
     "Representation",
     "InferencePlan",
+    "ModelServer",
+    "RequestFuture",
+    "RequestState",
     "ReproError",
     "OutOfMemoryError",
     "SqlError",
     "SlaViolationError",
+    "ServerError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "DeadlineExceededError",
     "__version__",
 ]

@@ -101,6 +101,20 @@ class SystemConfig:
     # Ring size of retained plan-quality audit records (estimate-vs-actual
     # memory per executed inference stage; backs ``SHOW AUDIT``).
     audit_max_records: int = 1024
+    # -- concurrent serving front-end (repro.server) ---------------------
+    # Worker threads draining per-model request queues into batched
+    # engine invocations.
+    server_workers: int = 2
+    # Hard cap on rows coalesced into one batched engine invocation.
+    server_max_batch_size: int = 64
+    # How long the micro-batcher waits for more requests once one is
+    # queued, before dispatching a partial batch.
+    server_max_queue_delay_ms: float = 2.0
+    # Per-model bound on queued (not yet executing) requests; submits
+    # beyond it raise ServerOverloadedError (backpressure).
+    server_queue_capacity: int = 256
+    # Default per-request deadline in milliseconds; 0 means no deadline.
+    server_default_deadline_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -116,9 +130,16 @@ class SystemConfig:
             "num_cores",
             "telemetry_max_spans",
             "audit_max_records",
+            "server_workers",
+            "server_max_batch_size",
+            "server_queue_capacity",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
+        if self.server_max_queue_delay_ms < 0:
+            raise ConfigError("server_max_queue_delay_ms must be >= 0")
+        if self.server_default_deadline_ms < 0:
+            raise ConfigError("server_default_deadline_ms must be >= 0")
         if self.framework_compute_efficiency <= 0:
             raise ConfigError("framework_compute_efficiency must be positive")
         if self.eviction_policy not in ("lru", "clock", "2q"):

@@ -10,6 +10,7 @@ records the peak, which the benchmarks report alongside latency.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -46,6 +47,9 @@ class MemoryBudget:
         self.name = name
         self._limit = limit_bytes if limit_bytes is not None else 1 << 62
         self.stats = MemoryStats(limit=self._limit)
+        # Budgets are shared across the serving front-end's worker
+        # threads; charge/release must stay balanced under concurrency.
+        self._lock = threading.Lock()
 
     @property
     def limit(self) -> int:
@@ -66,23 +70,25 @@ class MemoryBudget:
         """Charge ``nbytes``; raises :class:`OutOfMemoryError` over limit."""
         if nbytes < 0:
             raise ValueError(f"cannot allocate a negative size ({nbytes})")
-        if self.stats.used + nbytes > self._limit:
-            self.stats.oom_events += 1
-            raise OutOfMemoryError(nbytes, self.stats.used, self._limit, tag)
-        self.stats.used += nbytes
-        self.stats.allocations += 1
-        if self.stats.used > self.stats.peak:
-            self.stats.peak = self.stats.used
+        with self._lock:
+            if self.stats.used + nbytes > self._limit:
+                self.stats.oom_events += 1
+                raise OutOfMemoryError(nbytes, self.stats.used, self._limit, tag)
+            self.stats.used += nbytes
+            self.stats.allocations += 1
+            if self.stats.used > self.stats.peak:
+                self.stats.peak = self.stats.used
         return nbytes
 
     def release(self, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError(f"cannot release a negative size ({nbytes})")
-        if nbytes > self.stats.used:
-            raise ValueError(
-                f"releasing {nbytes} bytes but only {self.stats.used} are in use"
-            )
-        self.stats.used -= nbytes
+        with self._lock:
+            if nbytes > self.stats.used:
+                raise ValueError(
+                    f"releasing {nbytes} bytes but only {self.stats.used} are in use"
+                )
+            self.stats.used -= nbytes
 
     @contextmanager
     def borrow(self, nbytes: int, tag: str = "") -> Iterator[None]:

@@ -10,6 +10,8 @@ overhead the paper's unified architecture exists to avoid.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..config import SystemConfig
@@ -76,6 +78,10 @@ class HybridExecutor:
         self.relation_engine = RelationCentricEngine(
             catalog, config, telemetry=self.telemetry
         )
+        # Relation-centric stages materialise scratch block tables in the
+        # shared catalog; serialize them across the serving front-end's
+        # workers rather than making the whole engine re-entrant.
+        self._relation_lock = threading.Lock()
         self.dl_engine = DlCentricEngine(
             Connector(config.connector),
             ExternalRuntime(
@@ -161,7 +167,8 @@ class HybridExecutor:
         if stage.representation is Representation.UDF_CENTRIC:
             return self.udf_engine.run_layers(stage.layers, x)
         if stage.representation is Representation.RELATION_CENTRIC:
-            return self._run_relation_stage(stage, x, model_info)
+            with self._relation_lock:
+                return self._run_relation_stage(stage, x, model_info)
         if stage.representation is Representation.DL_CENTRIC:
             return self._run_dl_stage(stage, x)
         raise PlanError(f"stage has no representation assigned: {stage.describe()}")

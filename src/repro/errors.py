@@ -101,3 +101,33 @@ class SlaViolationError(ReproError):
 class TelemetryError(ReproError):
     """A metric or trace was used inconsistently (e.g. a counter re-registered
     as a gauge, or a counter decremented)."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the concurrent serving front-end."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control rejected a request because a queue is full.
+
+    Backpressure: the caller should retry later or slow down.  Carries the
+    model and the queue depth at rejection time.
+    """
+
+    def __init__(self, model: str, queue_depth: int, capacity: int):
+        self.model = model
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        super().__init__(
+            f"server overloaded: model {model!r} queue holds {queue_depth} "
+            f"requests (capacity {capacity})"
+        )
+
+
+class DeadlineExceededError(ServerError):
+    """A request's deadline passed (or provably cannot be met) before
+    execution, so the server shed it instead of wasting engine time."""
+
+
+class ServerClosedError(ServerError):
+    """The serving front-end was closed; no new requests are accepted."""

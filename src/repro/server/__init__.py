@@ -1,0 +1,29 @@
+"""Concurrent serving front-end: scheduler, micro-batching, admission.
+
+The request-level tier the paper's "serve heavy traffic" goal needs on
+top of the query engine: many client threads submit point PREDICT
+requests, a dynamic micro-batcher coalesces them into batched engine
+invocations, and admission control keeps latency SLAs honest under load.
+Construct one via :meth:`repro.Database.serve`.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .batcher import Batch, BatcherStats, MicroBatcher
+from .futures import RequestFuture, RequestState, resolve_all
+from .locks import ReadWriteLock
+from .server import BATCH_ROW_BUCKETS, REQUEST_OUTCOMES, ModelServer
+
+__all__ = [
+    "ModelServer",
+    "MicroBatcher",
+    "Batch",
+    "BatcherStats",
+    "AdmissionController",
+    "AdmissionDecision",
+    "RequestFuture",
+    "RequestState",
+    "resolve_all",
+    "ReadWriteLock",
+    "BATCH_ROW_BUCKETS",
+    "REQUEST_OUTCOMES",
+]

@@ -1,0 +1,138 @@
+"""Per-request futures handed back by :meth:`ModelServer.submit`.
+
+A :class:`RequestFuture` is the client's handle to one in-flight
+inference request: it blocks on :meth:`result` until the micro-batcher
+has executed the batch containing the request, then yields the
+per-request slice of the batched prediction.  Failures (deadline drops,
+engine errors, server shutdown) surface as the stored exception.
+
+The server also keeps its scheduling metadata here — enqueue time,
+deadline, and the measured queue-vs-execute split — so telemetry can
+attribute latency without a side table.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+
+import numpy as np
+
+from ..errors import ServerError
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of one submitted request."""
+
+    PENDING = "pending"  # queued, waiting for a batch slot
+    DONE = "done"  # prediction available
+    FAILED = "failed"  # engine raised; exception stored
+    SHED = "shed"  # dropped by admission control or deadline policy
+
+
+class RequestFuture:
+    """A write-once result slot resolved by a serving worker."""
+
+    def __init__(
+        self,
+        request_id: int,
+        model: str,
+        features: np.ndarray,
+        deadline: float | None,
+        enqueued_at: float | None = None,
+    ):
+        self.request_id = request_id
+        self.model = model
+        self.features = features
+        #: Absolute ``time.monotonic()`` deadline, or None for no SLA.
+        self.deadline = deadline
+        self.enqueued_at = (
+            enqueued_at if enqueued_at is not None else time.monotonic()
+        )
+        #: Seconds spent queued before its batch started executing.
+        self.queue_seconds: float | None = None
+        #: Seconds the batch containing this request spent in the engine.
+        self.execute_seconds: float | None = None
+        self._event = threading.Event()
+        self._state = RequestState.PENDING
+        self._result: np.ndarray | None = None
+        self._exception: BaseException | None = None
+
+    @property
+    def rows(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def state(self) -> RequestState:
+        return self._state
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def shed(self) -> bool:
+        return self._state is RequestState.SHED
+
+    def expired(self, now: float | None = None) -> bool:
+        """True if the deadline has passed (False when there is none)."""
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) > self.deadline
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until resolved; returns predictions or raises the failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} for model {self.model!r} "
+                f"did not resolve within {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until resolved; returns the stored failure (None if ok)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} for model {self.model!r} "
+                f"did not resolve within {timeout}s"
+            )
+        return self._exception
+
+    # -- resolution (server side) ----------------------------------------
+
+    def _resolve(
+        self,
+        predictions: np.ndarray,
+        queue_seconds: float,
+        execute_seconds: float,
+    ) -> None:
+        self.queue_seconds = queue_seconds
+        self.execute_seconds = execute_seconds
+        self._result = predictions
+        self._state = RequestState.DONE
+        self._event.set()
+
+    def _fail(
+        self, exc: BaseException, state: RequestState = RequestState.FAILED
+    ) -> None:
+        self._exception = exc
+        self._state = state
+        self._event.set()
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestFuture(id={self.request_id}, model={self.model!r}, "
+            f"rows={self.rows}, state={self._state.value})"
+        )
+
+
+def resolve_all(
+    futures: list[RequestFuture], exc: BaseException | None = None
+) -> None:
+    """Fail every unresolved future in ``futures`` (shutdown/batch error)."""
+    error = exc if exc is not None else ServerError("request abandoned")
+    for future in futures:
+        if not future.done():
+            future._fail(error)

@@ -1,0 +1,434 @@
+"""The concurrent serving front-end over one :class:`~repro.session.Database`.
+
+``ModelServer`` turns the single-caller query engine into a request-level
+model server: many client threads ``submit`` point requests and get
+futures back; per-model :class:`~repro.server.batcher.MicroBatcher`\\ s
+coalesce queued requests into batched engine invocations; an
+:class:`~repro.server.admission.AdmissionController` bounds the queues
+and sheds deadline-infeasible work; a small worker pool drains batches
+through the existing hybrid engine under the database's read lock
+(concurrent PREDICTs, serialized DDL/DML — see
+:class:`~repro.server.locks.ReadWriteLock`).
+
+Observability: ``server_*`` metrics (queue-depth gauges, batch-size
+histogram, shed/expired counters, queue-vs-execute latency histograms),
+per-batch tracer spans, and the ``SHOW SERVER`` SQL statement.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import (
+    DeadlineExceededError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from ..serving.policy import ServiceTimeEstimator
+from .admission import AdmissionController
+from .batcher import Batch, MicroBatcher
+from .futures import RequestFuture, RequestState
+
+#: Row-count buckets for the batch-size histogram (1 .. 1024).
+BATCH_ROW_BUCKETS: tuple[float, ...] = tuple(float(1 << p) for p in range(0, 11))
+
+#: Request outcomes tracked under ``server_requests_total``.
+REQUEST_OUTCOMES: tuple[str, ...] = (
+    "submitted",  # accepted into a queue
+    "completed",  # future resolved with predictions
+    "failed",  # engine raised; error stored on the future
+    "rejected",  # queue full: ServerOverloadedError backpressure
+    "shed",  # admission predicted the deadline cannot be met
+    "expired",  # deadline passed while queued; dropped at batch formation
+)
+
+
+@dataclass
+class _ModelState:
+    """Everything the server keeps per served model."""
+
+    batcher: MicroBatcher
+    estimator: ServiceTimeEstimator
+    drops_seen: int = 0  # deadline_drops already mirrored into metrics
+
+
+class ModelServer:
+    """A thread-safe, micro-batching request front-end for PREDICT."""
+
+    def __init__(
+        self,
+        db,
+        workers: int | None = None,
+        max_batch_size: int | None = None,
+        max_queue_delay_ms: float | None = None,
+        queue_capacity: int | None = None,
+        default_deadline_ms: float | None = None,
+    ):
+        config = db.config
+        self._db = db
+        self.workers = int(workers if workers is not None else config.server_workers)
+        self.max_batch_size = int(
+            max_batch_size if max_batch_size is not None
+            else config.server_max_batch_size
+        )
+        self.max_queue_delay_s = (
+            max_queue_delay_ms
+            if max_queue_delay_ms is not None
+            else config.server_max_queue_delay_ms
+        ) / 1e3
+        self.queue_capacity = int(
+            queue_capacity if queue_capacity is not None
+            else config.server_queue_capacity
+        )
+        self.default_deadline_ms = (
+            default_deadline_ms
+            if default_deadline_ms is not None
+            else config.server_default_deadline_ms
+        )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self._admission = AdmissionController(
+            self.queue_capacity, self.max_batch_size
+        )
+        self._models: dict[str, _ModelState] = {}
+        self._work = threading.Condition()
+        self._inflight = 0  # batches taken but not yet resolved
+        self._stopping = False  # no new submits
+        self._shutdown = False  # workers may exit
+        self._next_id = itertools.count(1)
+        self._rotation = 0  # round-robin start index for batcher picking
+
+        registry = db.telemetry.registry
+        tracer = db.telemetry.tracer
+        self._tracer = tracer
+        self._m_requests = {
+            outcome: registry.counter(
+                "server_requests_total",
+                "Requests through the serving front-end, by outcome",
+                outcome=outcome,
+            )
+            for outcome in REQUEST_OUTCOMES
+        }
+        self._m_batches = registry.counter(
+            "server_batches_total", "Batched engine invocations dispatched"
+        )
+        self._m_batch_rows = registry.histogram(
+            "server_batch_rows",
+            "Rows coalesced per batched engine invocation",
+            buckets=BATCH_ROW_BUCKETS,
+        )
+        self._m_queue_seconds = registry.histogram(
+            "server_queue_seconds", "Per-request time queued before execution"
+        )
+        self._m_execute_seconds = registry.histogram(
+            "server_execute_seconds", "Per-batch engine execution time"
+        )
+        self._registry = registry
+        self._m_depth: dict[str, object] = {}
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client API ------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        features: np.ndarray,
+        deadline_ms: float | None = None,
+    ) -> RequestFuture:
+        """Queue one inference request; returns its future.
+
+        ``features`` is one row ``(d,)`` or a small row batch ``(n, d)``.
+        ``deadline_ms`` is relative to now (None uses the server default;
+        0 means no deadline).  Raises
+        :class:`~repro.errors.ServerOverloadedError` when the model's
+        queue is full and :class:`~repro.errors.ServerClosedError` after
+        :meth:`close`.  A request shed for a provably unmeetable deadline
+        returns normally — its future fails with
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
+        if self._stopping:
+            raise ServerClosedError("server is closed to new requests")
+        name = model.lower()
+        state = self._model_state(name)
+        feats = np.asarray(features, dtype=np.float64)
+        if feats.ndim == 1:
+            feats = feats[np.newaxis, :]
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        now = time.monotonic()
+        deadline = now + deadline_ms / 1e3 if deadline_ms else None
+        future = RequestFuture(
+            next(self._next_id), name, feats, deadline, enqueued_at=now
+        )
+        with self._work:
+            if self._stopping:
+                raise ServerClosedError("server is closed to new requests")
+            batcher = state.batcher
+            decision = self._admission.decide(
+                state.estimator,
+                batcher.queued_requests,
+                batcher.queued_rows,
+                future.rows,
+                deadline,
+            )
+            if decision.action == "reject":
+                self._m_requests["rejected"].inc()
+                raise ServerOverloadedError(
+                    name, batcher.queued_requests, self.queue_capacity
+                )
+            if decision.action == "shed":
+                self._m_requests["shed"].inc()
+                future._fail(
+                    DeadlineExceededError(
+                        f"request shed before queuing: {decision.reason}"
+                    ),
+                    RequestState.SHED,
+                )
+                return future
+            batcher.put(future, front=decision.action == "fastpath")
+            self._m_requests["submitted"].inc()
+            self._depth_gauge(name).set(batcher.queued_requests)
+            self._work.notify_all()
+        return future
+
+    def predict(
+        self,
+        model: str,
+        features: np.ndarray,
+        deadline_ms: float | None = None,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Synchronous convenience: ``submit`` + ``result``."""
+        return self.submit(model, features, deadline_ms).result(timeout)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every queued request resolved; False on timeout."""
+        end = time.monotonic() + timeout
+        with self._work:
+            while True:
+                idle = self._inflight == 0 and all(
+                    s.batcher.queued_requests == 0 for s in self._models.values()
+                )
+                if idle:
+                    return True
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._work.wait(min(remaining, 0.05))
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop intake, optionally finish queued work, join the workers.
+
+        With ``drain=False`` (or on drain timeout) still-queued requests
+        fail with :class:`~repro.errors.ServerClosedError`.
+        """
+        with self._work:
+            if self._shutdown:
+                return
+            self._stopping = True
+            self._work.notify_all()
+        if drain:
+            self.drain(timeout)
+        with self._work:
+            self._shutdown = True
+            for state in self._models.values():
+                leftovers = state.batcher.close()
+                for request in leftovers:
+                    request._fail(ServerClosedError("server closed"))
+                    self._m_requests["failed"].inc()
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._db._detach_server(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._shutdown
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- stats (SHOW SERVER / SHOW STATS) --------------------------------
+
+    def stats_rows(self) -> list[tuple[str, object]]:
+        """(stat, value) rows for ``SHOW SERVER``."""
+        with self._work:
+            rows: list[tuple[str, object]] = [
+                ("server.workers", self.workers),
+                ("server.max_batch_size", self.max_batch_size),
+                ("server.max_queue_delay_ms", self.max_queue_delay_s * 1e3),
+                ("server.queue_capacity", self.queue_capacity),
+                ("server.closed", self._shutdown),
+                ("server.inflight_batches", self._inflight),
+            ]
+            for outcome in REQUEST_OUTCOMES:
+                # Null metrics (telemetry disabled) report 0 here.
+                rows.append(
+                    (f"server.requests.{outcome}",
+                     int(self._m_requests[outcome].value))
+                )
+            for name, state in sorted(self._models.items()):
+                stats = state.batcher.stats
+                rows.extend(
+                    [
+                        (f"server.model.{name}.queue_depth",
+                         state.batcher.queued_requests),
+                        (f"server.model.{name}.queued_rows",
+                         state.batcher.queued_rows),
+                        (f"server.model.{name}.target_batch_size",
+                         state.batcher.target_batch_size),
+                        (f"server.model.{name}.batches", stats.batches),
+                        (f"server.model.{name}.rows_dispatched",
+                         stats.rows_dispatched),
+                        (f"server.model.{name}.mean_batch_rows",
+                         round(stats.mean_batch_rows, 3)),
+                        (f"server.model.{name}.largest_batch_rows",
+                         stats.largest_batch_rows),
+                        (f"server.model.{name}.deadline_drops",
+                         stats.deadline_drops),
+                        (f"server.model.{name}.estimated_row_seconds",
+                         round(state.estimator.estimate_seconds(1), 9)),
+                    ]
+                )
+            return rows
+
+    # -- internals -------------------------------------------------------
+
+    def _model_state(self, name: str) -> _ModelState:
+        state = self._models.get(name)
+        if state is not None:
+            return state
+        self._db.model_info(name)  # raises CatalogError for unknown models
+        with self._work:
+            state = self._models.get(name)
+            if state is None:
+                state = _ModelState(
+                    batcher=MicroBatcher(
+                        name, self.max_batch_size, self.max_queue_delay_s
+                    ),
+                    estimator=ServiceTimeEstimator(),
+                )
+                self._models[name] = state
+        return state
+
+    def _depth_gauge(self, name: str):
+        gauge = self._m_depth.get(name)
+        if gauge is None:
+            gauge = self._registry.gauge(
+                "server_queue_depth", "Requests queued per model", model=name
+            )
+            self._m_depth[name] = gauge
+        return gauge
+
+    def _pick_locked(self) -> MicroBatcher | None:
+        """Round-robin over batchers with queued work (fairness across
+        models); callers hold ``self._work``."""
+        names = sorted(self._models)
+        if not names:
+            return None
+        n = len(names)
+        for i in range(n):
+            state = self._models[names[(self._rotation + i) % n]]
+            batcher = state.batcher
+            if not batcher.leased and batcher.queued_requests:
+                self._rotation = (self._rotation + i + 1) % n
+                return batcher
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            batcher = None
+            with self._work:
+                while batcher is None:
+                    if self._shutdown:
+                        return
+                    batcher = self._pick_locked()
+                    if batcher is None:
+                        self._work.wait(0.05)
+                batcher.leased = True
+                self._inflight += 1
+            try:
+                batch = batcher.collect(block=False)
+            finally:
+                with self._work:
+                    batcher.leased = False
+            if batch is None or not batch.requests:
+                with self._work:
+                    self._inflight -= 1
+                    self._sync_drops_locked(batcher)
+                    self._work.notify_all()
+                continue
+            try:
+                self._execute_batch(batch)
+            finally:
+                with self._work:
+                    self._inflight -= 1
+                    self._sync_drops_locked(batcher)
+                    self._depth_gauge(batch.model).set(batcher.queued_requests)
+                    self._work.notify_all()
+
+    def _sync_drops_locked(self, batcher: MicroBatcher) -> None:
+        """Mirror the batcher's deadline drops into the outcome counter."""
+        state = self._models.get(batcher.model)
+        if state is None:
+            return
+        drops = batcher.stats.deadline_drops
+        if drops > state.drops_seen:
+            self._m_requests["expired"].inc(drops - state.drops_seen)
+            state.drops_seen = drops
+
+    def _execute_batch(self, batch: Batch) -> None:
+        state = self._models[batch.model]
+        features = (
+            batch.requests[0].features
+            if len(batch.requests) == 1
+            else np.vstack([r.features for r in batch.requests])
+        )
+        started = time.monotonic()
+        try:
+            with self._tracer.span(
+                f"serve-batch:{batch.model}",
+                category="server",
+                rows=int(features.shape[0]),
+                requests=len(batch.requests),
+            ):
+                start = time.perf_counter()
+                predictions = self._db.predict_labels(batch.model, features)
+                execute_seconds = time.perf_counter() - start
+        except BaseException as exc:
+            for request in batch.requests:
+                request._fail(exc)
+            self._m_requests["failed"].inc(len(batch.requests))
+            return
+        state.estimator.observe(int(features.shape[0]), execute_seconds)
+        self._m_batches.inc()
+        self._m_batch_rows.observe(float(features.shape[0]))
+        self._m_execute_seconds.observe(execute_seconds)
+        offset = 0
+        for request in batch.requests:
+            rows = request.rows
+            queue_seconds = max(0.0, started - request.enqueued_at)
+            self._m_queue_seconds.observe(queue_seconds)
+            request._resolve(
+                predictions[offset : offset + rows], queue_seconds, execute_seconds
+            )
+            offset += rows
+        self._m_requests["completed"].inc(len(batch.requests))

@@ -2,7 +2,7 @@
 
 from .result_cache import CacheServeReport, ExactResultCache, InferenceResultCache
 from .error_bound import ErrorBoundEstimate, monte_carlo_error_bound
-from .policy import AdaptiveCachePolicy, CacheDecision
+from .policy import AdaptiveCachePolicy, CacheDecision, ServiceTimeEstimator
 from .pipeline import (
     PipelineExecutor,
     PipelineStage,
@@ -19,6 +19,7 @@ __all__ = [
     "ErrorBoundEstimate",
     "AdaptiveCachePolicy",
     "CacheDecision",
+    "ServiceTimeEstimator",
     "PipelineStage",
     "partition_layers",
     "PipelineExecutor",

@@ -1,15 +1,23 @@
-"""SLA-driven adaptive caching policy (Sec. 5.1 / Sec. 7.2.2).
+"""SLA-driven serving policies (Sec. 5.1 / Sec. 7.2.2).
 
-Whether approximate result caching is acceptable depends on the
-application's SLA.  The policy searches candidate distance thresholds
-from loosest to tightest, estimating a Monte-Carlo disagreement bound for
-each, and enables the cache at the loosest threshold whose bound stays
-within the SLA's accuracy-drop allowance.  If none qualifies, caching is
-disabled and queries run exact.
+Two SLA dimensions live here:
+
+* **accuracy** — :class:`AdaptiveCachePolicy` searches candidate cache
+  distance thresholds from loosest to tightest, estimating a Monte-Carlo
+  disagreement bound for each, and enables the cache at the loosest
+  threshold whose bound stays within the SLA's accuracy-drop allowance.
+  If none qualifies, caching is disabled and queries run exact.
+* **latency** — :class:`ServiceTimeEstimator` maintains an online
+  (exponentially weighted) linear fit of batched-inference service time,
+  ``seconds ≈ overhead + rows × per_row``.  The serving front-end's
+  admission controller uses it to predict whether the work already queued
+  ahead of a request leaves enough time to meet the request's deadline,
+  and sheds the request up front if not.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +36,88 @@ class CacheDecision:
     bound: ErrorBoundEstimate | None
     candidates_tried: list[tuple[float, float]] = field(default_factory=list)
     # (threshold, disagreement upper bound) per candidate, loosest first
+
+
+class ServiceTimeEstimator:
+    """Online estimate of batched-inference service time for one model.
+
+    Fits ``seconds ≈ overhead + rows × per_row`` by exponentially
+    weighted least squares over observed ``(rows, seconds)`` batch
+    executions, so both the fixed per-invocation cost (plan dispatch,
+    connector latency) and the marginal per-row cost are learned from
+    the traffic itself.  Thread-safe: the serving workers observe and
+    the admission controller estimates concurrently.
+
+    Estimates are unreliable until a few batches have been observed;
+    callers gate shedding decisions on :attr:`confident`.
+    """
+
+    def __init__(self, alpha: float = 0.25, min_observations: int = 3):
+        if not 0.0 < alpha <= 1.0:
+            raise SlaViolationError("alpha must be within (0, 1]")
+        self.alpha = alpha
+        self.min_observations = min_observations
+        self._lock = threading.Lock()
+        self._count = 0
+        self._mean_rows = 0.0
+        self._mean_seconds = 0.0
+        self._cov = 0.0  # EW covariance of (rows, seconds)
+        self._var = 0.0  # EW variance of rows
+
+    @property
+    def observations(self) -> int:
+        return self._count
+
+    @property
+    def confident(self) -> bool:
+        """True once enough batches back the fit to act on it."""
+        return self._count >= self.min_observations
+
+    def observe(self, rows: int, seconds: float) -> None:
+        """Record one executed batch of ``rows`` taking ``seconds``."""
+        if rows < 1 or seconds < 0:
+            return
+        a = self.alpha
+        with self._lock:
+            self._count += 1
+            if self._count == 1:
+                self._mean_rows = float(rows)
+                self._mean_seconds = float(seconds)
+                return
+            dx = rows - self._mean_rows
+            dy = seconds - self._mean_seconds
+            self._mean_rows += a * dx
+            self._mean_seconds += a * dy
+            # EW moment updates (Welford-style with decay).
+            self._cov = (1 - a) * (self._cov + a * dx * dy)
+            self._var = (1 - a) * (self._var + a * dx * dx)
+
+    def _fit(self) -> tuple[float, float]:
+        """(overhead seconds, per-row seconds) from the current moments."""
+        if self._var > 1e-12:
+            per_row = max(0.0, self._cov / self._var)
+        elif self._mean_rows > 0:
+            # All observed batches were the same size: amortise evenly.
+            per_row = self._mean_seconds / self._mean_rows
+        else:
+            per_row = 0.0
+        overhead = max(0.0, self._mean_seconds - per_row * self._mean_rows)
+        return overhead, per_row
+
+    def estimate_seconds(self, rows: int, batches: int = 1) -> float:
+        """Predicted service time for ``rows`` split over ``batches``."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            overhead, per_row = self._fit()
+        return max(0, batches) * overhead + max(0, rows) * per_row
+
+    def estimate_wait_seconds(self, queued_rows: int, max_batch_size: int) -> float:
+        """Predicted time to drain ``queued_rows`` already ahead in queue."""
+        if queued_rows <= 0:
+            return 0.0
+        batches = -(-queued_rows // max(1, max_batch_size))
+        return self.estimate_seconds(queued_rows, batches=batches)
 
 
 class AdaptiveCachePolicy:

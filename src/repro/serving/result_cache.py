@@ -17,6 +17,7 @@ ordinary relation the RDBMS can manage, index, and evict.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -84,7 +85,14 @@ class CacheStats:
 
 
 class InferenceResultCache:
-    """An ANN-indexed cache in front of a model."""
+    """An ANN-indexed cache in front of a model.
+
+    Thread-safe: lookup, model execution on misses, and insertion run
+    under one reentrant lock, so the serving front-end's worker pool can
+    share a single cache without racing the index against the
+    ``_predictions`` map (an unlocked interleaving can index a vector
+    whose prediction is not yet recorded, or double-run the model).
+    """
 
     CACHE_SCHEMA = Schema.of(
         ("entry_id", ColumnType.INT),
@@ -116,6 +124,7 @@ class InferenceResultCache:
         ) = _cache_metrics(metrics, model, "ann")
         self._predictions: dict[int, int] = {}
         self._next_id = 0
+        self._lock = threading.RLock()
         self._table: TableInfo | None = None
         if catalog is not None:
             name = table_name or f"__cache_{model.name}"
@@ -134,9 +143,11 @@ class InferenceResultCache:
         """Precompute and cache predictions for a set of inputs."""
         flat = _flatten(features)
         predictions = self.model.predict(features)
-        self._insert(flat, predictions)
+        with self._lock:
+            self._insert(flat, predictions)
 
     def _insert(self, flat: np.ndarray, predictions: np.ndarray) -> None:
+        # Callers hold self._lock.
         ids = np.arange(self._next_id, self._next_id + flat.shape[0], dtype=np.int64)
         self._next_id += flat.shape[0]
         self.index.add(flat, ids)
@@ -165,38 +176,39 @@ class InferenceResultCache:
         from ..indexes.hnsw import HnswIndex
 
         threshold_aware = isinstance(self.index, HnswIndex)
-        lookup_start = time.perf_counter()
-        for i in range(n):
-            if threshold_aware:
-                result = self.index.search(
-                    flat[i], k=1, early_stop_distance=self.distance_threshold
-                )
-            else:
-                result = self.index.search(flat[i], k=1)
-            if (
-                result.ids[0] >= 0
-                and result.nearest_distance <= self.distance_threshold
-            ):
-                predictions[i] = self._predictions[result.nearest_id]
-            else:
-                miss_rows.append(i)
-        lookup_seconds = time.perf_counter() - lookup_start
+        with self._lock:
+            lookup_start = time.perf_counter()
+            for i in range(n):
+                if threshold_aware:
+                    result = self.index.search(
+                        flat[i], k=1, early_stop_distance=self.distance_threshold
+                    )
+                else:
+                    result = self.index.search(flat[i], k=1)
+                if (
+                    result.ids[0] >= 0
+                    and result.nearest_distance <= self.distance_threshold
+                ):
+                    predictions[i] = self._predictions[result.nearest_id]
+                else:
+                    miss_rows.append(i)
+            lookup_seconds = time.perf_counter() - lookup_start
 
-        model_seconds = 0.0
-        if miss_rows:
-            miss_idx = np.array(miss_rows)
-            model_start = time.perf_counter()
-            fresh = self.model.predict(features[miss_idx])
-            model_seconds = time.perf_counter() - model_start
-            predictions[miss_idx] = fresh
-            if self.insert_on_miss:
-                self._insert(flat[miss_idx], fresh)
+            model_seconds = 0.0
+            if miss_rows:
+                miss_idx = np.array(miss_rows)
+                model_start = time.perf_counter()
+                fresh = self.model.predict(features[miss_idx])
+                model_seconds = time.perf_counter() - model_start
+                predictions[miss_idx] = fresh
+                if self.insert_on_miss:
+                    self._insert(flat[miss_idx], fresh)
 
-        hits = n - len(miss_rows)
-        self.stats.hits += hits
-        self.stats.misses += len(miss_rows)
-        self.stats.model_seconds += model_seconds
-        self.stats.lookup_seconds += lookup_seconds
+            hits = n - len(miss_rows)
+            self.stats.hits += hits
+            self.stats.misses += len(miss_rows)
+            self.stats.model_seconds += model_seconds
+            self.stats.lookup_seconds += lookup_seconds
         self._m_hits.inc(hits)
         self._m_misses.inc(len(miss_rows))
         self._m_lookup_seconds.observe(lookup_seconds)
@@ -234,6 +246,7 @@ class ExactResultCache:
         self.model = model
         self.max_entries = max_entries
         self._entries: dict[bytes, int] = {}
+        self._lock = threading.Lock()
         self.stats = CacheStats()
         (
             self._m_hits,
@@ -252,33 +265,37 @@ class ExactResultCache:
         predictions = np.empty(n, dtype=np.int64)
         miss_rows: list[int] = []
         keys: list[bytes] = []
-        lookup_start = time.perf_counter()
-        for i in range(n):
-            key = flat[i].tobytes()
-            keys.append(key)
-            cached = self._entries.get(key)
-            if cached is not None:
-                predictions[i] = cached
-            else:
-                miss_rows.append(i)
-        lookup_seconds = time.perf_counter() - lookup_start
-        model_seconds = 0.0
-        if miss_rows:
-            miss_idx = np.array(miss_rows)
-            model_start = time.perf_counter()
-            fresh = self.model.predict(features[miss_idx])
-            model_seconds = time.perf_counter() - model_start
-            predictions[miss_idx] = fresh
-            for i, pred in zip(miss_rows, fresh):
-                if self.max_entries is None or len(self._entries) < self.max_entries:
-                    self._entries[keys[i]] = int(pred)
-            self.stats.inserts += len(miss_rows)
-            self._m_inserts.inc(len(miss_rows))
-        hits = n - len(miss_rows)
-        self.stats.hits += hits
-        self.stats.misses += len(miss_rows)
-        self.stats.model_seconds += model_seconds
-        self.stats.lookup_seconds += lookup_seconds
+        with self._lock:
+            lookup_start = time.perf_counter()
+            for i in range(n):
+                key = flat[i].tobytes()
+                keys.append(key)
+                cached = self._entries.get(key)
+                if cached is not None:
+                    predictions[i] = cached
+                else:
+                    miss_rows.append(i)
+            lookup_seconds = time.perf_counter() - lookup_start
+            model_seconds = 0.0
+            if miss_rows:
+                miss_idx = np.array(miss_rows)
+                model_start = time.perf_counter()
+                fresh = self.model.predict(features[miss_idx])
+                model_seconds = time.perf_counter() - model_start
+                predictions[miss_idx] = fresh
+                for i, pred in zip(miss_rows, fresh):
+                    if (
+                        self.max_entries is None
+                        or len(self._entries) < self.max_entries
+                    ):
+                        self._entries[keys[i]] = int(pred)
+                self.stats.inserts += len(miss_rows)
+                self._m_inserts.inc(len(miss_rows))
+            hits = n - len(miss_rows)
+            self.stats.hits += hits
+            self.stats.misses += len(miss_rows)
+            self.stats.model_seconds += model_seconds
+            self.stats.lookup_seconds += lookup_seconds
         self._m_hits.inc(hits)
         self._m_misses.inc(len(miss_rows))
         self._m_lookup_seconds.observe(lookup_seconds)

@@ -34,8 +34,9 @@ from .dlruntime.layers import Model
 from .dlruntime.memory import MemoryBudget
 from .engines.base import EngineResult
 from .engines.hybrid import HybridExecutor
-from .errors import CatalogError, SqlError
+from .errors import CatalogError, ReproError, SqlError
 from .relational.schema import Schema
+from .server.locks import ReadWriteLock
 from .sql import ast as sql_ast
 from .sql.parser import parse
 from .sql.planner import Planner, predict_models
@@ -137,8 +138,30 @@ class Cursor:
         return [row[idx] for row in self.rows]
 
 
+#: Statement types that only read state; they share the database's read
+#: lock.  Everything else (DDL/DML) takes the write lock exclusively.
+_READ_STATEMENTS = (
+    sql_ast.Select,
+    sql_ast.Show,
+    sql_ast.Explain,
+    sql_ast.ExplainAnalyze,
+    sql_ast.UnionAll,
+)
+
+
 class Database:
-    """An embedded RDBMS with in-database model serving."""
+    """An embedded RDBMS with in-database model serving.
+
+    **Concurrency contract** (enforced by an internal
+    :class:`~repro.server.locks.ReadWriteLock`): reads — SELECT,
+    PREDICT via :meth:`predict`/:meth:`predict_labels`, SHOW, EXPLAIN,
+    :meth:`vector_search` — may run concurrently from many threads.
+    DDL/DML statements and administrative mutations (``register_model``,
+    ``set_option``, ``create_vector_index``, ``enable_result_cache``,
+    ``load_rows``, ``close``) serialize exclusively against everything
+    else.  The serving front-end (:meth:`serve`) relies on this: its
+    worker pool executes batched PREDICTs under the shared read side.
+    """
 
     def __init__(
         self,
@@ -191,6 +214,8 @@ class Database:
         self._compiled: dict[str, CompiledModel] = {}
         self._caches: dict[str, object] = {}
         self._vector_indexes: dict[str, _VectorIndexEntry] = {}
+        self._rwlock = ReadWriteLock()
+        self._server = None  # attached ModelServer, if any
         self._rebuild_planning()
         if path is not None:
             self._restore_if_persisted(path)
@@ -240,7 +265,14 @@ class Database:
         return self._telemetry.tracer.export_chrome_trace(path)
 
     def _system_stats_rows(self) -> list[tuple[str, object]]:
-        """Rows for ``SHOW STATS``: one (stat, value) pair per line."""
+        """Rows for ``SHOW STATS``: one (stat, value) pair per line.
+
+        Sections that depend on an optional facility contribute zero rows
+        rather than raising when that facility is off: the ``telemetry.*``
+        and ``audit.*`` rows appear only with telemetry enabled, and the
+        ``server.*`` rows only while a :class:`~repro.server.ModelServer`
+        is attached.
+        """
         pool = self._pool.stats
         rows: list[tuple[str, object]] = [
             ("bufferpool.capacity_pages", self._pool.capacity),
@@ -256,12 +288,25 @@ class Database:
             ("config.eviction_policy", self._config.eviction_policy),
             ("config.memory_threshold_bytes", self._config.memory_threshold_bytes),
             ("config.telemetry_enabled", self._config.telemetry_enabled),
-            ("telemetry.spans_recorded", len(self._telemetry.tracer.finished)),
-            ("telemetry.spans_dropped", self._telemetry.tracer.dropped),
-            ("audit.records", len(self._telemetry.audit)),
-            ("audit.records_total", self._telemetry.audit.total_recorded),
-            ("audit.mispredictions", len(self._telemetry.audit.mispredictions())),
         ]
+        if self._telemetry.enabled:
+            rows.extend(
+                [
+                    (
+                        "telemetry.spans_recorded",
+                        len(self._telemetry.tracer.finished),
+                    ),
+                    ("telemetry.spans_dropped", self._telemetry.tracer.dropped),
+                    ("audit.records", len(self._telemetry.audit)),
+                    ("audit.records_total", self._telemetry.audit.total_recorded),
+                    (
+                        "audit.mispredictions",
+                        len(self._telemetry.audit.mispredictions()),
+                    ),
+                ]
+            )
+        if self._server is not None:
+            rows.extend(self._server.stats_rows())
         for name, cache in sorted(self._caches.items()):
             stats = cache.stats
             rows.append((f"result_cache.{name}.entries", len(cache)))
@@ -279,12 +324,13 @@ class Database:
         Invalidates pre-compiled plans, since representation choices may
         change.
         """
-        self._config = self._config.with_options(**{name: value})
-        self._rebuild_planning()
-        for model_name in list(self._compiled):
-            self._compiled[model_name] = self._compiler.compile(
-                self._catalog.get_model(model_name).model
-            )
+        with self._rwlock.write():
+            self._config = self._config.with_options(**{name: value})
+            self._rebuild_planning()
+            for model_name in list(self._compiled):
+                self._compiled[model_name] = self._compiler.compile(
+                    self._catalog.get_model(model_name).model
+                )
 
     def _rebuild_planning(self) -> None:
         self._optimizer = RuleBasedOptimizer(self._config, telemetry=self._telemetry)
@@ -309,7 +355,9 @@ class Database:
         """
         telemetry = self._telemetry
         if not telemetry.enabled:
-            return self._execute_statement(parse(sql))
+            stmt = parse(sql)
+            with self._statement_lock(stmt):
+                return self._execute_statement(stmt)
         tracer = telemetry.tracer
         pool = self._pool.stats
         pool_before = (pool.hits, pool.misses, pool.evictions)
@@ -324,15 +372,16 @@ class Database:
         with tracer.span("query", category="sql", sql=sql.strip()[:200]):
             with tracer.span("parse", category="sql"):
                 stmt = parse(sql)
-            if isinstance(stmt, sql_ast.Select):
-                op = self._planner.plan_select(stmt)  # emits the "plan" span
-                with tracer.span("execute", category="sql", statement="Select"):
-                    cursor = Cursor(op.schema.names, list(op))
-            else:
-                with tracer.span(
-                    "execute", category="sql", statement=type(stmt).__name__
-                ):
-                    cursor = self._execute_statement(stmt)
+            with self._statement_lock(stmt):
+                if isinstance(stmt, sql_ast.Select):
+                    op = self._planner.plan_select(stmt)  # emits the "plan" span
+                    with tracer.span("execute", category="sql", statement="Select"):
+                        cursor = Cursor(op.schema.names, list(op))
+                else:
+                    with tracer.span(
+                        "execute", category="sql", statement=type(stmt).__name__
+                    ):
+                        cursor = self._execute_statement(stmt)
         elapsed = time.perf_counter() - start
         self._m_queries.inc()
         self._m_query_seconds.observe(elapsed)
@@ -357,6 +406,12 @@ class Database:
             stage_audits=telemetry.audit.records_since(audit_marker),
         )
         return cursor
+
+    def _statement_lock(self, stmt: sql_ast.Statement):
+        """Read lock for queries, write lock for DDL/DML (the contract)."""
+        if isinstance(stmt, _READ_STATEMENTS):
+            return self._rwlock.read()
+        return self._rwlock.write()
 
     def _cache_totals(self) -> tuple[int, int]:
         hits = misses = 0
@@ -453,6 +508,11 @@ class Database:
                 return Cursor(("name", "value"), sorted(snapshot.items()))
             if what == "stats":
                 return Cursor(("stat", "value"), self._system_stats_rows())
+            if what == "server":
+                rows = (
+                    self._server.stats_rows() if self._server is not None else []
+                )
+                return Cursor(("stat", "value"), rows)
             if what == "audit":
                 return Cursor(AUDIT_COLUMNS, self._telemetry.audit.rows())
             if what == "models":
@@ -463,7 +523,7 @@ class Database:
                 return Cursor(("name", "model", "params"), sorted(rows))
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
-                "MODELS, METRICS, STATS, or AUDIT"
+                "MODELS, METRICS, STATS, SERVER, or AUDIT"
             )
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
@@ -544,28 +604,31 @@ class Database:
     # -- bulk loading ----------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> None:
-        self._catalog.create_table(name, schema)
+        with self._rwlock.write():
+            self._catalog.create_table(name, schema)
 
     def load_rows(self, table: str, rows: Sequence[tuple]) -> int:
         """Bulk-insert pre-validated rows (faster than INSERT statements)."""
-        info = self._catalog.get_table(table)
-        count = 0
-        for row in rows:
-            info.heap.insert(row)
-            count += 1
-        info.row_count += count
-        return count
+        with self._rwlock.write():
+            info = self._catalog.get_table(table)
+            count = 0
+            for row in rows:
+                info.heap.insert(row)
+                count += 1
+            info.row_count += count
+            return count
 
     # -- models -----------------------------------------------------------
 
     def register_model(self, model: Model, name: str | None = None) -> str:
         """Register a model and AoT-compile its plans (Sec. 2)."""
         model_name = (name or model.name).lower()
-        self._catalog.register_model(model_name, model)
-        with self._telemetry.tracer.span(
-            f"compile:{model_name}", category="optimizer"
-        ):
-            self._compiled[model_name] = self._compiler.compile(model)
+        with self._rwlock.write():
+            self._catalog.register_model(model_name, model)
+            with self._telemetry.tracer.span(
+                f"compile:{model_name}", category="optimizer"
+            ):
+                self._compiled[model_name] = self._compiler.compile(model)
         return model_name
 
     def model_info(self, name: str) -> ModelInfo:
@@ -597,17 +660,29 @@ class Database:
         dl_budget: MemoryBudget | None = None,
     ) -> EngineResult:
         """Run inference through the adaptive (or forced) plan."""
-        info = self._catalog.get_model(name)
-        plan = self.inference_plan(name, features.shape[0], force=force)
-        executor = self._executor
-        if dl_budget is not None:
-            executor = HybridExecutor(
-                self._catalog,
-                self._config,
-                dl_budget=dl_budget,
-                telemetry=self._telemetry,
-            )
-        return executor.execute(plan, features, info)
+        with self._rwlock.read():
+            info = self._catalog.get_model(name)
+            plan = self.inference_plan(name, features.shape[0], force=force)
+            executor = self._executor
+            if dl_budget is not None:
+                executor = HybridExecutor(
+                    self._catalog,
+                    self._config,
+                    dl_budget=dl_budget,
+                    telemetry=self._telemetry,
+                )
+            return executor.execute(plan, features, info)
+
+    def predict_labels(self, name: str, features: np.ndarray) -> np.ndarray:
+        """Class labels for a feature batch (result cache honoured).
+
+        The batched entry point the serving tier uses: one call, one
+        engine invocation, one label per input row.  Runs under the
+        database read lock, so it is safe to call from many threads
+        concurrently with SELECT/PREDICT queries.
+        """
+        with self._rwlock.read():
+            return self._predict_labels(name, features)
 
     # -- vector indexes (Sec. 5.1 / the Sec. 6.3 retrieval engine) --------
 
@@ -628,25 +703,35 @@ class Database:
         inference), with HNSW/LSH/IVF indexing borrowed from vector
         databases.
         """
-        key = index_name.lower()
-        if key in self._vector_indexes:
-            raise CatalogError(f"vector index {index_name!r} already exists")
-        info = self._catalog.get_table(table)
-        col_idx = info.schema.index_of(column)
-        if info.schema[col_idx].ctype.value != "BLOB":
-            raise SqlError(f"vector index requires a BLOB column, got {column!r}")
-        entry = _VectorIndexEntry(table=info.name, column=column, kind=kind)
-        self._vector_indexes[key] = entry
-        return self._build_vector_index(entry)
+        with self._rwlock.write():
+            key = index_name.lower()
+            if key in self._vector_indexes:
+                raise CatalogError(f"vector index {index_name!r} already exists")
+            info = self._catalog.get_table(table)
+            col_idx = info.schema.index_of(column)
+            if info.schema[col_idx].ctype.value != "BLOB":
+                raise SqlError(
+                    f"vector index requires a BLOB column, got {column!r}"
+                )
+            entry = _VectorIndexEntry(table=info.name, column=column, kind=kind)
+            self._vector_indexes[key] = entry
+            return self._build_vector_index(entry)
 
     def refresh_vector_index(self, index_name: str) -> int:
         """Rebuild an index from the current table contents."""
-        entry = self._vector_index_entry(index_name)
-        return self._build_vector_index(entry)
+        with self._rwlock.write():
+            entry = self._vector_index_entry(index_name)
+            return self._build_vector_index(entry)
 
     def vector_search(self, index_name: str, query: np.ndarray, k: int = 1) -> Cursor:
         """k-NN over an indexed column; returns the matching rows plus a
         trailing ``__distance`` column, nearest first."""
+        with self._rwlock.read():
+            return self._vector_search(index_name, query, k)
+
+    def _vector_search(
+        self, index_name: str, query: np.ndarray, k: int = 1
+    ) -> Cursor:
         entry = self._vector_index_entry(index_name)
         if entry.index is None:
             raise CatalogError(f"vector index {index_name!r} was never built")
@@ -736,37 +821,41 @@ class Database:
         from .indexes import FlatIndex, HnswIndex, IvfIndex, LshIndex
         from .serving.result_cache import ExactResultCache, InferenceResultCache
 
-        info = self._catalog.get_model(name)
-        model = info.model
-        metrics = (
-            self._telemetry.registry if self._telemetry.enabled else None
-        )
-        if exact:
-            self._caches[info.name] = ExactResultCache(model, metrics=metrics)
-            return
-        dim = int(np.prod(model.input_shape))
-        index_types = {
-            "hnsw": lambda: HnswIndex(dim, m=8, ef_search=16, seed=self._config.seed),
-            "lsh": lambda: LshIndex(dim, seed=self._config.seed),
-            "ivf": lambda: IvfIndex(dim, seed=self._config.seed),
-            "flat": lambda: FlatIndex(dim),
-        }
-        if index not in index_types:
-            raise SqlError(
-                f"unknown cache index {index!r}; expected one of "
-                f"{sorted(index_types)}"
+        with self._rwlock.write():
+            info = self._catalog.get_model(name)
+            model = info.model
+            metrics = (
+                self._telemetry.registry if self._telemetry.enabled else None
             )
-        self._caches[info.name] = InferenceResultCache(
-            model,
-            index_types[index](),
-            distance_threshold=distance_threshold,
-            catalog=self._catalog,
-            table_name=f"__cache_{info.name}",
-            metrics=metrics,
-        )
+            if exact:
+                self._caches[info.name] = ExactResultCache(model, metrics=metrics)
+                return
+            dim = int(np.prod(model.input_shape))
+            index_types = {
+                "hnsw": lambda: HnswIndex(
+                    dim, m=8, ef_search=16, seed=self._config.seed
+                ),
+                "lsh": lambda: LshIndex(dim, seed=self._config.seed),
+                "ivf": lambda: IvfIndex(dim, seed=self._config.seed),
+                "flat": lambda: FlatIndex(dim),
+            }
+            if index not in index_types:
+                raise SqlError(
+                    f"unknown cache index {index!r}; expected one of "
+                    f"{sorted(index_types)}"
+                )
+            self._caches[info.name] = InferenceResultCache(
+                model,
+                index_types[index](),
+                distance_threshold=distance_threshold,
+                catalog=self._catalog,
+                table_name=f"__cache_{info.name}",
+                metrics=metrics,
+            )
 
     def disable_result_cache(self, name: str) -> None:
-        self._caches.pop(name.lower(), None)
+        with self._rwlock.write():
+            self._caches.pop(name.lower(), None)
 
     def result_cache(self, name: str):
         """The model's active cache object (None if caching is disabled)."""
@@ -792,9 +881,54 @@ class Database:
         result = self.predict(name, features)
         return np.argmax(result.outputs, axis=-1)
 
+    # -- serving ---------------------------------------------------------
+
+    def serve(
+        self,
+        workers: int | None = None,
+        max_batch_size: int | None = None,
+        max_queue_delay_ms: float | None = None,
+        queue_capacity: int | None = None,
+        default_deadline_ms: float | None = None,
+    ) -> "ModelServer":
+        """Start the concurrent serving front-end for this database.
+
+        Returns a :class:`~repro.server.ModelServer` whose ``submit``
+        accepts point PREDICT requests from many client threads,
+        coalesces them via dynamic micro-batching, and executes them
+        through the hybrid engine under the database read lock.  Knobs
+        default to the ``server_*`` fields of :class:`SystemConfig`.
+        At most one server may be attached at a time; ``SHOW SERVER``
+        reports the attached server's live state.  Close the server
+        (or this database) to detach it.
+        """
+        from .server import ModelServer
+
+        if self._server is not None:
+            raise ReproError(
+                "a ModelServer is already attached to this database; "
+                "close it before starting another"
+            )
+        server = ModelServer(
+            self,
+            workers=workers,
+            max_batch_size=max_batch_size,
+            max_queue_delay_ms=max_queue_delay_ms,
+            queue_capacity=queue_capacity,
+            default_deadline_ms=default_deadline_ms,
+        )
+        self._server = server
+        return server
+
+    def _detach_server(self, server: "ModelServer") -> None:
+        if self._server is server:
+            self._server = None
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
         if self._path is not None:
             from .storage import persist
 

@@ -146,14 +146,17 @@ class ExplainAnalyze(Statement):
 
 @dataclass
 class Show(Statement):
-    """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``AUDIT``.
+    """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``SERVER``
+    / ``AUDIT``.
 
     METRICS renders the session's telemetry registry as a cursor; STATS
     renders system-level statistics (buffer pool, caches, catalog sizes);
-    AUDIT renders the plan-quality audit's estimate-vs-actual records.
+    SERVER renders the attached ModelServer's live queue/batch state
+    (empty when no server is attached); AUDIT renders the plan-quality
+    audit's estimate-vs-actual records.
     """
 
-    what: str  # "tables", "models", "metrics", "stats", or "audit"
+    what: str  # "tables", "models", "metrics", "stats", "server", or "audit"
 
 
 @dataclass

@@ -139,7 +139,8 @@ class _Parser:
                 stmt = Show(what.value)
             else:
                 raise SqlParseError(
-                    "expected TABLES, MODELS, METRICS, STATS, or AUDIT after SHOW"
+                    "expected TABLES, MODELS, METRICS, STATS, SERVER, "
+                    "or AUDIT after SHOW"
                 )
         else:
             raise SqlParseError(

@@ -9,6 +9,7 @@ counters that the benchmarks report.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -178,6 +179,10 @@ class BufferPool:
         self._capacity = capacity_pages
         self._policy = policy if policy is not None else LruPolicy()
         self._pages: dict[PageId, Page] = {}
+        # One coarse lock over frame management: pin/unpin, eviction, and
+        # the replacement policy's bookkeeping must be atomic when the
+        # serving front-end runs concurrent readers over one pool.
+        self._lock = threading.RLock()
         self.stats = BufferPoolStats()
         self.set_metrics(metrics)
 
@@ -218,53 +223,58 @@ class BufferPool:
 
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and pin it in the pool."""
-        page_id = self._disk.allocate_page()
-        self._ensure_frame_available()
-        page = Page(page_id, self._disk.page_size)
-        page.pin()
-        page.dirty = True  # must reach disk at least once
-        self._pages[page_id] = page
-        self._policy.record_access(page_id)
-        self._m_resident.set(len(self._pages))
-        return page
+        with self._lock:
+            page_id = self._disk.allocate_page()
+            self._ensure_frame_available()
+            page = Page(page_id, self._disk.page_size)
+            page.pin()
+            page.dirty = True  # must reach disk at least once
+            self._pages[page_id] = page
+            self._policy.record_access(page_id)
+            self._m_resident.set(len(self._pages))
+            return page
 
     def fetch_page(self, page_id: PageId) -> Page:
         """Return the page pinned; loads from disk on a miss."""
-        page = self._pages.get(page_id)
-        if page is not None:
-            self.stats.hits += 1
-            self._m_hits.inc()
+        with self._lock:
+            page = self._pages.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                self._m_hits.inc()
+                page.pin()
+                self._policy.record_access(page_id)
+                return page
+            self.stats.misses += 1
+            self._m_misses.inc()
+            self._ensure_frame_available()
+            page = Page(page_id, self._disk.page_size)
+            page.data[:] = self._disk.read_page(page_id)
             page.pin()
+            self._pages[page_id] = page
             self._policy.record_access(page_id)
+            self._m_resident.set(len(self._pages))
             return page
-        self.stats.misses += 1
-        self._m_misses.inc()
-        self._ensure_frame_available()
-        page = Page(page_id, self._disk.page_size)
-        page.data[:] = self._disk.read_page(page_id)
-        page.pin()
-        self._pages[page_id] = page
-        self._policy.record_access(page_id)
-        self._m_resident.set(len(self._pages))
-        return page
 
     def unpin_page(self, page_id: PageId, dirty: bool = False) -> None:
-        page = self._pages.get(page_id)
-        if page is None:
-            raise StorageError(f"cannot unpin non-resident page {page_id}")
-        page.unpin(dirty)
+        with self._lock:
+            page = self._pages.get(page_id)
+            if page is None:
+                raise StorageError(f"cannot unpin non-resident page {page_id}")
+            page.unpin(dirty)
 
     def flush_page(self, page_id: PageId) -> None:
-        page = self._pages.get(page_id)
-        if page is None:
-            return
-        if page.dirty:
-            self._disk.write_page(page_id, bytes(page.data))
-            page.dirty = False
+        with self._lock:
+            page = self._pages.get(page_id)
+            if page is None:
+                return
+            if page.dirty:
+                self._disk.write_page(page_id, bytes(page.data))
+                page.dirty = False
 
     def flush_all(self) -> None:
-        for page_id in list(self._pages):
-            self.flush_page(page_id)
+        with self._lock:
+            for page_id in list(self._pages):
+                self.flush_page(page_id)
 
     def _ensure_frame_available(self) -> None:
         if len(self._pages) < self._capacity:
@@ -285,4 +295,5 @@ class BufferPool:
             self._m_writebacks.inc()
 
     def pinned_page_count(self) -> int:
-        return sum(1 for p in self._pages.values() if p.pin_count > 0)
+        with self._lock:
+            return sum(1 for p in self._pages.values() if p.pin_count > 0)

@@ -30,6 +30,7 @@ AUDIT`` SQL statement, and per-query ``Cursor.stats``.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
@@ -162,6 +163,10 @@ class PlanAuditor:
     ``SHOW AUDIT``; ``total_recorded`` grows without bound so callers can
     take a :meth:`marker` before a statement and slice the records that
     statement produced with :meth:`records_since`.
+
+    All mutation happens under one lock so concurrent engine runs (the
+    serving front-end's worker pool) cannot drop records or double-count
+    ``total_recorded``.
     """
 
     enabled = True
@@ -175,6 +180,7 @@ class PlanAuditor:
     ):
         self._records: deque[StageAudit] = deque(maxlen=max_records)
         self.total_recorded = 0
+        self._lock = threading.Lock()
         self._over_factor = over_factor
         self._under_fraction = under_fraction
         self._registry = registry
@@ -200,13 +206,16 @@ class PlanAuditor:
         """Record one engine invocation's peak memory (any entry point)."""
         histogram = self._m_peaks.get(engine)
         if histogram is None:
-            histogram = self._registry.histogram(
-                "engine_peak_memory_bytes",
-                "Peak bytes charged per engine invocation",
-                buckets=PEAK_BYTE_BUCKETS,
-                engine=engine,
-            )
-            self._m_peaks[engine] = histogram
+            with self._lock:
+                histogram = self._m_peaks.get(engine)
+                if histogram is None:
+                    histogram = self._registry.histogram(
+                        "engine_peak_memory_bytes",
+                        "Peak bytes charged per engine invocation",
+                        buckets=PEAK_BYTE_BUCKETS,
+                        engine=engine,
+                    )
+                    self._m_peaks[engine] = histogram
         histogram.observe(float(peak_bytes))
 
     # -- per-stage estimate-vs-actual records -----------------------------
@@ -244,24 +253,27 @@ class PlanAuditor:
             verdict=verdict,
             note=note,
         )
-        self._records.append(audit)
-        self.total_recorded += 1
+        with self._lock:
+            self._records.append(audit)
+            self.total_recorded += 1
+            mis = None
+            if audit.mispredicted:
+                key = (representation, verdict)
+                mis = self._m_mispredictions.get(key)
+                if mis is None:
+                    mis = self._registry.counter(
+                        "audit_mispredictions_total",
+                        "Audited stages whose estimate disagreed with runtime",
+                        representation=representation,
+                        verdict=verdict,
+                    )
+                    self._m_mispredictions[key] = mis
         counter = self._m_records.get(representation)
         if counter is not None:
             counter.inc()
         if estimated_bytes > 0:
             self._m_ratio.observe(audit.ratio)
-        if audit.mispredicted:
-            key = (representation, verdict)
-            mis = self._m_mispredictions.get(key)
-            if mis is None:
-                mis = self._registry.counter(
-                    "audit_mispredictions_total",
-                    "Audited stages whose estimate disagreed with runtime",
-                    representation=representation,
-                    verdict=verdict,
-                )
-                self._m_mispredictions[key] = mis
+        if mis is not None:
             mis.inc()
         return audit
 
@@ -269,7 +281,8 @@ class PlanAuditor:
 
     @property
     def records(self) -> list[StageAudit]:
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def __iter__(self) -> Iterator[StageAudit]:
         return iter(self.records)
@@ -283,21 +296,23 @@ class PlanAuditor:
 
     def records_since(self, marker: int) -> list[StageAudit]:
         """Records appended after ``marker`` (bounded by the ring size)."""
-        new = self.total_recorded - marker
-        if new <= 0:
-            return []
-        return list(self._records)[-min(new, len(self._records)):]
+        with self._lock:
+            new = self.total_recorded - marker
+            if new <= 0:
+                return []
+            return list(self._records)[-min(new, len(self._records)):]
 
     def mispredictions(self) -> list[StageAudit]:
-        return [a for a in self._records if a.mispredicted]
+        return [a for a in self.records if a.mispredicted]
 
     def rows(self) -> list[tuple]:
         """``SHOW AUDIT`` rows, oldest record first."""
-        return [audit.as_row() for audit in self._records]
+        return [audit.as_row() for audit in self.records]
 
     def clear(self) -> None:
-        self._records.clear()
-        self.total_recorded = 0
+        with self._lock:
+            self._records.clear()
+            self.total_recorded = 0
 
 
 class NullAuditor:

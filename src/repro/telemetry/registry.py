@@ -56,30 +56,38 @@ def _render_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) ->
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
+
+    Updates are guarded by a per-metric lock: ``+=`` on a float is a
+    read-modify-write, so unlocked concurrent engine runs can lose
+    increments.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "help", "labels", "_value")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
     def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
         self.name = name
         self.help = help
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise TelemetryError(
                 f"counter {self.name!r} can only increase (got {amount})"
             )
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
         return self._value
 
     def reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
     def samples(self) -> Iterator[tuple[str, str, float]]:
         yield self.name + _render_labels(self.labels), self.kind, self._value
@@ -89,29 +97,34 @@ class Gauge:
     """A value that can go up and down (e.g. resident buffer-pool pages)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "labels", "_value")
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
 
     def __init__(self, name: str, help: str = "", labels: LabelKey = ()):
         self.name = name
         self.help = help
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
         return self._value
 
     def reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
     def samples(self) -> Iterator[tuple[str, str, float]]:
         yield self.name + _render_labels(self.labels), self.kind, self._value
@@ -121,7 +134,9 @@ class Histogram:
     """A distribution with cumulative latency buckets (Prometheus-style)."""
 
     kind = "histogram"
-    __slots__ = ("name", "help", "labels", "_bounds", "_bucket_counts", "_count", "_sum")
+    __slots__ = (
+        "name", "help", "labels", "_bounds", "_bucket_counts", "_count", "_sum", "_lock"
+    )
 
     def __init__(
         self,
@@ -140,11 +155,14 @@ class Histogram:
         self._bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
         self._count = 0
         self._sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
-        self._count += 1
-        self._sum += value
+        bucket = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._bucket_counts[bucket] += 1
+            self._count += 1
+            self._sum += value
 
     @property
     def count(self) -> int:
@@ -160,17 +178,20 @@ class Histogram:
 
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative counts keyed by upper bound (+Inf as ``float('inf')``)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
         out: dict[float, int] = {}
         running = 0
-        for bound, n in zip(self._bounds + (float("inf"),), self._bucket_counts):
+        for bound, n in zip(self._bounds + (float("inf"),), counts):
             running += n
             out[bound] = running
         return out
 
     def reset(self) -> None:
-        self._bucket_counts = [0] * (len(self._bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
+        with self._lock:
+            self._bucket_counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
 
     def samples(self) -> Iterator[tuple[str, str, float]]:
         for bound, cumulative in self.bucket_counts().items():

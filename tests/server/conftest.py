@@ -1,0 +1,22 @@
+"""Fixtures for the serving front-end tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.models import fraud_fc_256
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.register_model(fraud_fc_256(), name="fraud")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def features(rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=(64, 28))

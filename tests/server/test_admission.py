@@ -1,0 +1,99 @@
+"""AdmissionController: bounded queues and deadline-feasibility shedding."""
+
+from __future__ import annotations
+
+from repro.server import AdmissionController
+
+
+class StubEstimator:
+    """Fixed-rate service model: overhead + rows * per_row seconds."""
+
+    def __init__(self, per_row: float = 0.01, overhead: float = 0.0, confident=True):
+        self.per_row = per_row
+        self.overhead = overhead
+        self.confident = confident
+
+    def estimate_seconds(self, rows: int, batches: int = 1) -> float:
+        return batches * self.overhead + rows * self.per_row
+
+    def estimate_wait_seconds(self, queued_rows: int, max_batch_size: int) -> float:
+        batches = -(-queued_rows // max_batch_size) if queued_rows else 0
+        return self.estimate_seconds(queued_rows, batches) if batches else 0.0
+
+
+def controller(capacity: int = 4) -> AdmissionController:
+    return AdmissionController(capacity, max_batch_size=8, clock=lambda: 100.0)
+
+
+def test_reject_when_queue_full():
+    decision = controller(capacity=2).decide(
+        StubEstimator(), queued_requests=2, queued_rows=2, rows=1, deadline=None
+    )
+    assert decision.action == "reject"
+    assert not decision.admitted
+
+
+def test_admit_without_deadline():
+    decision = controller().decide(
+        StubEstimator(), queued_requests=0, queued_rows=0, rows=1, deadline=None
+    )
+    assert decision.action == "admit"
+    assert decision.admitted
+
+
+def test_admit_when_estimator_unconfident():
+    # No shedding before the estimator has earned trust: an unmeetable
+    # deadline is still admitted (and dropped later at batch formation).
+    decision = controller().decide(
+        StubEstimator(confident=False),
+        queued_requests=0,
+        queued_rows=0,
+        rows=100,
+        deadline=100.0001,
+    )
+    assert decision.action == "admit"
+
+
+def test_shed_when_deadline_already_passed():
+    decision = controller().decide(
+        StubEstimator(), queued_requests=0, queued_rows=0, rows=1, deadline=99.0
+    )
+    assert decision.action == "shed"
+
+
+def test_shed_when_execution_alone_blows_the_deadline():
+    # 100 rows at 10ms/row = 1s of execution vs 0.5s of slack.
+    decision = controller().decide(
+        StubEstimator(per_row=0.01),
+        queued_requests=0,
+        queued_rows=0,
+        rows=100,
+        deadline=100.5,
+    )
+    assert decision.action == "shed"
+    assert decision.estimated_execute_s > 0.5
+
+
+def test_fastpath_when_queue_wait_blows_a_meetable_deadline():
+    # Execution fits the slack, but waiting behind 80 queued rows does not.
+    decision = controller().decide(
+        StubEstimator(per_row=0.01),
+        queued_requests=3,
+        queued_rows=80,
+        rows=10,
+        deadline=100.5,
+    )
+    assert decision.action == "fastpath"
+    assert decision.admitted
+    assert decision.estimated_wait_s + decision.estimated_execute_s > 0.5
+
+
+def test_admit_when_deadline_feasible():
+    decision = controller().decide(
+        StubEstimator(per_row=0.001),
+        queued_requests=1,
+        queued_rows=4,
+        rows=2,
+        deadline=101.0,
+    )
+    assert decision.action == "admit"

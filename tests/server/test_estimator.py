@@ -1,0 +1,83 @@
+"""ServiceTimeEstimator: the online service-time fit admission relies on."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import SlaViolationError
+from repro.serving import ServiceTimeEstimator
+
+
+def test_unobserved_estimator_predicts_zero_and_is_unconfident():
+    est = ServiceTimeEstimator()
+    assert not est.confident
+    assert est.estimate_seconds(100) == 0.0
+    assert est.estimate_wait_seconds(100, max_batch_size=8) == 0.0
+
+
+def test_confidence_gate():
+    est = ServiceTimeEstimator(min_observations=3)
+    est.observe(1, 0.01)
+    est.observe(2, 0.02)
+    assert not est.confident
+    est.observe(3, 0.03)
+    assert est.confident
+
+
+def test_learns_linear_service_time():
+    # seconds = 5ms overhead + 1ms/row, varied batch sizes.
+    est = ServiceTimeEstimator(alpha=0.5)
+    for rows in [1, 4, 8, 16, 32, 16, 8, 4, 1, 32]:
+        est.observe(rows, 0.005 + 0.001 * rows)
+    predicted = est.estimate_seconds(10)
+    assert predicted == pytest.approx(0.015, rel=0.5)
+    # More rows must never be predicted cheaper.
+    assert est.estimate_seconds(64) >= est.estimate_seconds(8)
+
+
+def test_constant_batch_size_falls_back_to_mean_rate():
+    est = ServiceTimeEstimator()
+    for _ in range(5):
+        est.observe(10, 0.020)  # 2ms/row, no size variance
+    assert est.estimate_seconds(10) == pytest.approx(0.020, rel=0.05)
+    assert est.estimate_seconds(20) == pytest.approx(0.040, rel=0.3)
+
+
+def test_wait_accounts_for_batch_count():
+    est = ServiceTimeEstimator()
+    for _ in range(4):
+        est.observe(8, 0.008)
+    one_batch = est.estimate_wait_seconds(8, max_batch_size=8)
+    three_batches = est.estimate_wait_seconds(24, max_batch_size=8)
+    assert three_batches > one_batch
+
+
+def test_invalid_observations_ignored():
+    est = ServiceTimeEstimator()
+    est.observe(0, 1.0)
+    est.observe(5, -1.0)
+    assert est.observations == 0
+
+
+def test_invalid_alpha_rejected():
+    with pytest.raises(SlaViolationError):
+        ServiceTimeEstimator(alpha=0.0)
+
+
+def test_concurrent_observe_keeps_count_consistent():
+    est = ServiceTimeEstimator()
+    per_thread = 200
+
+    def work():
+        for _ in range(per_thread):
+            est.observe(4, 0.004)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert est.observations == 4 * per_thread
+    assert est.estimate_seconds(4) == pytest.approx(0.004, rel=0.05)

@@ -1,0 +1,72 @@
+"""RequestFuture: the write-once result slot handed to clients."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError, ServerError
+from repro.server import RequestFuture, RequestState, resolve_all
+
+
+def make_future(rows: int = 1, deadline: float | None = None) -> RequestFuture:
+    return RequestFuture(1, "m", np.zeros((rows, 4)), deadline, enqueued_at=0.0)
+
+
+def test_resolve_roundtrip():
+    future = make_future(rows=3)
+    assert future.rows == 3
+    assert not future.done()
+    predictions = np.array([0, 1, 0])
+    future._resolve(predictions, queue_seconds=0.01, execute_seconds=0.02)
+    assert future.done()
+    assert future.state is RequestState.DONE
+    assert np.array_equal(future.result(timeout=0), predictions)
+    assert future.exception(timeout=0) is None
+    assert future.queue_seconds == pytest.approx(0.01)
+    assert future.execute_seconds == pytest.approx(0.02)
+
+
+def test_result_raises_stored_exception():
+    future = make_future()
+    future._fail(DeadlineExceededError("too late"), RequestState.SHED)
+    assert future.shed()
+    with pytest.raises(DeadlineExceededError, match="too late"):
+        future.result(timeout=0)
+    assert isinstance(future.exception(timeout=0), DeadlineExceededError)
+
+
+def test_result_timeout():
+    future = make_future()
+    with pytest.raises(TimeoutError):
+        future.result(timeout=0.01)
+
+
+def test_result_blocks_until_resolved():
+    future = make_future()
+
+    def resolver():
+        future._resolve(np.array([1]), 0.0, 0.0)
+
+    thread = threading.Timer(0.02, resolver)
+    thread.start()
+    assert np.array_equal(future.result(timeout=5.0), np.array([1]))
+    thread.join()
+
+
+def test_expired():
+    assert not make_future(deadline=None).expired(now=100.0)
+    assert make_future(deadline=1.0).expired(now=2.0)
+    assert not make_future(deadline=3.0).expired(now=2.0)
+
+
+def test_resolve_all_skips_done_futures():
+    done = make_future()
+    done._resolve(np.array([0]), 0.0, 0.0)
+    pending = make_future()
+    resolve_all([done, pending])
+    assert np.array_equal(done.result(timeout=0), np.array([0]))
+    with pytest.raises(ServerError):
+        pending.result(timeout=0)

@@ -1,0 +1,124 @@
+"""ReadWriteLock: the Database concurrency contract's primitive."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.server.locks import ReadWriteLock
+
+
+def test_concurrent_readers_share_the_lock():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(4, timeout=5.0)
+
+    def reader():
+        with lock.read():
+            inside.wait()  # all four readers hold the lock simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert not any(t.is_alive() for t in threads)
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    order: list[str] = []
+    writer_in = threading.Event()
+
+    def writer():
+        with lock.write():
+            writer_in.set()
+            time.sleep(0.05)
+            order.append("writer")
+
+    def reader():
+        writer_in.wait(timeout=5.0)
+        with lock.read():
+            order.append("reader")
+
+    w = threading.Thread(target=writer)
+    r = threading.Thread(target=reader)
+    w.start()
+    r.start()
+    w.join(timeout=5.0)
+    r.join(timeout=5.0)
+    assert order == ["writer", "reader"]
+
+
+def test_writer_preference_blocks_new_readers():
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    got_write = threading.Event()
+
+    def writer():
+        with lock.write():
+            got_write.set()
+
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.02)  # let the writer start waiting
+
+    got_read = threading.Event()
+
+    def late_reader():
+        with lock.read():
+            got_read.set()
+
+    r = threading.Thread(target=late_reader)
+    r.start()
+    time.sleep(0.02)
+    # The late reader queues behind the waiting writer.
+    assert not got_read.is_set()
+    assert not got_write.is_set()
+    lock.release_read()
+    w.join(timeout=5.0)
+    r.join(timeout=5.0)
+    assert got_write.is_set() and got_read.is_set()
+
+
+def test_read_reentrancy():
+    lock = ReadWriteLock()
+    with lock.read():
+        with lock.read():
+            pass
+        # Still held once after the inner release.
+        assert lock._active_readers == 1
+    assert lock._active_readers == 0
+
+
+def test_write_reentrancy():
+    lock = ReadWriteLock()
+    with lock.write():
+        with lock.write():
+            pass
+        assert lock._writer is not None
+    assert lock._writer is None
+
+
+def test_read_under_write_is_noop():
+    lock = ReadWriteLock()
+    with lock.write():
+        with lock.read():  # must not deadlock
+            assert lock._active_readers == 0
+    assert lock._writer is None
+
+
+def test_upgrade_refused():
+    lock = ReadWriteLock()
+    with lock.read():
+        with pytest.raises(RuntimeError, match="upgrade"):
+            lock.acquire_write()
+
+
+def test_unbalanced_releases_raise():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()

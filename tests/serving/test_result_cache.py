@@ -213,3 +213,75 @@ def test_exact_cache_respects_max_entries(rng):
     cache = ExactResultCache(model, max_entries=5)
     cache.serve(rng.normal(size=(20, 8)))
     assert len(cache) == 5
+
+
+def test_cache_serve_is_thread_safe(rng):
+    """Concurrent serves over a shared hit/miss population stay consistent.
+
+    The ANN index and stats counters are mutated on every miss; without
+    the cache lock, racing serves corrupt the index or drop stat updates.
+    """
+    import threading
+
+    model = make_model(rng)
+    cache = InferenceResultCache(model, FlatIndex(8), distance_threshold=0.05)
+    warm = rng.normal(size=(20, 8))
+    cache.serve(warm)  # 20 misses populate the cache
+
+    per_thread = 30
+    errors: list[BaseException] = []
+
+    def client(seed: int):
+        try:
+            local = np.random.default_rng(seed)
+            for i in range(per_thread):
+                if i % 2 == 0:
+                    x = warm[local.integers(0, len(warm))][np.newaxis, :]
+                else:
+                    x = local.normal(size=(1, 8))
+                preds, __ = cache.serve(x)
+                assert preds.shape == (1,)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(s,)) for s in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats
+    # Every request is accounted exactly once: 20 warm misses plus one
+    # hit-or-miss per concurrent serve.
+    assert stats.hits + stats.misses == 20 + 6 * per_thread
+    assert stats.hits > 0 and stats.misses > 20
+
+
+def test_exact_cache_serve_is_thread_safe(rng):
+    import threading
+
+    from repro.serving import ExactResultCache
+
+    model = make_model(rng)
+    cache = ExactResultCache(model)
+    x = rng.normal(size=(8, 8))
+    expected = model.predict(x)
+    errors: list[BaseException] = []
+
+    def client():
+        try:
+            for _ in range(25):
+                preds, __ = cache.serve(x)
+                np.testing.assert_array_equal(preds, expected)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats
+    assert stats.hits + stats.misses == 8 * 25 * 6
+    assert stats.misses == 8  # only the first serve misses

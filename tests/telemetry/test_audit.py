@@ -236,3 +236,37 @@ def test_show_unknown_target_raises():
             db._execute_statement(Show("bogus"))
     finally:
         db.close()
+
+
+def test_auditor_record_stage_is_thread_safe():
+    import threading
+
+    auditor, registry = make_auditor(max_records=10_000)
+    per_thread = 500
+
+    def work(tid: int):
+        for i in range(per_thread):
+            record(auditor, i, estimated=1000, actual=1000 if i % 2 else 8000)
+            auditor.observe_peak(f"engine-{tid % 2}", 4096)
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = 6 * per_thread
+    # No appends lost: ring, running total, and metrics all agree.
+    assert auditor.total_recorded == total
+    assert len(auditor) == total
+    assert len(auditor.mispredictions()) == total // 2
+    snapshot = registry.snapshot()
+    recorded = sum(
+        v for k, v in snapshot.items() if k.startswith("audit_stage_records_total")
+    )
+    assert recorded == total
+    peaks = sum(
+        v
+        for k, v in snapshot.items()
+        if k.startswith("engine_peak_memory_bytes_count")
+    )
+    assert peaks == total

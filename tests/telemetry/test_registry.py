@@ -121,3 +121,31 @@ def test_null_registry_is_inert():
     registry.histogram("h_seconds", "Ignored.").observe(1.0)
     assert registry.snapshot() == {}
     assert registry.render_prometheus() == ""
+
+
+def test_metric_updates_are_thread_safe(registry):
+    import threading
+
+    counter = registry.counter("race_total", "Racing increments.")
+    gauge = registry.gauge("race_gauge", "Racing adjustments.")
+    hist = registry.histogram("race_seconds", "Racing observations.")
+    per_thread = 2000
+
+    def work():
+        for _ in range(per_thread):
+            counter.inc()
+            gauge.inc(2.0)
+            gauge.dec(1.0)
+            hist.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = 8 * per_thread
+    # Unlocked read-modify-write would lose updates under this contention.
+    assert counter.value == total
+    assert gauge.value == total * 1.0
+    assert hist.count == total
+    assert hist.sum == total * 0.5
