@@ -21,7 +21,9 @@ from .config import DEFAULT_CONFIG, SystemConfig, gb, mb
 from .core.ir import InferencePlan, Representation
 from .dlruntime.memory import MemoryBudget
 from .errors import (
+    CorruptPageError,
     DeadlineExceededError,
+    InjectedFaultError,
     OutOfMemoryError,
     ReproError,
     ServerClosedError,
@@ -29,7 +31,9 @@ from .errors import (
     ServerOverloadedError,
     SlaViolationError,
     SqlError,
+    StorageError,
 )
+from .faults import FaultInjector, FaultPlan, FaultSpec
 from .server import ModelServer, RequestFuture, RequestState
 from .session import Cursor, Database
 
@@ -48,8 +52,14 @@ __all__ = [
     "ModelServer",
     "RequestFuture",
     "RequestState",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
     "ReproError",
     "OutOfMemoryError",
+    "StorageError",
+    "CorruptPageError",
+    "InjectedFaultError",
     "SqlError",
     "SlaViolationError",
     "ServerError",

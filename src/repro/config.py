@@ -115,6 +115,17 @@ class SystemConfig:
     server_queue_capacity: int = 256
     # Default per-request deadline in milliseconds; 0 means no deadline.
     server_default_deadline_ms: float = 0.0
+    # How many times a server worker re-runs a batch that failed with a
+    # *transient* fault (repro.faults.is_transient) before isolating the
+    # batch into per-request executions; 0 disables retries.
+    server_retry_limit: int = 2
+    # Base backoff between retries; attempt k sleeps k * this.
+    server_retry_backoff_ms: float = 1.0
+    # -- deterministic fault injection (repro.faults) --------------------
+    # Seed for the session's FaultInjector (probabilistic triggers, bit
+    # positions); 0 means "derive from `seed`" so a plain config is still
+    # fully deterministic.
+    faults_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -138,6 +149,12 @@ class SystemConfig:
                 raise ConfigError(f"{name} must be positive")
         if self.server_max_queue_delay_ms < 0:
             raise ConfigError("server_max_queue_delay_ms must be >= 0")
+        if self.server_retry_limit < 0:
+            raise ConfigError("server_retry_limit must be >= 0")
+        if self.server_retry_backoff_ms < 0:
+            raise ConfigError("server_retry_backoff_ms must be >= 0")
+        if self.faults_seed < 0:
+            raise ConfigError("faults_seed must be >= 0")
         if self.server_default_deadline_ms < 0:
             raise ConfigError("server_default_deadline_ms must be >= 0")
         if self.framework_compute_efficiency <= 0:

@@ -21,6 +21,7 @@ from ..dlruntime.layers import Conv2d, Model, ReLU
 from ..dlruntime.memory import MemoryBudget
 from ..dlruntime.runtime import ExternalRuntime
 from ..errors import PlanError
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..storage.catalog import Catalog, ModelInfo
 from ..telemetry import DISABLED, Telemetry
 from .base import EngineResult
@@ -40,10 +41,12 @@ class HybridExecutor:
         dl_budget: MemoryBudget | None = None,
         runtime_flavor: str = "tensorflow-sim",
         telemetry: Telemetry | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.catalog = catalog
         self.config = config
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.injector = injector if injector is not None else NULL_INJECTOR
         registry = self.telemetry.registry
         self._m_stage_runs = {
             rep: registry.counter(
@@ -116,6 +119,15 @@ class HybridExecutor:
                 with tracer.span(
                     f"stage{i}:{stage.representation.value}", category="engine"
                 ) as stage_span:
+                    # Fires before the stage touches shared state, so an
+                    # injected error aborts the whole predict cleanly and
+                    # a retry re-runs the plan from the original input.
+                    self.injector.fire(
+                        "engine.stage",
+                        model=plan.model.name,
+                        stage=i,
+                        representation=stage.representation.value,
+                    )
                     result = self._run_stage(stage, current, model_info, plan.model)
                     stage_span.set(
                         engine=result.engine,

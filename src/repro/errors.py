@@ -50,6 +50,23 @@ class BufferPoolError(StorageError):
     """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
 
 
+class CorruptPageError(StorageError):
+    """A page failed its checksum on read (torn write, bit rot, or a
+    truncated page file).
+
+    Raised by :class:`repro.storage.disk.FileDiskManager`, whose on-disk
+    slots carry a magic header and a CRC32 over the payload.  Corruption
+    is permanent damage, not a transient fault: callers must not retry
+    (``transient`` is deliberately absent), and recovery means restoring
+    from a backup generation or rebuilding the relation.
+    """
+
+    def __init__(self, message: str, page_id: int | None = None, path: str = ""):
+        self.page_id = page_id
+        self.path = path
+        super().__init__(message)
+
+
 class CatalogError(ReproError):
     """A table, model, or index name could not be resolved or is duplicated."""
 
@@ -131,3 +148,29 @@ class DeadlineExceededError(ServerError):
 
 class ServerClosedError(ServerError):
     """The serving front-end was closed; no new requests are accepted."""
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by :mod:`repro.faults`.
+
+    Carries the injection ``site``, a ``transient`` flag (the server's
+    retry loop only retries transient faults — see
+    :func:`repro.faults.is_transient`), and the site's call ``context``
+    (page id, model, stage index, ...) for test assertions.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        transient: bool = True,
+        message: str = "",
+        context: dict | None = None,
+    ):
+        self.site = site
+        self.transient = bool(transient)
+        self.context = dict(context or {})
+        detail = message or f"injected fault at {site}"
+        if self.context:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+            detail = f"{detail} ({rendered})"
+        super().__init__(detail)

@@ -29,6 +29,7 @@ from ..errors import (
     ServerClosedError,
     ServerOverloadedError,
 )
+from ..faults import NULL_INJECTOR, is_transient
 from ..serving.policy import ServiceTimeEstimator
 from .admission import AdmissionController
 from .batcher import Batch, MicroBatcher
@@ -68,9 +69,24 @@ class ModelServer:
         max_queue_delay_ms: float | None = None,
         queue_capacity: int | None = None,
         default_deadline_ms: float | None = None,
+        retry_limit: int | None = None,
+        retry_backoff_ms: float | None = None,
     ):
         config = db.config
         self._db = db
+        self._injector = getattr(db, "faults", NULL_INJECTOR)
+        self.retry_limit = int(
+            retry_limit if retry_limit is not None else config.server_retry_limit
+        )
+        self.retry_backoff_s = (
+            retry_backoff_ms
+            if retry_backoff_ms is not None
+            else config.server_retry_backoff_ms
+        ) / 1e3
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
         self.workers = int(workers if workers is not None else config.server_workers)
         self.max_batch_size = int(
             max_batch_size if max_batch_size is not None
@@ -276,6 +292,9 @@ class ModelServer:
                 ("server.max_batch_size", self.max_batch_size),
                 ("server.max_queue_delay_ms", self.max_queue_delay_s * 1e3),
                 ("server.queue_capacity", self.queue_capacity),
+                ("server.retry_limit", self.retry_limit),
+                ("server.retry_backoff_ms", self.retry_backoff_s * 1e3),
+                ("server.retries", self._injector.retry_total),
                 ("server.closed", self._shutdown),
                 ("server.inflight_batches", self._inflight),
             ]
@@ -403,21 +422,43 @@ class ModelServer:
             else np.vstack([r.features for r in batch.requests])
         )
         started = time.monotonic()
-        try:
-            with self._tracer.span(
-                f"serve-batch:{batch.model}",
-                category="server",
-                rows=int(features.shape[0]),
-                requests=len(batch.requests),
-            ):
-                start = time.perf_counter()
-                predictions = self._db.predict_labels(batch.model, features)
-                execute_seconds = time.perf_counter() - start
-        except BaseException as exc:
-            for request in batch.requests:
-                request._fail(exc)
-            self._m_requests["failed"].inc(len(batch.requests))
-            return
+        attempts = 0
+        while True:
+            try:
+                with self._tracer.span(
+                    f"serve-batch:{batch.model}",
+                    category="server",
+                    rows=int(features.shape[0]),
+                    requests=len(batch.requests),
+                ):
+                    start = time.perf_counter()
+                    self._injector.fire(
+                        "server.batch",
+                        model=batch.model,
+                        rows=int(features.shape[0]),
+                        attempt=attempts,
+                    )
+                    predictions = self._db.predict_labels(batch.model, features)
+                    execute_seconds = time.perf_counter() - start
+                break
+            except BaseException as exc:
+                if is_transient(exc) and attempts < self.retry_limit:
+                    attempts += 1
+                    self._injector.record_retry("server.batch")
+                    if self.retry_backoff_s:
+                        time.sleep(self.retry_backoff_s * attempts)
+                    continue
+                if len(batch.requests) > 1:
+                    # The batch is poisoned past its retry budget: isolate
+                    # so only the poisoned request(s) fail, not all riders.
+                    self._execute_isolated(batch, started)
+                    return
+                batch.requests[0]._fail(exc)
+                self._m_requests["failed"].inc()
+                return
+        if attempts:
+            # Succeeded only because we retried past a transient fault.
+            self._injector.record_recovery("server.batch")
         state.estimator.observe(int(features.shape[0]), execute_seconds)
         self._m_batches.inc()
         self._m_batch_rows.observe(float(features.shape[0]))
@@ -432,3 +473,46 @@ class ModelServer:
             )
             offset += rows
         self._m_requests["completed"].inc(len(batch.requests))
+
+    def _execute_isolated(self, batch: Batch, started: float) -> None:
+        """Re-run a failed multi-request batch one request at a time.
+
+        A fault that poisons the coalesced batch (one bad request, or a
+        site that keeps firing) must not fail the innocent riders: each
+        request gets its own engine invocation and only the ones that
+        still fail see the error on their own future.
+        """
+        state = self._models[batch.model]
+        succeeded = 0
+        for request in batch.requests:
+            try:
+                with self._tracer.span(
+                    f"serve-isolated:{batch.model}",
+                    category="server",
+                    rows=request.rows,
+                    requests=1,
+                ):
+                    start = time.perf_counter()
+                    self._injector.fire(
+                        "server.batch",
+                        model=batch.model,
+                        rows=request.rows,
+                        isolated=True,
+                    )
+                    predictions = self._db.predict_labels(
+                        batch.model, request.features
+                    )
+                    execute_seconds = time.perf_counter() - start
+            except BaseException as exc:
+                request._fail(exc)
+                self._m_requests["failed"].inc()
+                continue
+            state.estimator.observe(request.rows, execute_seconds)
+            queue_seconds = max(0.0, started - request.enqueued_at)
+            self._m_queue_seconds.observe(queue_seconds)
+            request._resolve(predictions, queue_seconds, execute_seconds)
+            self._m_requests["completed"].inc()
+            succeeded += 1
+        if succeeded:
+            # Isolation salvaged at least part of a poisoned batch.
+            self._injector.record_recovery("server.batch")

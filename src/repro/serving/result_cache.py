@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dlruntime.layers import Model
+from ..errors import AnnIndexError, InjectedFaultError
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..indexes.base import VectorIndex
 from ..relational.schema import ColumnType, Schema
 from ..storage.catalog import Catalog, TableInfo
@@ -109,11 +111,13 @@ class InferenceResultCache:
         table_name: str | None = None,
         insert_on_miss: bool = True,
         metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.model = model
         self.index = index
         self.distance_threshold = float(distance_threshold)
         self.insert_on_miss = insert_on_miss
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self.stats = CacheStats()
         (
             self._m_hits,
@@ -176,22 +180,34 @@ class InferenceResultCache:
         from ..indexes.hnsw import HnswIndex
 
         threshold_aware = isinstance(self.index, HnswIndex)
+        degraded = False
         with self._lock:
             lookup_start = time.perf_counter()
-            for i in range(n):
-                if threshold_aware:
-                    result = self.index.search(
-                        flat[i], k=1, early_stop_distance=self.distance_threshold
-                    )
-                else:
-                    result = self.index.search(flat[i], k=1)
-                if (
-                    result.ids[0] >= 0
-                    and result.nearest_distance <= self.distance_threshold
-                ):
-                    predictions[i] = self._predictions[result.nearest_id]
-                else:
-                    miss_rows.append(i)
+            try:
+                self._injector.fire(
+                    "result_cache.lookup", model=self.model.name, rows=n
+                )
+                for i in range(n):
+                    if threshold_aware:
+                        result = self.index.search(
+                            flat[i], k=1, early_stop_distance=self.distance_threshold
+                        )
+                    else:
+                        result = self.index.search(flat[i], k=1)
+                    if (
+                        result.ids[0] >= 0
+                        and result.nearest_distance <= self.distance_threshold
+                    ):
+                        predictions[i] = self._predictions[result.nearest_id]
+                    else:
+                        miss_rows.append(i)
+            except (InjectedFaultError, AnnIndexError):
+                # The cache is an accelerator, never a correctness
+                # dependency: a failed lookup degrades the whole batch to
+                # a recompute and skips insertion (the index may be in an
+                # unknown state mid-probe).
+                degraded = True
+                miss_rows = list(range(n))
             lookup_seconds = time.perf_counter() - lookup_start
 
             model_seconds = 0.0
@@ -201,7 +217,7 @@ class InferenceResultCache:
                 fresh = self.model.predict(features[miss_idx])
                 model_seconds = time.perf_counter() - model_start
                 predictions[miss_idx] = fresh
-                if self.insert_on_miss:
+                if self.insert_on_miss and not degraded:
                     self._insert(flat[miss_idx], fresh)
 
             hits = n - len(miss_rows)
@@ -209,6 +225,8 @@ class InferenceResultCache:
             self.stats.misses += len(miss_rows)
             self.stats.model_seconds += model_seconds
             self.stats.lookup_seconds += lookup_seconds
+        if degraded:
+            self._injector.record_recovery("result_cache.lookup")
         self._m_hits.inc(hits)
         self._m_misses.inc(len(miss_rows))
         self._m_lookup_seconds.observe(lookup_seconds)
@@ -242,9 +260,11 @@ class ExactResultCache:
         model: Model,
         max_entries: int | None = None,
         metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.model = model
         self.max_entries = max_entries
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self._entries: dict[bytes, int] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -265,16 +285,26 @@ class ExactResultCache:
         predictions = np.empty(n, dtype=np.int64)
         miss_rows: list[int] = []
         keys: list[bytes] = []
+        degraded = False
         with self._lock:
             lookup_start = time.perf_counter()
-            for i in range(n):
-                key = flat[i].tobytes()
-                keys.append(key)
-                cached = self._entries.get(key)
-                if cached is not None:
-                    predictions[i] = cached
-                else:
-                    miss_rows.append(i)
+            try:
+                self._injector.fire(
+                    "result_cache.lookup", model=self.model.name, rows=n
+                )
+                for i in range(n):
+                    key = flat[i].tobytes()
+                    keys.append(key)
+                    cached = self._entries.get(key)
+                    if cached is not None:
+                        predictions[i] = cached
+                    else:
+                        miss_rows.append(i)
+            except InjectedFaultError:
+                # Degrade to a full recompute rather than failing the
+                # batch; skip insertion for this degraded pass.
+                degraded = True
+                miss_rows = list(range(n))
             lookup_seconds = time.perf_counter() - lookup_start
             model_seconds = 0.0
             if miss_rows:
@@ -283,19 +313,22 @@ class ExactResultCache:
                 fresh = self.model.predict(features[miss_idx])
                 model_seconds = time.perf_counter() - model_start
                 predictions[miss_idx] = fresh
-                for i, pred in zip(miss_rows, fresh):
-                    if (
-                        self.max_entries is None
-                        or len(self._entries) < self.max_entries
-                    ):
-                        self._entries[keys[i]] = int(pred)
-                self.stats.inserts += len(miss_rows)
-                self._m_inserts.inc(len(miss_rows))
+                if not degraded:
+                    for i, pred in zip(miss_rows, fresh):
+                        if (
+                            self.max_entries is None
+                            or len(self._entries) < self.max_entries
+                        ):
+                            self._entries[keys[i]] = int(pred)
+                    self.stats.inserts += len(miss_rows)
+                    self._m_inserts.inc(len(miss_rows))
             hits = n - len(miss_rows)
             self.stats.hits += hits
             self.stats.misses += len(miss_rows)
             self.stats.model_seconds += model_seconds
             self.stats.lookup_seconds += lookup_seconds
+        if degraded:
+            self._injector.record_recovery("result_cache.lookup")
         self._m_hits.inc(hits)
         self._m_misses.inc(len(miss_rows))
         self._m_lookup_seconds.observe(lookup_seconds)

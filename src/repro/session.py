@@ -35,6 +35,7 @@ from .dlruntime.memory import MemoryBudget
 from .engines.base import EngineResult
 from .engines.hybrid import HybridExecutor
 from .errors import CatalogError, ReproError, SqlError
+from .faults import FAULT_COLUMNS, FaultInjector, FaultPlan
 from .relational.schema import Schema
 from .server.locks import ReadWriteLock
 from .sql import ast as sql_ast
@@ -167,6 +168,7 @@ class Database:
         self,
         config: SystemConfig | None = None,
         path: str | None = None,
+        fault_plan: FaultPlan | None = None,
         **config_overrides: object,
     ):
         base = config if config is not None else DEFAULT_CONFIG
@@ -200,15 +202,28 @@ class Database:
         self._m_index_searches = registry.counter(
             "vector_index_searches_total", "ANN index searches"
         )
+        # The fault injector exists before any component that can fail, so
+        # a plan passed at construction covers the restore path too.
+        self._faults = FaultInjector(
+            seed=self._config.faults_seed or self._config.seed,
+            metrics=registry if self._telemetry.enabled else None,
+        )
+        if fault_plan is not None:
+            self._faults.load_plan(fault_plan)
         if path is not None:
-            self._disk = FileDiskManager(self._config.page_size, path=path)
+            self._disk = FileDiskManager(
+                self._config.page_size, path=path, injector=self._faults
+            )
         else:
-            self._disk = InMemoryDiskManager(self._config.page_size)
+            self._disk = InMemoryDiskManager(
+                self._config.page_size, injector=self._faults
+            )
         self._pool = BufferPool(
             self._disk,
             self._config.buffer_pool_pages,
             policy=_make_policy(self._config.eviction_policy),
             metrics=registry if self._telemetry.enabled else None,
+            injector=self._faults,
         )
         self._catalog = Catalog(self._pool)
         self._compiled: dict[str, CompiledModel] = {}
@@ -223,7 +238,9 @@ class Database:
     def _restore_if_persisted(self, path: str) -> None:
         from .storage import persist
 
-        snapshot = persist.load_sidecar(persist.sidecar_path(path))
+        snapshot = persist.load_sidecar(
+            persist.sidecar_path(path), injector=self._faults
+        )
         if snapshot is None:
             return
         persist.restore_catalog(self._catalog, snapshot)
@@ -243,6 +260,11 @@ class Database:
     @property
     def buffer_pool(self) -> BufferPool:
         return self._pool
+
+    @property
+    def faults(self) -> FaultInjector:
+        """The session's fault injector (arm specs / load plans here)."""
+        return self._faults
 
     # -- telemetry -------------------------------------------------------
 
@@ -307,6 +329,15 @@ class Database:
             )
         if self._server is not None:
             rows.extend(self._server.stats_rows())
+        if self._faults.active:
+            rows.extend(
+                [
+                    ("faults.armed", self._faults.armed_count),
+                    ("faults.injected", self._faults.injected_total),
+                    ("faults.retries", self._faults.retry_total),
+                    ("faults.recoveries", self._faults.recovery_total),
+                ]
+            )
         for name, cache in sorted(self._caches.items()):
             stats = cache.stats
             rows.append((f"result_cache.{name}.entries", len(cache)))
@@ -336,7 +367,10 @@ class Database:
         self._optimizer = RuleBasedOptimizer(self._config, telemetry=self._telemetry)
         self._compiler = AotCompiler(self._config, telemetry=self._telemetry)
         self._executor = HybridExecutor(
-            self._catalog, self._config, telemetry=self._telemetry
+            self._catalog,
+            self._config,
+            telemetry=self._telemetry,
+            injector=self._faults,
         )
         self._planner = Planner(
             self._catalog,
@@ -521,9 +555,11 @@ class Database:
                     for m in self._catalog.models()
                 ]
                 return Cursor(("name", "model", "params"), sorted(rows))
+            if what == "faults":
+                return Cursor(FAULT_COLUMNS, self._faults.rows())
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
-                "MODELS, METRICS, STATS, SERVER, or AUDIT"
+                "MODELS, METRICS, STATS, SERVER, AUDIT, or FAULTS"
             )
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
@@ -670,6 +706,7 @@ class Database:
                     self._config,
                     dl_budget=dl_budget,
                     telemetry=self._telemetry,
+                    injector=self._faults,
                 )
             return executor.execute(plan, features, info)
 
@@ -828,7 +865,9 @@ class Database:
                 self._telemetry.registry if self._telemetry.enabled else None
             )
             if exact:
-                self._caches[info.name] = ExactResultCache(model, metrics=metrics)
+                self._caches[info.name] = ExactResultCache(
+                    model, metrics=metrics, injector=self._faults
+                )
                 return
             dim = int(np.prod(model.input_shape))
             index_types = {
@@ -851,6 +890,7 @@ class Database:
                 catalog=self._catalog,
                 table_name=f"__cache_{info.name}",
                 metrics=metrics,
+                injector=self._faults,
             )
 
     def disable_result_cache(self, name: str) -> None:
@@ -890,6 +930,8 @@ class Database:
         max_queue_delay_ms: float | None = None,
         queue_capacity: int | None = None,
         default_deadline_ms: float | None = None,
+        retry_limit: int | None = None,
+        retry_backoff_ms: float | None = None,
     ) -> "ModelServer":
         """Start the concurrent serving front-end for this database.
 
@@ -916,6 +958,8 @@ class Database:
             max_queue_delay_ms=max_queue_delay_ms,
             queue_capacity=queue_capacity,
             default_deadline_ms=default_deadline_ms,
+            retry_limit=retry_limit,
+            retry_backoff_ms=retry_backoff_ms,
         )
         self._server = server
         return server
@@ -936,9 +980,19 @@ class Database:
                 self._config.tensor_block_rows,
                 self._config.tensor_block_cols,
             )
+            # Durability order matters: serialize may still write block
+            # tables, so every dirty page must be flushed *and fsynced*
+            # before the sidecar that references those pages is
+            # committed.  The old order (sidecar first) could commit a
+            # catalog pointing at pages a crash never wrote.
             snapshot = persist.serialize_catalog(self._catalog, block_shape)
-            persist.save_sidecar(persist.sidecar_path(self._path), snapshot)
-        self._pool.flush_all()
+            self._pool.flush_all()
+            self._disk.sync()
+            persist.save_sidecar(
+                persist.sidecar_path(self._path), snapshot, injector=self._faults
+            )
+        else:
+            self._pool.flush_all()
         self._disk.close()
 
     def __enter__(self) -> "Database":

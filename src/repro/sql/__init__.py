@@ -29,12 +29,15 @@ from .ast import (
 )
 from .parser import parse
 from .planner import Planner, PredictFunction
+from .unparse import unparse, unparse_expression
 
 __all__ = [
     "tokenize",
     "Token",
     "TokenType",
     "parse",
+    "unparse",
+    "unparse_expression",
     "Statement",
     "CreateTable",
     "DropTable",

@@ -147,16 +147,18 @@ class ExplainAnalyze(Statement):
 @dataclass
 class Show(Statement):
     """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``SERVER``
-    / ``AUDIT``.
+    / ``AUDIT`` / ``FAULTS``.
 
     METRICS renders the session's telemetry registry as a cursor; STATS
     renders system-level statistics (buffer pool, caches, catalog sizes);
     SERVER renders the attached ModelServer's live queue/batch state
     (empty when no server is attached); AUDIT renders the plan-quality
-    audit's estimate-vs-actual records.
+    audit's estimate-vs-actual records; FAULTS renders the fault
+    injector's sites with armed specs, hit/fire counts, and
+    retry/recovery totals.
     """
 
-    what: str  # "tables", "models", "metrics", "stats", "server", or "audit"
+    what: str  # "tables", "models", "metrics", "stats", "server", "audit", "faults"
 
 
 @dataclass

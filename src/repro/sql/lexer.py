@@ -24,7 +24,7 @@ KEYWORDS = frozenset(
 SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 
 #: The soft keywords valid as a SHOW target.
-SHOW_TARGETS = frozenset({"METRICS", "STATS", "AUDIT", "SERVER"})
+SHOW_TARGETS = frozenset({"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS"})
 
 
 class TokenType(enum.Enum):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..errors import SqlParseError
+from ..errors import SchemaError, SqlParseError
 from ..relational.expressions import (
     BinaryOp,
     CaseWhen,
@@ -140,7 +140,7 @@ class _Parser:
             else:
                 raise SqlParseError(
                     "expected TABLES, MODELS, METRICS, STATS, SERVER, "
-                    "or AUDIT after SHOW"
+                    "AUDIT, or FAULTS after SHOW"
                 )
         else:
             raise SqlParseError(
@@ -205,7 +205,13 @@ class _Parser:
             type_token = self._advance()
             if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
                 raise SqlParseError(f"expected a type after column {col_name!r}")
-            columns.append((col_name, ColumnType.parse(type_token.value)))
+            try:
+                ctype = ColumnType.parse(type_token.value)
+            except SchemaError as exc:
+                # An unknown type name is a grammar-level mistake: keep the
+                # SQL front end's contract of raising only SqlError types.
+                raise SqlParseError(str(exc)) from exc
+            columns.append((col_name, ctype))
             if not self._accept_punct(","):
                 break
         self._expect_punct(")")
@@ -340,7 +346,10 @@ class _Parser:
         if token.type is not TokenType.NUMBER or "." in token.value:
             raise SqlParseError(f"{context} requires an integer")
         self._advance()
-        return int(token.value)
+        try:
+            return int(token.value)
+        except ValueError as exc:
+            raise SqlParseError(f"{context} requires an integer") from exc
 
     def _parse_table_ref(self) -> TableRef:
         name = self._expect_ident()
@@ -387,7 +396,13 @@ class _Parser:
                         "second argument"
                     )
                 self._advance()
-                proba_class = int(class_token.value)
+                try:
+                    proba_class = int(class_token.value)
+                except ValueError as exc:
+                    raise SqlParseError(
+                        "PREDICT_PROBA requires an integer class index as "
+                        "its second argument"
+                    ) from exc
             args: list[Expression] = []
             while self._accept_punct(","):
                 args.append(self._parse_expression())
@@ -569,6 +584,12 @@ class _Parser:
 
 
 def _parse_number(text: str) -> object:
-    if any(c in text for c in ".eE"):
-        return float(text)
-    return int(text)
+    # The lexer's NUMBER pattern is permissive (e.g. "1e" lexes as one
+    # token with a dangling exponent); conversion failures are grammar
+    # errors, not internal ValueErrors.
+    try:
+        if any(c in text for c in ".eE"):
+            return float(text)
+        return int(text)
+    except ValueError as exc:
+        raise SqlParseError(f"malformed numeric literal {text!r}") from exc

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import BufferPoolError, StorageError
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
 from .disk import DiskManager
 from .page import Page, PageId
@@ -172,11 +173,13 @@ class BufferPool:
         capacity_pages: int,
         policy: EvictionPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        injector: FaultInjector | None = None,
     ):
         if capacity_pages < 1:
             raise BufferPoolError("buffer pool needs capacity of at least one page")
         self._disk = disk
         self._capacity = capacity_pages
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self._policy = policy if policy is not None else LruPolicy()
         self._pages: dict[PageId, Page] = {}
         # One coarse lock over frame management: pin/unpin, eviction, and
@@ -279,6 +282,10 @@ class BufferPool:
     def _ensure_frame_available(self) -> None:
         if len(self._pages) < self._capacity:
             return
+        # Fault site fires before any state changes, so a raised fault
+        # leaves the pool exactly as it was (the caller's page request
+        # fails but every resident page stays valid).
+        self._injector.fire("bufferpool.evict", resident=len(self._pages))
         victim_id = self._policy.choose_victim(self._pages)
         if victim_id is None:
             raise BufferPoolError(

@@ -12,12 +12,28 @@ file:
 Model weights therefore persist *as relations*, exactly the paper's
 storage story (Sec. 4): reopening a database rebuilds each model by
 scanning its block tables back into layer parameters.
+
+Crash consistency: :func:`save_sidecar` writes a temp file, flushes and
+fsyncs it, snapshots the previous sidecar generation to ``<path>.bak``,
+then atomically renames the temp file over the primary.  At every
+instant there is a parseable sidecar on disk: a crash before the rename
+leaves the old primary, a crash after leaves the new one, and a corrupt
+primary (detected as a JSON error on load) falls back to the ``.bak``
+generation.  :func:`load_sidecar` never leaks a raw
+``json.JSONDecodeError``; unrecoverable corruption raises
+:class:`~repro.errors.StorageError` naming the path(s) involved.
+
+Fault sites ``persist.sidecar`` (before the temp write) and
+``persist.sidecar_replace`` (between fsync and rename) simulate crashes
+in each window of the protocol.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import shutil
 
 import numpy as np
 
@@ -33,13 +49,18 @@ from ..dlruntime.layers import (
     Softmax,
 )
 from ..errors import StorageError
+from ..faults import NULL_INJECTOR, FaultInjector
 from ..relational.schema import Column, ColumnType, Schema
 from ..tensor.blocked import BlockedMatrix
 from .catalog import Catalog, ModelInfo
 from .heap import HeapFile
 from .serde import RowSerde
 
-FORMAT_VERSION = 1
+# Version 2: the page file switched to checksummed slots
+# (magic + crc32 header per page — see repro.storage.disk).
+FORMAT_VERSION = 2
+
+logger = logging.getLogger(__name__)
 
 _SIMPLE_LAYERS: dict[str, type[Layer]] = {
     "ReLU": ReLU,
@@ -51,6 +72,11 @@ _SIMPLE_LAYERS: dict[str, type[Layer]] = {
 
 def sidecar_path(page_file_path: str) -> str:
     return page_file_path + ".catalog"
+
+
+def backup_path(page_file_path_sidecar: str) -> str:
+    """Path of the previous-generation sidecar kept for recovery."""
+    return page_file_path_sidecar + ".bak"
 
 
 # -- layer (de)serialization ---------------------------------------------
@@ -182,11 +208,25 @@ def serialize_catalog(catalog: Catalog, block_shape: tuple[int, int]) -> dict:
 
 
 def restore_catalog(catalog: Catalog, snapshot: dict) -> None:
-    """Rebuild tables and models into an empty catalog."""
+    """Rebuild tables and models into an empty catalog.
+
+    A structurally malformed snapshot (missing keys, wrong value types)
+    raises :class:`StorageError` rather than leaking ``KeyError`` /
+    ``TypeError`` from the guts of the restore.
+    """
     if snapshot.get("version") != FORMAT_VERSION:
         raise StorageError(
             f"unsupported catalog format version {snapshot.get('version')!r}"
         )
+    try:
+        _restore_catalog(catalog, snapshot)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise StorageError(
+            f"malformed catalog snapshot: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _restore_catalog(catalog: Catalog, snapshot: dict) -> None:
     from .catalog import TableInfo
 
     block_shape = tuple(snapshot["block_shape"])
@@ -234,15 +274,70 @@ def _json_safe(value: object) -> bool:
         return False
 
 
-def save_sidecar(path: str, snapshot: dict) -> None:
+def save_sidecar(
+    path: str, snapshot: dict, injector: FaultInjector | None = None
+) -> None:
+    """Atomically persist the catalog snapshot with a backup generation.
+
+    Protocol: write+fsync a temp file, copy the current primary to
+    ``<path>.bak``, then ``os.replace`` the temp over the primary.  A
+    crash at any step leaves at least one parseable generation on disk.
+    """
+    injector = injector if injector is not None else NULL_INJECTOR
+    injector.fire("persist.sidecar", path=path)
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as f:
         json.dump(snapshot, f)
+        f.flush()
+        os.fsync(f.fileno())
+    injector.fire("persist.sidecar_replace", path=path)
+    if os.path.exists(path):
+        shutil.copyfile(path, backup_path(path))
     os.replace(tmp, path)
 
 
-def load_sidecar(path: str) -> dict | None:
-    if not os.path.exists(path):
-        return None
+def _read_sidecar(path: str) -> dict:
     with open(path, encoding="utf-8") as f:
         return json.load(f)
+
+
+def load_sidecar(path: str, injector: FaultInjector | None = None) -> dict | None:
+    """Load the catalog sidecar, falling back to the ``.bak`` generation.
+
+    Returns ``None`` when no generation exists (a fresh database).  A
+    corrupt primary with a readable backup logs a warning, records a
+    recovery on the ``persist.sidecar`` site, and returns the backup;
+    when neither generation parses, raises :class:`StorageError` naming
+    every path that was tried — never a raw ``json.JSONDecodeError``.
+    """
+    injector = injector if injector is not None else NULL_INJECTOR
+    bak = backup_path(path)
+    primary_error: Exception | None = None
+    if os.path.exists(path):
+        try:
+            return _read_sidecar(path)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            primary_error = exc
+    elif not os.path.exists(bak):
+        return None
+    if os.path.exists(bak):
+        try:
+            snapshot = _read_sidecar(bak)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise StorageError(
+                f"catalog sidecar {path!r} is corrupt "
+                f"({primary_error or 'missing'}) and backup {bak!r} is "
+                f"unreadable too ({exc})"
+            ) from exc
+        logger.warning(
+            "catalog sidecar %r unreadable (%s); recovered from backup %r",
+            path,
+            primary_error or "missing",
+            bak,
+        )
+        injector.record_recovery("persist.sidecar")
+        return snapshot
+    raise StorageError(
+        f"catalog sidecar {path!r} is corrupt ({primary_error}) and no "
+        f"backup generation exists at {bak!r}"
+    ) from primary_error

@@ -1,0 +1,204 @@
+"""Crash-recovery matrix: kill the durability path at every step, reopen.
+
+The invariant under test: whatever step of ``Database.close()`` dies, a
+reopen either sees the *previous committed generation fully intact* or
+raises exactly one typed error — never a half-restored catalog, never a
+silent truncation.
+"""
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    CorruptPageError,
+    InjectedFaultError,
+    ReproError,
+    StorageError,
+)
+from repro.faults import BIT_FLIP, TORN_WRITE, FaultInjector
+from repro.storage import FileDiskManager
+from repro.storage.persist import backup_path, sidecar_path
+
+#: Every step of the close/persist path that a crash can interrupt.
+CLOSE_SITES = [
+    "disk.write_page",
+    "disk.sync",
+    "persist.sidecar",
+    "persist.sidecar_replace",
+]
+
+
+def commit_generation_one(path: str) -> None:
+    with Database(path=path) as db:
+        db.execute("CREATE TABLE t1 (id INT, v DOUBLE)")
+        db.execute("INSERT INTO t1 VALUES (1, 1.5), (2, 2.5)")
+
+
+@pytest.mark.parametrize("site", CLOSE_SITES)
+def test_crash_during_close_preserves_committed_generation(tmp_path, site):
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)
+
+    # Generation 2 in progress: a new table, then the close crashes.
+    db = Database(path=path)
+    db.execute("CREATE TABLE t2 (id INT)")
+    db.execute("INSERT INTO t2 VALUES (7)")
+    db.faults.arm(site=site, transient=False)
+    with pytest.raises(ReproError):
+        db.close()
+
+    # Reopen: generation 1 is fully there and the database is writable.
+    with Database(path=path) as db2:
+        cur = db2.execute("SELECT id, v FROM t1 ORDER BY id")
+        assert cur.fetchall() == [(1, 1.5), (2, 2.5)]
+        db2.execute("INSERT INTO t1 VALUES (3, 3.5)")
+        assert db2.execute("SELECT COUNT(*) AS n FROM t1").fetchone() == (3,)
+    # And the post-crash commit itself survives a further reopen.
+    with Database(path=path) as db3:
+        assert db3.execute("SELECT COUNT(*) AS n FROM t1").fetchone() == (3,)
+
+
+@pytest.mark.parametrize("site", CLOSE_SITES)
+def test_failed_close_can_be_retried(tmp_path, site):
+    """A one-shot close fault is survivable: the second close commits."""
+    path = str(tmp_path / "db.pages")
+    db = Database(path=path)
+    db.execute("CREATE TABLE t (id INT)")
+    db.execute("INSERT INTO t VALUES (1), (2), (3)")
+    db.faults.arm(site=site)
+    with pytest.raises(InjectedFaultError):
+        db.close()
+    db.close()  # the spec is spent; this close must fully commit
+    with Database(path=path) as db2:
+        assert db2.execute("SELECT COUNT(*) AS n FROM t").fetchone() == (3,)
+
+
+def test_corrupt_primary_sidecar_recovers_from_backup(tmp_path):
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)
+    # Generation 2 (creates the .bak holding generation 1).
+    with Database(path=path) as db:
+        db.execute("CREATE TABLE t2 (id INT)")
+    side = sidecar_path(path)
+    assert os.path.exists(backup_path(side))
+
+    with open(side, "w") as f:
+        f.write("{ this is not json")
+
+    db = Database(path=path)
+    try:
+        # The backup generation restored transparently...
+        cur = db.execute("SELECT id, v FROM t1 ORDER BY id")
+        assert cur.fetchall() == [(1, 1.5), (2, 2.5)]
+        # ...and the fallback was recorded as a recovery.
+        assert db.faults.recovery_total >= 1
+        rows = {r[0]: r for r in db.faults.rows()}
+        assert rows["persist.sidecar"][-1] >= 1  # recoveries column
+    finally:
+        db.close()
+
+
+def test_both_sidecar_generations_corrupt_raises_typed_error(tmp_path):
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)
+    with Database(path=path) as db:
+        db.execute("INSERT INTO t1 VALUES (9, 9.0)")
+    side = sidecar_path(path)
+    for target in (side, backup_path(side)):
+        with open(target, "w") as f:
+            f.write("garbage")
+    with pytest.raises(StorageError) as excinfo:
+        Database(path=path)
+    assert side in str(excinfo.value)
+
+
+def test_corrupt_sidecar_without_backup_raises_not_silently_resets(tmp_path):
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)  # one generation only: no .bak yet
+    side = sidecar_path(path)
+    assert not os.path.exists(backup_path(side))
+    with open(side, "w") as f:
+        f.write("garbage")
+    # A fresh-looking (empty) database here would be silent data loss.
+    with pytest.raises(StorageError):
+        Database(path=path)
+
+
+def test_malformed_snapshot_structure_is_typed_not_keyerror(tmp_path):
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)
+    side = sidecar_path(path)
+    with open(side, "w") as f:
+        f.write('{"valid_json": "but not a catalog snapshot"}')
+    with pytest.raises(StorageError):
+        Database(path=path)
+
+
+def test_partial_trailing_page_rejected_at_reopen(tmp_path):
+    """Satellite: a torn final page must raise, naming the byte offset."""
+    path = str(tmp_path / "db.pages")
+    commit_generation_one(path)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(size - 100)
+    with pytest.raises(StorageError, match="byte offset"):
+        Database(path=path)
+
+
+def test_torn_write_detected_by_checksum_after_reopen(tmp_path):
+    path = str(tmp_path / "pages.db")
+    injector = FaultInjector(seed=5)
+    disk = FileDiskManager(4096, path=path, injector=injector)
+    pids = [disk.allocate_page() for __ in range(3)]
+    for pid in pids:
+        disk.write_page(pid, bytes([pid + 1]) * 4096)
+    # Tear the middle page's rewrite: the slot keeps its first half.
+    injector.arm(site="disk.write_page", kind=TORN_WRITE)
+    disk.write_page(pids[1], b"\xab" * 4096)
+    disk.sync()
+    disk.close()
+
+    reopened = FileDiskManager(4096, path=path)
+    assert reopened.read_page(pids[0]) == bytes([1]) * 4096
+    with pytest.raises(CorruptPageError) as excinfo:
+        reopened.read_page(pids[1])
+    assert excinfo.value.page_id == pids[1]
+    assert path in str(excinfo.value)
+    assert reopened.read_page(pids[2]) == bytes([3]) * 4096
+    # Rewriting the damaged page repairs it.
+    reopened.write_page(pids[1], b"\xcd" * 4096)
+    assert reopened.read_page(pids[1]) == b"\xcd" * 4096
+    reopened.close()
+
+
+def test_bit_flip_detected_by_checksum_after_reopen(tmp_path):
+    path = str(tmp_path / "pages.db")
+    injector = FaultInjector(seed=6)
+    disk = FileDiskManager(4096, path=path, injector=injector)
+    pid = disk.allocate_page()
+    disk.write_page(pid, b"\x11" * 4096)
+    injector.arm(site="disk.write_page", kind=BIT_FLIP)
+    disk.write_page(pid, b"\x22" * 4096)
+    disk.close()
+
+    reopened = FileDiskManager(4096, path=path)
+    with pytest.raises(CorruptPageError):
+        reopened.read_page(pid)
+    reopened.close()
+
+
+def test_transient_read_corruption_clears_on_retry(tmp_path):
+    """A read-side bit flip (media transient) fails once, then reads clean."""
+    path = str(tmp_path / "pages.db")
+    injector = FaultInjector(seed=7)
+    disk = FileDiskManager(4096, path=path, injector=injector)
+    pid = disk.allocate_page()
+    payload = b"\x5a" * 4096
+    disk.write_page(pid, payload)
+    injector.arm(site="disk.read_page", kind=BIT_FLIP)
+    with pytest.raises(CorruptPageError):
+        disk.read_page(pid)
+    assert disk.read_page(pid) == payload  # one-shot: the retry succeeds
+    disk.close()

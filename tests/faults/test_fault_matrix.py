@@ -1,0 +1,236 @@
+"""Acceptance matrix: one injected fault per site, twice, same outcome.
+
+For every injection site the system must either recover transparently
+(recovery recorded, correct result) or raise a typed
+:class:`~repro.errors.ReproError` subclass after which the database keeps
+answering queries and survives a reopen.  Each scenario runs twice with
+the same seed and must produce an identical outcome trace — that is the
+replayability guarantee the fault-matrix CI job leans on.
+
+Deliberately hypothesis-free: the CI fault-matrix job runs this package
+with only numpy + pytest installed.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import InjectedFaultError, ReproError
+from repro.faults import KNOWN_SITES
+from repro.models import fraud_fc_256
+
+KB = 1024
+
+
+def tiny_db(path: str, seed: int = 11) -> Database:
+    """File-backed database small enough that scans really hit the disk."""
+    return Database(
+        path=path,
+        page_size=4 * KB,
+        buffer_pool_bytes=16 * KB,  # four pages: evictions are routine
+        faults_seed=seed,
+    )
+
+
+def populate(db: Database, rows: int = 120) -> None:
+    db.execute("CREATE TABLE t (id INT, payload TEXT)")
+    values = ", ".join(f"({i}, '{'x' * 60}')" for i in range(rows))
+    db.execute(f"INSERT INTO t VALUES {values}")
+
+
+def checked_count(db: Database, expected: int) -> str:
+    got = db.execute("SELECT COUNT(*) AS n FROM t").fetchone()[0]
+    assert got == expected
+    return f"count={got}"
+
+
+# -- per-site scenario drivers -------------------------------------------
+#
+# Each driver provokes its site on a populated database and returns an
+# outcome trace (a list of strings).  Raising anything that is not a
+# typed ReproError fails the matrix.
+
+
+def drive_disk_read_page(path: str) -> list[str]:
+    trace = []
+    with tiny_db(path) as db:
+        populate(db, rows=400)  # ~10 pages: far larger than the 4-page pool
+    db = Database(path=path, page_size=4 * KB, buffer_pool_bytes=16 * KB)
+    try:
+        db.faults.arm(site="disk.read_page", nth=2)
+        with pytest.raises(InjectedFaultError):
+            db.execute("SELECT COUNT(*) AS n FROM t")
+        trace.append("typed-error")
+        trace.append(checked_count(db, 400))  # the site healed: retry works
+    finally:
+        db.close()
+    with Database(path=path, page_size=4 * KB) as db2:
+        trace.append(checked_count(db2, 400))  # and the file reopens intact
+    return trace
+
+
+def drive_disk_write_page(path: str) -> list[str]:
+    trace = []
+    db = tiny_db(path)
+    populate(db)
+    db.faults.arm(site="disk.write_page", transient=False)
+    with pytest.raises(ReproError) as excinfo:
+        db.close()  # flush-on-close trips the write fault
+    trace.append(type(excinfo.value).__name__)
+    db.close()  # spec is spent: the retried close commits
+    with Database(path=path, page_size=4 * KB) as db2:
+        trace.append(checked_count(db2, 120))
+    return trace
+
+
+def drive_disk_sync(path: str) -> list[str]:
+    trace = []
+    db = tiny_db(path)
+    populate(db)
+    db.faults.arm(site="disk.sync", transient=False)
+    with pytest.raises(ReproError) as excinfo:
+        db.close()
+    trace.append(type(excinfo.value).__name__)
+    db.close()
+    with Database(path=path, page_size=4 * KB) as db2:
+        trace.append(checked_count(db2, 120))
+    return trace
+
+
+def drive_bufferpool_evict(path: str) -> list[str]:
+    trace = []
+    db = tiny_db(path)
+    try:
+        populate(db)  # > 4 pages of rows: inserting forces evictions
+        db.faults.arm(site="bufferpool.evict")
+        with pytest.raises(InjectedFaultError):
+            for i in range(2000):
+                db.execute(f"INSERT INTO t VALUES ({1000 + i}, '{'y' * 60}')")
+        trace.append("typed-error")
+        # Pool state survived the refused eviction: scans still work.
+        got = db.execute("SELECT COUNT(*) AS n FROM t").fetchone()[0]
+        assert got >= 120
+        trace.append(f"count={got}")
+    finally:
+        db.close()
+    with Database(path=path, page_size=4 * KB) as db2:
+        got = db2.execute("SELECT COUNT(*) AS n FROM t").fetchone()[0]
+        trace.append(f"count={got}")
+    return trace
+
+
+def drive_engine_stage(path: str) -> list[str]:
+    trace = []
+    with tiny_db(path) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        feats = np.random.default_rng(3).normal(size=(8, 28))
+        baseline = db.predict("fraud", feats).outputs
+        db.faults.arm(site="engine.stage")
+        with pytest.raises(InjectedFaultError):
+            db.predict("fraud", feats)
+        trace.append("typed-error")
+        retried = db.predict("fraud", feats).outputs
+        np.testing.assert_allclose(retried, baseline, atol=1e-6)
+        trace.append(f"outputs={np.asarray(retried).tobytes().hex()[:32]}")
+    return trace
+
+
+def drive_result_cache_lookup(path: str) -> list[str]:
+    trace = []
+    with tiny_db(path) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        feats = np.random.default_rng(4).normal(size=(8, 28))
+        expected = db.predict_labels("fraud", feats)
+        db.enable_result_cache("fraud", distance_threshold=0.0, exact=True)
+        db.predict_labels("fraud", feats)  # warm the cache
+        db.faults.arm(site="result_cache.lookup")
+        got = db.predict_labels("fraud", feats)  # degrades to recompute
+        np.testing.assert_array_equal(got, expected)
+        trace.append("recovered")
+        assert db.faults.recovery_total >= 1
+        trace.append(f"recoveries={db.faults.recovery_total}")
+    return trace
+
+
+def drive_server_batch(path: str) -> list[str]:
+    trace = []
+    with tiny_db(path) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        feats = np.random.default_rng(5).normal(size=(4, 28))
+        expected = db.predict_labels("fraud", feats)
+        db.faults.arm(site="server.batch", nth=1)
+        with db.serve(workers=1) as server:
+            got = server.submit("fraud", feats).result(timeout=30.0)
+        np.testing.assert_array_equal(got, expected)
+        trace.append("recovered")
+        assert db.faults.retry_total >= 1
+        assert db.faults.recovery_total >= 1
+        trace.append(f"retries={db.faults.retry_total}")
+    return trace
+
+
+def drive_persist_sidecar(path: str) -> list[str]:
+    trace = []
+    db = tiny_db(path)
+    populate(db, rows=20)
+    db.faults.arm(site="persist.sidecar", transient=False)
+    with pytest.raises(ReproError) as excinfo:
+        db.close()
+    trace.append(type(excinfo.value).__name__)
+    db.close()
+    with Database(path=path, page_size=4 * KB) as db2:
+        trace.append(checked_count(db2, 20))
+    return trace
+
+
+def drive_persist_sidecar_replace(path: str) -> list[str]:
+    trace = []
+    db = tiny_db(path)
+    populate(db, rows=20)
+    db.faults.arm(site="persist.sidecar_replace", transient=False)
+    with pytest.raises(ReproError) as excinfo:
+        db.close()
+    trace.append(type(excinfo.value).__name__)
+    db.close()
+    with Database(path=path, page_size=4 * KB) as db2:
+        trace.append(checked_count(db2, 20))
+    return trace
+
+
+DRIVERS = {
+    "disk.read_page": drive_disk_read_page,
+    "disk.write_page": drive_disk_write_page,
+    "disk.sync": drive_disk_sync,
+    "bufferpool.evict": drive_bufferpool_evict,
+    "engine.stage": drive_engine_stage,
+    "result_cache.lookup": drive_result_cache_lookup,
+    "server.batch": drive_server_batch,
+    "persist.sidecar": drive_persist_sidecar,
+    "persist.sidecar_replace": drive_persist_sidecar_replace,
+}
+
+
+def test_every_known_site_has_a_matrix_driver():
+    assert set(DRIVERS) == set(KNOWN_SITES)
+
+
+def run_in(tmp_path, subdir: str, site: str) -> list[str]:
+    root = tmp_path / subdir
+    os.makedirs(root, exist_ok=True)
+    return DRIVERS[site](str(root / "db.pages"))
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_single_fault_recovers_or_fails_typed(tmp_path, site):
+    trace = run_in(tmp_path, "run", site)
+    assert trace, "driver must record an outcome"
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_same_seed_reproduces_same_outcome(tmp_path, site):
+    """The replay guarantee: two runs, same seed, identical outcome trace."""
+    first = run_in(tmp_path, "a", site)
+    second = run_in(tmp_path, "b", site)
+    assert first == second

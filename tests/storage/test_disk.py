@@ -81,3 +81,74 @@ def test_temp_file_disk_cleans_up():
     disk.close()
     assert not os.path.exists(path)
     disk.close()  # idempotent
+
+
+def test_reopen_rejects_partial_trailing_slot(tmp_path):
+    """A torn final slot raises a typed error naming the byte offset,
+    instead of silently truncating the tail page."""
+    path = str(tmp_path / "torn.db")
+    disk = FileDiskManager(1024, path=path)
+    for __ in range(3):
+        disk.write_page(disk.allocate_page(), b"q" * 1024)
+    disk.close()
+    size = os.path.getsize(path)
+    with open(path, "r+b") as f:
+        f.truncate(size - 50)
+    with pytest.raises(StorageError) as excinfo:
+        FileDiskManager(1024, path=path)
+    message = str(excinfo.value)
+    assert "byte offset" in message
+    assert str(size - disk.slot_size) in message
+    assert path in message
+
+
+def test_external_payload_modification_detected_by_checksum(tmp_path):
+    from repro.errors import CorruptPageError
+
+    path = str(tmp_path / "rot.db")
+    disk = FileDiskManager(1024, path=path)
+    pid = disk.allocate_page()
+    disk.write_page(pid, b"k" * 1024)
+    disk.sync()
+    disk.close()
+    # Flip one payload byte behind the manager's back (bit rot).
+    with open(path, "r+b") as f:
+        f.seek(disk.slot_size - 1)
+        f.write(b"\x00")
+    reopened = FileDiskManager(1024, path=path)
+    with pytest.raises(CorruptPageError, match="checksum"):
+        reopened.read_page(pid)
+    reopened.close()
+
+
+def test_foreign_header_rejected_not_trusted(tmp_path):
+    from repro.errors import CorruptPageError
+
+    path = str(tmp_path / "foreign.db")
+    disk = FileDiskManager(1024, path=path)
+    slot = disk.slot_size
+    disk.close()
+    with open(path, "wb") as f:
+        f.write(b"NOPE" + b"\x01" * (slot - 4))  # aligned but wrong magic
+    reopened = FileDiskManager(1024, path=path)
+    with pytest.raises(CorruptPageError, match="magic"):
+        reopened.read_page(0)
+    reopened.close()
+
+
+def test_allocated_but_never_written_slot_reads_zeros_after_reopen(tmp_path):
+    path = str(tmp_path / "sparse.db")
+    disk = FileDiskManager(1024, path=path)
+    first = disk.allocate_page()
+    hole = disk.allocate_page()
+    last = disk.allocate_page()
+    disk.write_page(first, b"a" * 1024)
+    disk.write_page(last, b"z" * 1024)  # extends the file past the hole
+    disk.sync()
+    disk.close()
+    reopened = FileDiskManager(1024, path=path)
+    assert reopened.num_pages == 3
+    assert reopened.read_page(hole) == bytes(1024)
+    assert reopened.read_page(first) == b"a" * 1024
+    assert reopened.read_page(last) == b"z" * 1024
+    reopened.close()
