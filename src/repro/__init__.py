@@ -21,6 +21,7 @@ from .config import DEFAULT_CONFIG, SystemConfig, gb, mb
 from .core.ir import InferencePlan, Representation
 from .dlruntime.memory import MemoryBudget
 from .errors import (
+    CircuitOpenError,
     CorruptPageError,
     DeadlineExceededError,
     InjectedFaultError,
@@ -31,9 +32,12 @@ from .errors import (
     ServerOverloadedError,
     SlaViolationError,
     SqlError,
+    StageTimeoutError,
     StorageError,
 )
 from .faults import FaultInjector, FaultPlan, FaultSpec
+from .health import HealthReport
+from .resilience import BreakerBoard, CircuitBreaker, RecoveryLedger
 from .server import ModelServer, RequestFuture, RequestState
 from .session import Cursor, Database
 
@@ -66,5 +70,11 @@ __all__ = [
     "ServerOverloadedError",
     "ServerClosedError",
     "DeadlineExceededError",
+    "CircuitOpenError",
+    "StageTimeoutError",
+    "HealthReport",
+    "RecoveryLedger",
+    "CircuitBreaker",
+    "BreakerBoard",
     "__version__",
 ]

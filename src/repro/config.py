@@ -126,6 +126,38 @@ class SystemConfig:
     # positions); 0 means "derive from `seed`" so a plain config is still
     # fully deterministic.
     faults_seed: int = 0
+    # -- runtime resilience (repro.resilience) ---------------------------
+    # Master switch for execution-time recovery: with it off, an OOM or
+    # stage timeout kills the query exactly as before.
+    resilience_enabled: bool = True
+    # How many rescue attempts (re-lowering or batch splits) one query may
+    # spend before the executor gives up and re-raises.
+    resilience_max_recoveries_per_query: int = 3
+    # Batch-split recovery halves the batch recursively; stop splitting
+    # once a half would drop below this many rows.
+    resilience_split_floor_rows: int = 16
+    # A (model, operator) pair rescued at least this many times is lowered
+    # to relation-centric up-front by the optimizer on the next plan.
+    resilience_ledger_threshold: int = 1
+    # Cooperative per-stage wall-clock deadline, checked at layer/stripe/
+    # stage boundaries; 0 disables the watchdog.
+    resilience_stage_timeout_ms: float = 0.0
+    # -- circuit breakers (repro.resilience.breaker) ---------------------
+    # Per-model (serving front-end) and per-engine (executor) breakers.
+    breaker_enabled: bool = True
+    # Sliding window of most-recent request outcomes a breaker evaluates.
+    breaker_window: int = 8
+    # The breaker opens when the window's failure rate reaches this, ...
+    breaker_failure_threshold: float = 0.5
+    # ... but only once the window holds at least this many outcomes.
+    breaker_min_samples: int = 4
+    # An open breaker moves to half-open after rejecting this many
+    # requests (request-count based, so scenarios replay deterministically
+    # regardless of wall-clock speed).
+    breaker_cooldown_requests: int = 4
+    # In half-open, each arrival becomes the probe with this probability,
+    # drawn from the breaker's seeded RNG (1.0 = first arrival probes).
+    breaker_probe_probability: float = 1.0
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -155,6 +187,26 @@ class SystemConfig:
             raise ConfigError("server_retry_backoff_ms must be >= 0")
         if self.faults_seed < 0:
             raise ConfigError("faults_seed must be >= 0")
+        if self.resilience_max_recoveries_per_query < 0:
+            raise ConfigError("resilience_max_recoveries_per_query must be >= 0")
+        if self.resilience_split_floor_rows < 1:
+            raise ConfigError("resilience_split_floor_rows must be >= 1")
+        if self.resilience_ledger_threshold < 1:
+            raise ConfigError("resilience_ledger_threshold must be >= 1")
+        if self.resilience_stage_timeout_ms < 0:
+            raise ConfigError("resilience_stage_timeout_ms must be >= 0")
+        if self.breaker_window < 1:
+            raise ConfigError("breaker_window must be >= 1")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ConfigError("breaker_failure_threshold must be in (0, 1]")
+        if self.breaker_min_samples < 1:
+            raise ConfigError("breaker_min_samples must be >= 1")
+        if self.breaker_min_samples > self.breaker_window:
+            raise ConfigError("breaker_min_samples cannot exceed breaker_window")
+        if self.breaker_cooldown_requests < 1:
+            raise ConfigError("breaker_cooldown_requests must be >= 1")
+        if not 0.0 < self.breaker_probe_probability <= 1.0:
+            raise ConfigError("breaker_probe_probability must be in (0, 1]")
         if self.server_default_deadline_ms < 0:
             raise ConfigError("server_default_deadline_ms must be >= 0")
         if self.framework_compute_efficiency <= 0:

@@ -30,6 +30,10 @@ class CompiledModel:
     plans: dict[int, InferencePlan]
     selections: int = 0
     plan_hits: dict[int, int] = field(default_factory=dict)
+    #: Recovery-ledger generation this model was compiled under; when the
+    #: ledger has advanced past it, the session recompiles so runtime
+    #: rescues become up-front lowering decisions.
+    ledger_generation: int = 0
 
     def select(self, batch_size: int) -> InferencePlan:
         """Pick the pre-compiled plan covering ``batch_size``.
@@ -55,10 +59,12 @@ class AotCompiler:
         config: SystemConfig,
         batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
         telemetry: "Telemetry | None" = None,
+        ledger=None,
     ):
         if not batch_grid or list(batch_grid) != sorted(set(batch_grid)):
             raise PlanError("batch grid must be a sorted set of batch sizes")
-        self._optimizer = RuleBasedOptimizer(config, telemetry=telemetry)
+        self._optimizer = RuleBasedOptimizer(config, telemetry=telemetry, ledger=ledger)
+        self._ledger = ledger
         self._batch_grid = tuple(batch_grid)
 
     def compile(self, model: Model) -> CompiledModel:
@@ -66,4 +72,12 @@ class AotCompiler:
             batch: self._optimizer.plan_model(model, batch)
             for batch in self._batch_grid
         }
-        return CompiledModel(model=model, batch_grid=self._batch_grid, plans=plans)
+        generation = (
+            self._ledger.generation(model.name) if self._ledger is not None else 0
+        )
+        return CompiledModel(
+            model=model,
+            batch_grid=self._batch_grid,
+            plans=plans,
+            ledger_generation=generation,
+        )

@@ -53,6 +53,15 @@ class LinAlgOp(enum.Enum):
     FLATTEN = "flatten"
 
 
+#: Operators the relation-centric *vector* pipeline can execute.  A
+#: whole-tensor stage built only from these can be lowered (at plan time
+#: by the optimizer, or at runtime by the executor's recovery path) to a
+#: stripe-at-a-time relational pipeline with bounded peak memory.
+VECTOR_SAFE_OPS = frozenset(
+    {LinAlgOp.MATMUL, LinAlgOp.RELU, LinAlgOp.SIGMOID, LinAlgOp.SOFTMAX}
+)
+
+
 @dataclass
 class LinAlgNode:
     """One lowered linear-algebra operator.
@@ -144,6 +153,12 @@ class InferencePlan:
     stages: list[PlanStage]
     threshold_bytes: int
     notes: list[str] = field(default_factory=list)
+    #: The representation every operator was pinned to (``force=`` at plan
+    #: time), or None for adaptive plans.  Forced plans reproduce the
+    #: paper's fixed-architecture baselines, so the executor must *not*
+    #: rescue their failures — a forced DL-centric plan that OOMs is the
+    #: measurement (Table 3), not an incident.
+    forced: Representation | None = None
 
     @property
     def representations(self) -> list[Representation]:

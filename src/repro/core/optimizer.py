@@ -11,6 +11,12 @@ threshold (2 GB in the paper, megabytes at our scale):
 Contiguous same-representation operators are fused into one stage, so a
 model whose every operator fits becomes a single whole-model UDF — exactly
 the behaviour the paper reports for the small Table 1/2 models.
+
+When a :class:`~repro.resilience.RecoveryLedger` is wired in, the
+estimate-based rule gains a feedback loop: an operator the executor has
+had to rescue at runtime (OOM or deadline, despite an under-threshold
+estimate) is lowered to relation-centric *up-front* on the next plan,
+so the failed attempt is never paid for twice.
 """
 
 from __future__ import annotations
@@ -20,7 +26,13 @@ from ..dlruntime.layers import Model
 from ..errors import PlanError
 from ..telemetry import DISABLED, Telemetry, get_logger
 from .cost import node_memory_requirement
-from .ir import InferencePlan, LinAlgNode, PlanStage, Representation
+from .ir import (
+    VECTOR_SAFE_OPS,
+    InferencePlan,
+    LinAlgNode,
+    PlanStage,
+    Representation,
+)
 from .lowering import lower_model
 
 log = get_logger("optimizer")
@@ -29,9 +41,17 @@ log = get_logger("optimizer")
 class RuleBasedOptimizer:
     """Assigns representations per operator and fuses stages."""
 
-    def __init__(self, config: SystemConfig, telemetry: Telemetry | None = None):
+    def __init__(
+        self,
+        config: SystemConfig,
+        telemetry: Telemetry | None = None,
+        ledger=None,
+    ):
         self._config = config
         self._telemetry = telemetry if telemetry is not None else DISABLED
+        #: Optional :class:`~repro.resilience.RecoveryLedger` — runtime
+        #: rescues recorded there lower the rescued operator up-front.
+        self._ledger = ledger
         registry = self._telemetry.registry
         self._m_decisions = {
             rep: registry.counter(
@@ -83,6 +103,7 @@ class RuleBasedOptimizer:
                 stages=fuse_stages(nodes),
                 threshold_bytes=self.threshold_bytes,
                 notes=notes,
+                forced=force,
             )
 
     def _assign_representations(
@@ -94,10 +115,22 @@ class RuleBasedOptimizer:
         notes: list[str],
     ) -> None:
         """Set each node's representation (and its memory estimate)."""
-        for node in nodes:
+        for i, node in enumerate(nodes):
             node.estimated_bytes = node_memory_requirement(node, batch_size)
             if force is not None:
                 node.representation = force
+                continue
+            if (
+                self._ledger is not None
+                and node.op in VECTOR_SAFE_OPS
+                and self._ledger.should_lower(model.name, i)
+            ):
+                node.representation = Representation.RELATION_CENTRIC
+                notes.append(
+                    f"{node.op.value} rescued "
+                    f"{self._ledger.rescue_count(model.name, i)}x at runtime "
+                    "-> relation-centric (recovery ledger)"
+                )
                 continue
             if node.estimated_bytes > self.threshold_bytes:
                 node.representation = Representation.RELATION_CENTRIC

@@ -346,6 +346,7 @@ class Model:
         budget: MemoryBudget | None = None,
         eager_free: bool = True,
         charge_scale: float = 1.0,
+        checkpoint=None,
     ) -> np.ndarray:
         """Whole-tensor inference with optional memory accounting.
 
@@ -361,10 +362,16 @@ class Model:
         float64 (scale 1.0), while framework stand-ins charge the float32
         footprint the real frameworks would use (scale 0.5, or 0.75 for
         the eager-mode stand-in that holds extra buffers).
+
+        ``checkpoint`` is called before each layer (the executor's
+        cooperative stage-deadline hook); whatever it raises unwinds
+        through the charge rollback below.
         """
         if budget is None:
             out = x
             for layer in self.layers:
+                if checkpoint is not None:
+                    checkpoint()
                 out = layer.forward(out)
             return out
 
@@ -381,6 +388,8 @@ class Model:
             )
             charged.append(current_bytes)
             for layer in self.layers:
+                if checkpoint is not None:
+                    checkpoint()
                 out = layer.forward(current)
                 out_bytes = budget.allocate(
                     scaled(out.nbytes), tag=f"{self.name}.{layer.name}"

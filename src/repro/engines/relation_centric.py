@@ -88,8 +88,13 @@ class RelationCentricEngine:
         layers: list,
         x: np.ndarray,
         model_info: ModelInfo,
+        checkpoint=None,
     ) -> EngineResult:
-        """Chain MATMUL/RELU/SIGMOID/SOFTMAX pipelines over row stripes."""
+        """Chain MATMUL/RELU/SIGMOID/SOFTMAX pipelines over row stripes.
+
+        ``checkpoint`` (if given) runs before every stripe — the
+        executor's cooperative stage-deadline hook.
+        """
         if x.ndim != 2:
             raise PlanError(
                 f"vector stage expects (batch, features) input, got {x.shape}"
@@ -99,6 +104,8 @@ class RelationCentricEngine:
         outputs = np.empty((x.shape[0], out_features))
         start = time.perf_counter()
         for lo in range(0, x.shape[0], self.stripe_rows):
+            if checkpoint is not None:
+                checkpoint()
             stripe = x[lo : lo + self.stripe_rows]
             with self.budget.borrow(stripe.nbytes, tag="stripe-in"):
                 result = self._run_stripe(layers, stripe, model_info)

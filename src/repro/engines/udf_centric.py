@@ -40,13 +40,22 @@ class UdfCentricEngine:
             "engine_run_seconds", "Per-invocation engine time", engine="udf-centric"
         )
 
-    def run_layers(self, layers: Sequence[Layer], x: np.ndarray) -> EngineResult:
-        """Execute a fused layer sequence over one input array."""
+    def run_layers(
+        self,
+        layers: Sequence[Layer],
+        x: np.ndarray,
+        checkpoint=None,
+    ) -> EngineResult:
+        """Execute a fused layer sequence over one input array.
+
+        ``checkpoint`` (if given) runs before every layer — the
+        executor's cooperative stage-deadline hook.
+        """
         stage_model = _as_model(layers, x)
         self.budget.reset_peak()
         start = time.perf_counter()
         outputs = stage_model.forward(
-            x, budget=self.budget, eager_free=self.eager_free
+            x, budget=self.budget, eager_free=self.eager_free, checkpoint=checkpoint
         )
         measured = time.perf_counter() - start
         self._m_run_seconds.observe(measured)

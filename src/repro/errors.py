@@ -42,6 +42,26 @@ class OutOfMemoryError(ReproError):
         )
 
 
+class StageTimeoutError(ReproError):
+    """A plan stage overran its cooperative wall-clock deadline.
+
+    Raised by the executor's watchdog (:mod:`repro.resilience.watchdog`)
+    at a block/stage boundary check — never by killing a thread.  The
+    hybrid executor treats it exactly like :class:`OutOfMemoryError`:
+    the stage's charges are rolled back and the stage is retried
+    re-lowered to the bounded relation-centric path.
+    """
+
+    def __init__(self, label: str, elapsed_seconds: float, limit_seconds: float):
+        self.label = label
+        self.elapsed_seconds = elapsed_seconds
+        self.limit_seconds = limit_seconds
+        super().__init__(
+            f"stage {label!r} exceeded its {limit_seconds * 1e3:.1f}ms "
+            f"deadline ({elapsed_seconds * 1e3:.1f}ms elapsed)"
+        )
+
+
 class StorageError(ReproError):
     """A page, heap-file, or disk-manager invariant was violated."""
 
@@ -148,6 +168,26 @@ class DeadlineExceededError(ServerError):
 
 class ServerClosedError(ServerError):
     """The serving front-end was closed; no new requests are accepted."""
+
+
+class CircuitOpenError(ServerError):
+    """A circuit breaker rejected the request without executing it.
+
+    Raised synchronously by :meth:`repro.server.ModelServer.submit` while
+    the target model's breaker is open (or half-open with a probe already
+    in flight): a model failing past the breaker's rate threshold sheds
+    instantly instead of burning worker and engine time on work that will
+    fail anyway.  Carries the breaker ``state`` at rejection time so
+    clients can distinguish open (back off) from half-open (retry soon).
+    """
+
+    def __init__(self, model: str, state: str, detail: str = ""):
+        self.model = model
+        self.state = state
+        message = f"circuit breaker for model {model!r} is {state}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
 
 
 class InjectedFaultError(ReproError):

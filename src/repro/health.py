@@ -1,0 +1,231 @@
+"""The health subsystem: one aggregated view of runtime resilience state.
+
+A serving database accumulates health signals in many places: circuit
+breakers (per served model in the front-end, per engine in the hybrid
+executor), rescue counts in the recovery ledger, memory-budget
+utilisation, server queue depths, and armed fault injections.  This
+module folds them into one report with a three-level status per
+component::
+
+    ok        component operating normally
+    degraded  working, but only via fallbacks (open/half-open breakers
+              probing, rescues recorded, budgets or queues near full)
+    failing   actively rejecting or erroring (open breakers, gave-up
+              recoveries, exhausted budgets)
+
+The report surfaces in three places: ``Database.health()``, the ``SHOW
+HEALTH`` SQL statement, and ``health_*`` gauges in the metrics registry
+(refreshed on every collection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+#: Columns for ``SHOW HEALTH`` cursors.
+HEALTH_COLUMNS: tuple[str, ...] = ("component", "status", "detail")
+
+OK = "ok"
+DEGRADED = "degraded"
+FAILING = "failing"
+
+_SEVERITY = {OK: 0, DEGRADED: 1, FAILING: 2}
+
+#: Budget / queue utilisation levels that degrade or fail a component.
+DEGRADED_UTILISATION = 0.80
+FAILING_UTILISATION = 0.95
+
+
+@dataclass(frozen=True)
+class ComponentHealth:
+    """One component's contribution to the report."""
+
+    component: str
+    status: str
+    detail: str
+
+    def as_row(self) -> tuple[str, str, str]:
+        return (self.component, self.status, self.detail)
+
+
+@dataclass
+class HealthReport:
+    """An aggregated point-in-time health snapshot."""
+
+    components: list[ComponentHealth]
+
+    @property
+    def status(self) -> str:
+        """The worst component status (``ok`` for an empty report)."""
+        worst = OK
+        for component in self.components:
+            if _SEVERITY[component.status] > _SEVERITY[worst]:
+                worst = component.status
+        return worst
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def component(self, name: str) -> ComponentHealth | None:
+        for entry in self.components:
+            if entry.component == name:
+                return entry
+        return None
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """``SHOW HEALTH`` rows: components first, overall last."""
+        rows = [c.as_row() for c in self.components]
+        rows.append(("overall", self.status, f"{len(self.components)} components"))
+        return rows
+
+    def render(self) -> str:
+        width = max((len(c.component) for c in self.components), default=7)
+        lines = [f"overall: {self.status}"]
+        for component in self.components:
+            lines.append(
+                f"  {component.component:<{width}}  {component.status:<8}  "
+                f"{component.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _breaker_health(breaker) -> ComponentHealth:
+    status = {CLOSED: OK, HALF_OPEN: DEGRADED, OPEN: FAILING}[breaker.state]
+    return ComponentHealth(
+        component=f"breaker:{breaker.name}",
+        status=status,
+        detail=(
+            f"state={breaker.state} failure_rate={breaker.failure_rate:.2f} "
+            f"opened_total={breaker.opened_total}"
+        ),
+    )
+
+
+#: MemoryBudget's "no limit" sentinel is 1 << 62; anything that large is
+#: effectively unlimited and always reports ok.
+_UNLIMITED = 1 << 50
+
+
+def _utilisation_health(
+    component: str, used: int, limit: int | None, unit: str = "B"
+) -> ComponentHealth:
+    if not limit or limit >= _UNLIMITED:
+        return ComponentHealth(component, OK, f"used={used:,}{unit} (unlimited)")
+    utilisation = used / limit
+    status = OK
+    if utilisation >= FAILING_UTILISATION:
+        status = FAILING
+    elif utilisation >= DEGRADED_UTILISATION:
+        status = DEGRADED
+    return ComponentHealth(
+        component,
+        status,
+        f"used={used:,}{unit} limit={limit:,}{unit} ({utilisation:.0%})",
+    )
+
+
+def collect(db) -> HealthReport:
+    """Build the health report for one :class:`~repro.session.Database`.
+
+    Collection is read-only and lock-free: every signal source is either
+    immutable or internally synchronized, so this is safe to call from a
+    monitoring thread while the serving front-end is under load.
+    """
+    components: list[ComponentHealth] = []
+    executor = db._executor
+    ledger = getattr(db, "_ledger", None)
+    server = db._server
+
+    # Engine-level circuit breakers (hybrid executor).
+    if executor.breakers is not None:
+        for breaker in executor.breakers:
+            components.append(_breaker_health(breaker))
+
+    # Serving front-end: per-model breakers and queue depths.
+    if server is not None:
+        board = getattr(server, "breakers", None)
+        if board is not None:
+            for breaker in board:
+                components.append(_breaker_health(breaker))
+        for model, depth in sorted(server.queue_depths().items()):
+            components.append(
+                _utilisation_health(
+                    f"server.queue:{model}", depth, server.queue_capacity, unit=""
+                )
+            )
+
+    # Memory budgets: the DB-side and DL-runtime-side whole-tensor pools.
+    components.append(
+        _utilisation_health(
+            "budget:db", executor.db_budget.used, executor.db_budget.limit
+        )
+    )
+    components.append(
+        _utilisation_health(
+            "budget:dl", executor.dl_budget.used, executor.dl_budget.limit
+        )
+    )
+
+    # Recovery activity: rescues are degraded (working via fallback),
+    # gave-ups are failing (client-visible errors happened).
+    rescued = sum(
+        int(counter.value)
+        for outcome, counter in executor._m_recoveries.items()
+        if outcome != "gave-up"
+    )
+    gave_up = int(executor._m_recoveries["gave-up"].value)
+    status = OK
+    if gave_up:
+        status = FAILING
+    elif rescued:
+        status = DEGRADED
+    components.append(
+        ComponentHealth(
+            "recovery",
+            status,
+            f"rescued={rescued} gave_up={gave_up}",
+        )
+    )
+    if ledger is not None and len(ledger):
+        components.append(
+            ComponentHealth(
+                "recovery.ledger",
+                DEGRADED,
+                f"entries={len(ledger)} rescues={ledger.rescues()} "
+                "(rescued operators now lowered up-front)",
+            )
+        )
+
+    # Armed fault injections mean the session is deliberately unreliable.
+    if db._faults.active and db._faults.armed_count:
+        components.append(
+            ComponentHealth(
+                "faults",
+                DEGRADED,
+                f"armed={db._faults.armed_count} "
+                f"injected={db._faults.injected_total}",
+            )
+        )
+
+    report = HealthReport(components)
+    _publish(db._telemetry.registry, report)
+    return report
+
+
+def _publish(registry, report: HealthReport) -> None:
+    """Refresh the ``health_*`` gauges from a collected report."""
+    registry.gauge(
+        "health_overall_status", "Worst component status (0 ok, 1 degraded, 2 failing)"
+    ).set(_SEVERITY[report.status])
+    registry.gauge(
+        "health_components", "Components contributing to the health report"
+    ).set(len(report.components))
+    for component in report.components:
+        registry.gauge(
+            "health_component_status",
+            "Per-component status (0 ok, 1 degraded, 2 failing)",
+            component=component.component,
+        ).set(_SEVERITY[component.status])

@@ -1,0 +1,32 @@
+"""Runtime resilience: recovery, circuit breakers, cooperative deadlines.
+
+The paper's optimizer routes every operator by a *memory estimate*; the
+plan-quality audit layer measures how often that estimate is wrong.  This
+package is what happens next: instead of letting a mispredicted stage
+kill the query with :class:`~repro.errors.OutOfMemoryError` (the OOM
+cells of Table 3), the hybrid executor degrades it to the bounded
+relation-centric path or splits the batch, a :class:`RecoveryLedger`
+feeds the rescue back into the optimizer so the next plan is right
+up-front, and :class:`CircuitBreaker`\\ s let the serving front-end shed
+a poisoned model fast instead of burning worker time.
+
+* :mod:`repro.resilience.recovery` — the per-(model, operator) rescue
+  ledger the adaptive optimizer consults.
+* :mod:`repro.resilience.breaker` — deterministic closed/open/half-open
+  breakers with a sliding failure-rate window and seeded probe selection.
+* :mod:`repro.resilience.watchdog` — cooperative wall-clock deadlines
+  checked at layer/stripe/stage boundaries (no thread kills).
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .recovery import RecoveryLedger
+from .watchdog import Deadline
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "RecoveryLedger",
+]

@@ -1,0 +1,106 @@
+"""The recovery ledger: runtime rescues fed back into the optimizer.
+
+When the hybrid executor rescues a stage (re-lowers it to
+relation-centric after an OOM or deadline overrun), the rescue is
+recorded here per ``(model, lowered-operator index)``.  The rule-based
+optimizer consults the ledger in its assignment pass: an operator rescued
+at least ``threshold`` times is lowered to relation-centric *up-front*,
+so the next query pays the bounded path's cost directly instead of
+failing first — closing the paper's estimate → audit → plan loop at
+runtime.
+
+Plans are compiled ahead of time (:mod:`repro.core.compiler`), so the
+ledger also tracks a per-model **generation** counter.  Each
+:class:`~repro.core.compiler.CompiledModel` is stamped with the
+generation it was compiled under; when the session selects a plan for a
+model whose generation has advanced, it recompiles — the cheap,
+cache-friendly way to make rescues visible without re-planning every
+query.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Columns for the ledger section of health/stats surfaces.
+LEDGER_COLUMNS: tuple[str, ...] = ("model", "node", "op", "rescues", "lowered")
+
+
+class RecoveryLedger:
+    """Thread-safe rescue counts per (model name, lowered node index)."""
+
+    def __init__(self, threshold: int = 1):
+        if threshold < 1:
+            raise ValueError("ledger threshold must be >= 1")
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        # (model, node index) -> rescue count
+        self._rescues: dict[tuple[str, int], int] = {}
+        # model -> generation (bumped when any of its entries change)
+        self._generations: dict[str, int] = {}
+        # (model, node index) -> op name, for the health/stats rows
+        self._ops: dict[tuple[str, int], str] = {}
+
+    def note_rescue(self, model: str, node_index: int, op: str = "") -> int:
+        """Record one rescue of a lowered operator; returns its new count."""
+        key = (model.lower(), int(node_index))
+        with self._lock:
+            count = self._rescues.get(key, 0) + 1
+            self._rescues[key] = count
+            if op:
+                self._ops[key] = op
+            self._generations[key[0]] = self._generations.get(key[0], 0) + 1
+        return count
+
+    def rescue_count(self, model: str, node_index: int) -> int:
+        """Rescues recorded for one lowered operator."""
+        with self._lock:
+            return self._rescues.get((model.lower(), int(node_index)), 0)
+
+    def should_lower(self, model: str, node_index: int) -> bool:
+        """True when this operator has been rescued past the threshold."""
+        with self._lock:
+            return (
+                self._rescues.get((model.lower(), int(node_index)), 0)
+                >= self.threshold
+            )
+
+    def generation(self, model: str) -> int:
+        """Monotone per-model counter; advances on every recorded rescue."""
+        with self._lock:
+            return self._generations.get(model.lower(), 0)
+
+    def rescues(self, model: str | None = None) -> int:
+        """Total rescues recorded (optionally for one model)."""
+        with self._lock:
+            if model is None:
+                return sum(self._rescues.values())
+            name = model.lower()
+            return sum(
+                count for (m, _), count in self._rescues.items() if m == name
+            )
+
+    def __len__(self) -> int:
+        return len(self._rescues)
+
+    def rows(self) -> list[tuple]:
+        """(model, node, op, rescues, lowered) rows, stable order."""
+        with self._lock:
+            return [
+                (
+                    model,
+                    node,
+                    self._ops.get((model, node), "?"),
+                    count,
+                    count >= self.threshold,
+                )
+                for (model, node), count in sorted(self._rescues.items())
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rescues.clear()
+            self._ops.clear()
+            # Generations keep advancing so stamped plans still recompile.
+            for model in self._generations:
+                self._generations[model] += 1

@@ -17,6 +17,13 @@ touching a queue.  Three outcomes:
 * **admit** — queued normally, or **fast-pathed** to the queue front when
   the deadline is meetable but too tight to survive waiting behind the
   whole queue.
+
+Cold start: before the estimator has seen ``min_observations`` batches
+its predictions cannot be trusted, so feasibility checks are skipped and
+the request is admitted with ``cold=True`` (``reason="estimator cold"``)
+— a conservative default the server counts under
+``server_cold_admissions_total``.  An already-expired deadline is shed
+even cold: no estimate is needed to know slack <= 0 is unmeetable.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ class AdmissionDecision:
     reason: str
     estimated_wait_s: float = 0.0
     estimated_execute_s: float = 0.0
+    #: Admitted without a feasibility check because the service-time
+    #: estimator had too few observations to be trusted.
+    cold: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -73,7 +83,7 @@ class AdmissionController:
                     f"(capacity {self.queue_capacity})"
                 ),
             )
-        if deadline is None or not estimator.confident:
+        if deadline is None:
             return AdmissionDecision(action="admit", reason="no deadline check")
         now = self._clock()
         slack = deadline - now
@@ -83,6 +93,10 @@ class AdmissionController:
                 action="shed",
                 reason="deadline already passed at submission",
                 estimated_execute_s=execute,
+            )
+        if not estimator.confident:
+            return AdmissionDecision(
+                action="admit", reason="estimator cold", cold=True
             )
         wait = estimator.estimate_wait_seconds(queued_rows, self.max_batch_size)
         if execute > slack:

@@ -10,6 +10,12 @@ through the existing hybrid engine under the database's read lock
 (concurrent PREDICTs, serialized DDL/DML — see
 :class:`~repro.server.locks.ReadWriteLock`).
 
+Resilience: a per-model :class:`~repro.resilience.CircuitBreaker` gates
+``submit`` — after repeated terminal failures the breaker opens and
+requests fail fast with :class:`~repro.errors.CircuitOpenError` without
+touching a queue or a worker, until a half-open probe succeeds and
+closes it again.
+
 Observability: ``server_*`` metrics (queue-depth gauges, batch-size
 histogram, shed/expired counters, queue-vs-execute latency histograms),
 per-batch tracer spans, and the ``SHOW SERVER`` SQL statement.
@@ -25,11 +31,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     ServerClosedError,
     ServerOverloadedError,
 )
 from ..faults import NULL_INJECTOR, is_transient
+from ..resilience import BreakerBoard
 from ..serving.policy import ServiceTimeEstimator
 from .admission import AdmissionController
 from .batcher import Batch, MicroBatcher
@@ -46,6 +54,7 @@ REQUEST_OUTCOMES: tuple[str, ...] = (
     "rejected",  # queue full: ServerOverloadedError backpressure
     "shed",  # admission predicted the deadline cannot be met
     "expired",  # deadline passed while queued; dropped at batch formation
+    "broken",  # circuit breaker open: CircuitOpenError without execution
 )
 
 
@@ -113,6 +122,10 @@ class ModelServer:
         self._admission = AdmissionController(
             self.queue_capacity, self.max_batch_size
         )
+        #: Per-model circuit breakers (None when ``breaker_enabled=False``).
+        self.breakers = (
+            BreakerBoard.from_config(config) if config.breaker_enabled else None
+        )
         self._models: dict[str, _ModelState] = {}
         self._work = threading.Condition()
         self._inflight = 0  # batches taken but not yet resolved
@@ -146,6 +159,10 @@ class ModelServer:
         self._m_execute_seconds = registry.histogram(
             "server_execute_seconds", "Per-batch engine execution time"
         )
+        self._m_cold_admissions = registry.counter(
+            "server_cold_admissions_total",
+            "Requests admitted without a feasibility check (estimator cold)",
+        )
         self._registry = registry
         self._m_depth: dict[str, object] = {}
 
@@ -172,15 +189,28 @@ class ModelServer:
         ``deadline_ms`` is relative to now (None uses the server default;
         0 means no deadline).  Raises
         :class:`~repro.errors.ServerOverloadedError` when the model's
-        queue is full and :class:`~repro.errors.ServerClosedError` after
-        :meth:`close`.  A request shed for a provably unmeetable deadline
-        returns normally — its future fails with
+        queue is full, :class:`~repro.errors.CircuitOpenError` while the
+        model's circuit breaker is open, and
+        :class:`~repro.errors.ServerClosedError` after :meth:`close`.  A
+        request shed for a provably unmeetable deadline returns normally
+        — its future fails with
         :class:`~repro.errors.DeadlineExceededError`.
         """
         if self._stopping:
             raise ServerClosedError("server is closed to new requests")
         name = model.lower()
         state = self._model_state(name)
+        breaker = self._breaker(name)
+        if breaker is not None:
+            allowed, breaker_state = breaker.allow()
+            if not allowed:
+                # Fail fast without touching the queue or a worker.
+                self._m_requests["broken"].inc()
+                raise CircuitOpenError(
+                    name,
+                    breaker_state,
+                    detail=f"{breaker.rejected_total} requests rejected",
+                )
         feats = np.asarray(features, dtype=np.float64)
         if feats.ndim == 1:
             feats = feats[np.newaxis, :]
@@ -204,11 +234,17 @@ class ModelServer:
             )
             if decision.action == "reject":
                 self._m_requests["rejected"].inc()
+                if breaker is not None:
+                    # A half-open probe that never ran must not stay
+                    # in flight; let a later arrival probe instead.
+                    breaker.abandon_probe()
                 raise ServerOverloadedError(
                     name, batcher.queued_requests, self.queue_capacity
                 )
             if decision.action == "shed":
                 self._m_requests["shed"].inc()
+                if breaker is not None:
+                    breaker.abandon_probe()
                 future._fail(
                     DeadlineExceededError(
                         f"request shed before queuing: {decision.reason}"
@@ -216,6 +252,8 @@ class ModelServer:
                     RequestState.SHED,
                 )
                 return future
+            if decision.cold:
+                self._m_cold_admissions.inc()
             batcher.put(future, front=decision.action == "fastpath")
             self._m_requests["submitted"].inc()
             self._depth_gauge(name).set(batcher.queued_requests)
@@ -327,9 +365,45 @@ class ModelServer:
                          round(state.estimator.estimate_seconds(1), 9)),
                     ]
                 )
+            rows.append(
+                ("server.cold_admissions", int(self._m_cold_admissions.value))
+            )
+            if self.breakers is not None:
+                for breaker in self.breakers:
+                    row = breaker.as_row()
+                    rows.append((f"server.breaker.{row[0]}.state", row[1]))
+                    rows.append(
+                        (f"server.breaker.{row[0]}.failure_rate", row[2])
+                    )
+                    rows.append(
+                        (f"server.breaker.{row[0]}.opened_total", row[4])
+                    )
             return rows
 
+    def queue_depths(self) -> dict[str, int]:
+        """Queued requests per served model (for the health subsystem)."""
+        with self._work:
+            return {
+                name: state.batcher.queued_requests
+                for name, state in self._models.items()
+            }
+
     # -- internals -------------------------------------------------------
+
+    def _breaker(self, name: str):
+        if self.breakers is None:
+            return None
+        return self.breakers.get(f"model:{name}")
+
+    def _record_outcome(self, model: str, ok: bool) -> None:
+        """Feed one terminal request outcome to the model's breaker."""
+        breaker = self._breaker(model)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
 
     def _model_state(self, name: str) -> _ModelState:
         state = self._models.get(name)
@@ -455,6 +529,7 @@ class ModelServer:
                     return
                 batch.requests[0]._fail(exc)
                 self._m_requests["failed"].inc()
+                self._record_outcome(batch.model, ok=False)
                 return
         if attempts:
             # Succeeded only because we retried past a transient fault.
@@ -472,6 +547,7 @@ class ModelServer:
                 predictions[offset : offset + rows], queue_seconds, execute_seconds
             )
             offset += rows
+            self._record_outcome(batch.model, ok=True)
         self._m_requests["completed"].inc(len(batch.requests))
 
     def _execute_isolated(self, batch: Batch, started: float) -> None:
@@ -506,12 +582,14 @@ class ModelServer:
             except BaseException as exc:
                 request._fail(exc)
                 self._m_requests["failed"].inc()
+                self._record_outcome(batch.model, ok=False)
                 continue
             state.estimator.observe(request.rows, execute_seconds)
             queue_seconds = max(0.0, started - request.enqueued_at)
             self._m_queue_seconds.observe(queue_seconds)
             request._resolve(predictions, queue_seconds, execute_seconds)
             self._m_requests["completed"].inc()
+            self._record_outcome(batch.model, ok=True)
             succeeded += 1
         if succeeded:
             # Isolation salvaged at least part of a poisoned batch.

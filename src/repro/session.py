@@ -36,7 +36,10 @@ from .engines.base import EngineResult
 from .engines.hybrid import HybridExecutor
 from .errors import CatalogError, ReproError, SqlError
 from .faults import FAULT_COLUMNS, FaultInjector, FaultPlan
+from .health import HEALTH_COLUMNS, HealthReport
+from .health import collect as collect_health
 from .relational.schema import Schema
+from .resilience import RecoveryLedger
 from .server.locks import ReadWriteLock
 from .sql import ast as sql_ast
 from .sql.parser import parse
@@ -226,6 +229,11 @@ class Database:
             injector=self._faults,
         )
         self._catalog = Catalog(self._pool)
+        # Rescues the executor performs feed the optimizer's next plan;
+        # the ledger survives set_option() planning rebuilds on purpose.
+        self._ledger = RecoveryLedger(
+            threshold=self._config.resilience_ledger_threshold
+        )
         self._compiled: dict[str, CompiledModel] = {}
         self._caches: dict[str, object] = {}
         self._vector_indexes: dict[str, _VectorIndexEntry] = {}
@@ -265,6 +273,21 @@ class Database:
     def faults(self) -> FaultInjector:
         """The session's fault injector (arm specs / load plans here)."""
         return self._faults
+
+    @property
+    def recovery_ledger(self) -> RecoveryLedger:
+        """Rescue counts the optimizer consults (see :mod:`repro.resilience`)."""
+        return self._ledger
+
+    def health(self) -> HealthReport:
+        """An aggregated resilience snapshot (see :mod:`repro.health`).
+
+        Folds circuit-breaker states, recovery counters, memory-budget
+        utilisation, server queue depths, and armed faults into one
+        report; also refreshes the ``health_*`` metrics.  The same rows
+        back the ``SHOW HEALTH`` SQL statement.
+        """
+        return collect_health(self)
 
     # -- telemetry -------------------------------------------------------
 
@@ -364,13 +387,19 @@ class Database:
                 )
 
     def _rebuild_planning(self) -> None:
-        self._optimizer = RuleBasedOptimizer(self._config, telemetry=self._telemetry)
-        self._compiler = AotCompiler(self._config, telemetry=self._telemetry)
+        self._ledger.threshold = self._config.resilience_ledger_threshold
+        self._optimizer = RuleBasedOptimizer(
+            self._config, telemetry=self._telemetry, ledger=self._ledger
+        )
+        self._compiler = AotCompiler(
+            self._config, telemetry=self._telemetry, ledger=self._ledger
+        )
         self._executor = HybridExecutor(
             self._catalog,
             self._config,
             telemetry=self._telemetry,
             injector=self._faults,
+            ledger=self._ledger,
         )
         self._planner = Planner(
             self._catalog,
@@ -557,9 +586,11 @@ class Database:
                 return Cursor(("name", "model", "params"), sorted(rows))
             if what == "faults":
                 return Cursor(FAULT_COLUMNS, self._faults.rows())
+            if what == "health":
+                return Cursor(HEALTH_COLUMNS, collect_health(self).rows())
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
-                "MODELS, METRICS, STATS, SERVER, AUDIT, or FAULTS"
+                "MODELS, METRICS, STATS, SERVER, AUDIT, FAULTS, or HEALTH"
             )
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
@@ -683,6 +714,16 @@ class Database:
                 raise CatalogError(
                     f"model {name!r} was not registered through this session"
                 )
+            # Runtime rescues advance the ledger's per-model generation;
+            # a stale compilation re-plans here so the rescued operator is
+            # lowered up-front instead of failing (and being rescued) again.
+            current_gen = self._ledger.generation(compiled.model.name)
+            if compiled.ledger_generation != current_gen:
+                with self._telemetry.tracer.span(
+                    f"recompile:{name.lower()}", category="optimizer"
+                ):
+                    compiled = self._compiler.compile(compiled.model)
+                self._compiled[name.lower()] = compiled
             plan = compiled.select(batch_size)
         for stage in plan.stages:
             self._m_plan_selections[stage.representation].inc()
@@ -707,6 +748,7 @@ class Database:
                     dl_budget=dl_budget,
                     telemetry=self._telemetry,
                     injector=self._faults,
+                    ledger=self._ledger,
                 )
             return executor.execute(plan, features, info)
 

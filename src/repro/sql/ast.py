@@ -147,7 +147,7 @@ class ExplainAnalyze(Statement):
 @dataclass
 class Show(Statement):
     """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``SERVER``
-    / ``AUDIT`` / ``FAULTS``.
+    / ``AUDIT`` / ``FAULTS`` / ``HEALTH``.
 
     METRICS renders the session's telemetry registry as a cursor; STATS
     renders system-level statistics (buffer pool, caches, catalog sizes);
@@ -155,7 +155,9 @@ class Show(Statement):
     (empty when no server is attached); AUDIT renders the plan-quality
     audit's estimate-vs-actual records; FAULTS renders the fault
     injector's sites with armed specs, hit/fire counts, and
-    retry/recovery totals.
+    retry/recovery totals; HEALTH renders the aggregated resilience
+    report (breaker states, recovery counters, budget utilisation,
+    queue depths) with an overall status row.
     """
 
     what: str  # "tables", "models", "metrics", "stats", "server", "audit", "faults"

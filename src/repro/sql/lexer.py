@@ -24,7 +24,9 @@ KEYWORDS = frozenset(
 SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 
 #: The soft keywords valid as a SHOW target.
-SHOW_TARGETS = frozenset({"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS"})
+SHOW_TARGETS = frozenset(
+    {"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS", "HEALTH"}
+)
 
 
 class TokenType(enum.Enum):

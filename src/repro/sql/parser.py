@@ -140,7 +140,7 @@ class _Parser:
             else:
                 raise SqlParseError(
                     "expected TABLES, MODELS, METRICS, STATS, SERVER, "
-                    "AUDIT, or FAULTS after SHOW"
+                    "AUDIT, FAULTS, or HEALTH after SHOW"
                 )
         else:
             raise SqlParseError(

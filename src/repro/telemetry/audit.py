@@ -69,6 +69,17 @@ class StageAudit:
     threshold_bytes: int
     verdict: str
     note: str
+    #: Runtime-resilience outcome for this stage: ``""`` (ran as planned),
+    #: ``"relowered"`` (rescued to relation-centric after OOM/timeout),
+    #: ``"split(n)"`` (rescued by splitting the batch into n pieces),
+    #: ``"preemptive"`` (lowered before running: engine breaker open), or
+    #: ``"gave-up"`` (recovery budget exhausted; the error propagated).
+    recovery: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        """True when the stage completed only thanks to a rescue."""
+        return self.recovery not in ("", "gave-up")
 
     @property
     def ratio(self) -> float:
@@ -95,6 +106,7 @@ class StageAudit:
             round(self.ratio, 4),
             self.verdict,
             self.note,
+            self.recovery,
         )
 
 
@@ -111,6 +123,7 @@ AUDIT_COLUMNS: tuple[str, ...] = (
     "ratio",
     "verdict",
     "note",
+    "recovery",
 )
 
 
@@ -231,6 +244,7 @@ class PlanAuditor:
         estimated_bytes: int,
         actual_peak_bytes: int,
         threshold_bytes: int,
+        recovery: str = "",
     ) -> StageAudit:
         verdict, note = classify(
             representation,
@@ -252,6 +266,7 @@ class PlanAuditor:
             threshold_bytes=threshold_bytes,
             verdict=verdict,
             note=note,
+            recovery=recovery,
         )
         with self._lock:
             self._records.append(audit)

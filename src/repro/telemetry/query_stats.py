@@ -40,6 +40,15 @@ class QueryStats:
         return sum(1 for audit in self.stage_audits if audit.mispredicted)
 
     @property
+    def recovered_stages(self) -> int:
+        """Stages this statement completed only via a runtime rescue
+        (re-lowered to relation-centric, batch-split, or preemptively
+        lowered by an open engine breaker)."""
+        return sum(
+            1 for audit in self.stage_audits if getattr(audit, "recovered", False)
+        )
+
+    @property
     def pool_hit_rate(self) -> float:
         total = self.pool_hits + self.pool_misses
         return self.pool_hits / total if total else 0.0
@@ -62,6 +71,8 @@ class QueryStats:
         if self.stage_audits:
             rows.append(("audit_stages", len(self.stage_audits)))
             rows.append(("audit_mispredictions", self.audit_mispredictions))
+            if self.recovered_stages:
+                rows.append(("recovered_stages", self.recovered_stages))
         return rows
 
     def render(self) -> str:
@@ -83,9 +94,12 @@ class QueryStats:
                 f"  engines: {self.engine_seconds * 1e3:.2f}ms in stages [{reps}]"
             )
         for audit in self.stage_audits:
-            lines.append(
+            line = (
                 f"  audit: {audit.model} stage{audit.stage_index} "
                 f"[{audit.representation}] est={audit.estimated_bytes:,}B "
                 f"actual={audit.actual_peak_bytes:,}B -> {audit.verdict}"
             )
+            if getattr(audit, "recovery", ""):
+                line += f" (recovery: {audit.recovery})"
+            lines.append(line)
         return "\n".join(lines)

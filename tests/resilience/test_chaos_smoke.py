@@ -1,0 +1,90 @@
+"""Chaos smoke: the serving front-end under a seeded fault plan plus a
+tight memory budget.  Every client request must succeed (transient faults
+are retried, OOMs are re-lowered) and at least one recovery must be
+recorded — the CI job runs exactly this module."""
+
+import numpy as np
+
+from repro import Database
+from repro.config import mb
+from repro.models import fraud_fc_256
+
+TIGHT = dict(
+    telemetry_enabled=True,
+    memory_threshold_bytes=mb(64),
+    dl_memory_limit_bytes=40 * 1024,
+    faults_seed=1234,
+)
+
+
+def test_served_load_survives_seeded_faults_without_client_errors():
+    rng = np.random.default_rng(7)
+    features = rng.normal(size=(64, 28))
+    with Database(**TIGHT) as db:
+        model = fraud_fc_256()
+        db.register_model(model, name="fraud")
+        expected = np.argmax(model.forward(features), axis=-1)
+        # Transient batch failures (retried by the server) on top of the
+        # OOM-driven re-lowering the tight budget forces on every batch.
+        db.faults.arm(
+            site="server.batch",
+            probability=0.25,
+            one_shot=False,
+            max_fires=6,
+            transient=True,
+        )
+        with db.serve(workers=2, max_queue_delay_ms=0.5) as server:
+            futures = [
+                server.submit("fraud", features[i : i + 8])
+                for i in range(0, 64, 8)
+            ]
+            for i, future in enumerate(futures):
+                got = future.result(timeout=60.0)
+                np.testing.assert_array_equal(got, expected[i * 8 : i * 8 + 8])
+            stats = dict(server.stats_rows())
+        # Zero client-visible errors...
+        assert stats["server.requests.completed"] == 8
+        assert stats["server.requests.failed"] == 0
+        # ...and the resilience layer actually worked for it.
+        metrics = dict(db.execute("SHOW METRICS").rows)
+        engine_rescues = sum(
+            value
+            for name, value in metrics.items()
+            if name.startswith("engine_recoveries_total")
+            and 'outcome="gave-up"' not in name
+        )
+        server_recoveries = db.faults.recovery_total
+        assert engine_rescues + server_recoveries >= 1
+        assert metrics.get('engine_recoveries_total{outcome="gave-up"}', 0) == 0
+        report = db.health()
+        assert report.status in ("ok", "degraded")  # degraded, never failing
+        assert report.component("recovery").status != "failing"
+
+
+def test_chaos_run_is_deterministic():
+    """The same seed produces the same fault firings and the same
+    recovery counts, run to run."""
+
+    def run():
+        with Database(**TIGHT) as db:
+            db.register_model(fraud_fc_256(), name="fraud")
+            db.faults.arm(
+                site="engine.stage",
+                probability=0.5,
+                one_shot=False,
+                max_fires=10,
+                transient=True,
+            )
+            rng = np.random.default_rng(3)
+            outcomes = []
+            for __ in range(12):
+                try:
+                    db.predict("fraud", rng.normal(size=(8, 28)))
+                    outcomes.append("ok")
+                except Exception as exc:
+                    outcomes.append(type(exc).__name__)
+            return outcomes, db.faults.injected_total
+
+    first = run()
+    assert first == run()
+    assert "InjectedFaultError" in first[0] and "ok" in first[0]

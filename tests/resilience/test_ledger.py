@@ -1,0 +1,72 @@
+"""RecoveryLedger: rescue counts, generations, and the lowering rule."""
+
+import pytest
+
+from repro.resilience import RecoveryLedger
+from repro.resilience.recovery import LEDGER_COLUMNS
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        RecoveryLedger(threshold=0)
+
+
+def test_note_rescue_counts_per_model_and_node():
+    ledger = RecoveryLedger()
+    assert ledger.note_rescue("m", 0) == 1
+    assert ledger.note_rescue("m", 0) == 2
+    assert ledger.note_rescue("m", 3) == 1
+    assert ledger.rescue_count("m", 0) == 2
+    assert ledger.rescue_count("m", 3) == 1
+    assert ledger.rescue_count("m", 7) == 0
+    assert ledger.rescues() == 3
+    assert ledger.rescues("m") == 3
+    assert ledger.rescues("other") == 0
+    assert len(ledger) == 2
+
+
+def test_model_names_are_case_insensitive():
+    ledger = RecoveryLedger()
+    ledger.note_rescue("Fraud", 1)
+    assert ledger.rescue_count("fraud", 1) == 1
+    assert ledger.should_lower("FRAUD", 1)
+
+
+def test_should_lower_honours_threshold():
+    ledger = RecoveryLedger(threshold=2)
+    ledger.note_rescue("m", 0)
+    assert not ledger.should_lower("m", 0)
+    ledger.note_rescue("m", 0)
+    assert ledger.should_lower("m", 0)
+
+
+def test_generation_advances_per_model():
+    ledger = RecoveryLedger()
+    assert ledger.generation("m") == 0
+    ledger.note_rescue("m", 0)
+    ledger.note_rescue("m", 1)
+    assert ledger.generation("m") == 2
+    assert ledger.generation("other") == 0
+
+
+def test_clear_keeps_generations_monotone():
+    """A stamped plan must recompile after clear(), so generations never
+    rewind."""
+    ledger = RecoveryLedger()
+    ledger.note_rescue("m", 0)
+    before = ledger.generation("m")
+    ledger.clear()
+    assert len(ledger) == 0
+    assert ledger.rescue_count("m", 0) == 0
+    assert ledger.generation("m") > before
+
+
+def test_rows_shape_and_lowered_flag():
+    ledger = RecoveryLedger(threshold=2)
+    ledger.note_rescue("m", 1, op="matmul")
+    ledger.note_rescue("m", 1, op="matmul")
+    ledger.note_rescue("m", 0, op="relu")
+    rows = ledger.rows()
+    assert [len(row) for row in rows] == [len(LEDGER_COLUMNS)] * 2
+    assert rows[0] == ("m", 0, "relu", 1, False)
+    assert rows[1] == ("m", 1, "matmul", 2, True)

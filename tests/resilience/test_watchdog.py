@@ -1,0 +1,101 @@
+"""Deadline watchdog: cooperative stage timeouts and their recovery."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import SystemConfig, mb
+from repro.errors import StageTimeoutError
+from repro.models import fraud_fc_256
+from repro.resilience import Deadline
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_deadline_tracks_elapsed_and_remaining():
+    clock = FakeClock()
+    deadline = Deadline(2.0, label="s", clock=clock)
+    assert deadline.elapsed == 0.0
+    assert deadline.remaining == 2.0
+    assert not deadline.expired
+    clock.now += 1.5
+    assert deadline.elapsed == 1.5
+    assert deadline.remaining == 0.5
+    deadline.check()  # within budget: no raise
+    clock.now += 1.0
+    assert deadline.expired
+    with pytest.raises(StageTimeoutError):
+        deadline.check()
+
+
+def test_checkpoint_is_the_bound_check():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    hook = deadline.checkpoint()
+    hook()
+    clock.now += 2.0
+    with pytest.raises(StageTimeoutError):
+        hook()
+
+
+def test_for_stage_disabled_at_zero():
+    assert Deadline.for_stage(SystemConfig(), "s") is None
+
+
+def test_for_stage_converts_milliseconds():
+    config = SystemConfig(resilience_stage_timeout_ms=250.0)
+    deadline = Deadline.for_stage(config, "model:stage0")
+    assert deadline is not None
+    assert deadline.limit_seconds == pytest.approx(0.25)
+    assert deadline.label == "model:stage0"
+
+
+def test_timeout_error_carries_the_label():
+    clock = FakeClock()
+    deadline = Deadline(0.5, label="fraud:stage0", clock=clock)
+    clock.now += 1.0
+    with pytest.raises(StageTimeoutError) as exc_info:
+        deadline.check()
+    assert "fraud:stage0" in str(exc_info.value)
+
+
+# -- end to end: a stage that blows its deadline is re-lowered --------------
+
+
+def test_stage_timeout_recovers_via_relowering(rng):
+    """An impossibly tight stage deadline trips at the first layer
+    checkpoint; the executor re-lowers the stage to relation-centric
+    (recovery runs carry no deadline) and the query still completes with
+    identical results."""
+    model = fraud_fc_256()
+    x = rng.normal(size=(16, 28))
+    with Database() as reference_db:
+        reference_db.register_model(fraud_fc_256(), name="fraud")
+        expected = reference_db.predict("fraud", x).outputs
+    with Database(
+        telemetry_enabled=True,
+        memory_threshold_bytes=mb(64),
+        resilience_stage_timeout_ms=0.0001,
+    ) as db:
+        db.register_model(model, name="fraud")
+        result = db.predict("fraud", x)
+        np.testing.assert_allclose(result.outputs, expected, atol=1e-9)
+        assert result.detail.get("stage0.recovery") == 1.0
+        assert db.recovery_ledger.rescues() > 0
+
+
+def test_stage_timeout_propagates_when_resilience_disabled(rng):
+    with Database(
+        memory_threshold_bytes=mb(64),
+        resilience_stage_timeout_ms=0.0001,
+        resilience_enabled=False,
+    ) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        with pytest.raises(StageTimeoutError):
+            db.predict("fraud", rng.normal(size=(8, 28)))

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import Database
+from repro.models import fraud_fc_256
 from repro.server import AdmissionController
 
 
@@ -52,6 +56,46 @@ def test_admit_when_estimator_unconfident():
         deadline=100.0001,
     )
     assert decision.action == "admit"
+    assert decision.cold
+    assert decision.reason == "estimator cold"
+
+
+def test_warm_admissions_are_not_flagged_cold():
+    decision = controller().decide(
+        StubEstimator(per_row=0.001),
+        queued_requests=0,
+        queued_rows=0,
+        rows=2,
+        deadline=101.0,
+    )
+    assert decision.action == "admit"
+    assert not decision.cold
+
+
+def test_no_deadline_admission_is_not_flagged_cold():
+    decision = controller().decide(
+        StubEstimator(confident=False),
+        queued_requests=0,
+        queued_rows=0,
+        rows=1,
+        deadline=None,
+    )
+    assert decision.action == "admit"
+    assert not decision.cold
+
+
+def test_expired_deadline_sheds_even_while_cold():
+    # An already-passed deadline needs no estimate to judge: shed it,
+    # confident estimator or not.
+    decision = controller().decide(
+        StubEstimator(confident=False),
+        queued_requests=0,
+        queued_rows=0,
+        rows=1,
+        deadline=99.5,
+    )
+    assert decision.action == "shed"
+    assert not decision.cold
 
 
 def test_shed_when_deadline_already_passed():
@@ -97,3 +141,28 @@ def test_admit_when_deadline_feasible():
         deadline=101.0,
     )
     assert decision.action == "admit"
+
+
+def test_cold_admissions_are_counted_by_the_server():
+    """The first deadline-carrying request lands before the estimator has
+    any observations: it is admitted cold, and the gap is visible in
+    ``server_cold_admissions_total`` / ``server.cold_admissions``."""
+    with Database(telemetry_enabled=True) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        features = np.zeros((4, 28))
+        with db.serve(workers=1) as server:
+            server.submit("fraud", features, deadline_ms=60_000).result(
+                timeout=30.0
+            )
+            cold_after_first = dict(server.stats_rows())["server.cold_admissions"]
+            # The estimator trusts its fit after min_observations=3
+            # batches; later deadline checks run warm.
+            for __ in range(5):
+                server.submit("fraud", features, deadline_ms=60_000).result(
+                    timeout=30.0
+                )
+            stats = dict(server.stats_rows())
+        assert cold_after_first == 1
+        assert stats["server.cold_admissions"] == 3
+        metrics = dict(db.execute("SHOW METRICS").rows)
+        assert metrics["server_cold_admissions_total"] == 3

@@ -226,7 +226,16 @@ statements = st.one_of(
         st.one_of(st.none(), expressions(4)),
     ).map(lambda t: Update(t[0], t[1], where=t[2])),
     st.sampled_from(
-        ["tables", "models", "metrics", "stats", "server", "audit", "faults"]
+        [
+            "tables",
+            "models",
+            "metrics",
+            "stats",
+            "server",
+            "audit",
+            "faults",
+            "health",
+        ]
     ).map(Show),
 )
 
@@ -276,6 +285,10 @@ SEED_CORPUS = [
     "SELECT CASE WHEN (x > 0) THEN 'pos' ELSE 'neg' END AS sign FROM t",
     "SELECT * FROM t WHERE x IN (1, 2, 3) UNION ALL SELECT * FROM u",
     "SHOW FAULTS",
+    "SHOW HEALTH",
+    "SHOW AUDIT",
+    "SHOW SERVER",
+    "show metrics",
 ]
 
 MUTATION_BYTES = b"'\"();,.*=<>!%+-_ abcSELECT09\x00\xff"
