@@ -13,6 +13,9 @@ measured.
 
 from __future__ import annotations
 
+import json
+import os
+import statistics
 import time
 
 import pytest
@@ -20,6 +23,7 @@ import pytest
 from repro import Database
 from repro.data import fraud_transactions
 from repro.models import fraud_fc_256
+from repro.telemetry import NULL_RECORDER
 
 from _util import emit, fmt_seconds, render_table
 
@@ -94,3 +98,90 @@ def test_ablation_telemetry_overhead(benchmark, capsys):
     finally:
         db_on.close()
         db_off.close()
+
+
+#: Checked-in disabled-path p50, regenerated with
+#: ``REPRO_WRITE_BASELINES=1 pytest benchmarks/test_ablation_telemetry.py``.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baselines",
+    "telemetry_overhead.json",
+)
+
+#: The flight recorder's budget on the disabled fast path: its no-op
+#: emit hooks may add at most 2% to p50 query latency.  CI runners can
+#: override the jitter allowance without loosening the local contract.
+P50_BUDGET = 0.02
+P50_JITTER = float(os.environ.get("REPRO_P50_JITTER", "0.10"))
+
+
+def p50_query_seconds(db: Database, repeats: int = 7) -> float:
+    """Stable p50 of per-query latency: median within a pass, min across
+    passes (the min filters scheduler noise, the median smooths GC)."""
+    run_workload(db)  # warm
+    best = float("inf")
+    for __ in range(repeats):
+        samples = []
+        for __q in range(QUERIES):
+            start = time.perf_counter()
+            cur = db.execute(PREDICT_SQL)
+            samples.append(time.perf_counter() - start)
+            assert len(cur) == ROWS
+        best = min(best, statistics.median(samples))
+    return best
+
+
+def test_ablation_events_disabled_p50_budget(capsys):
+    """Flight-recorder hooks must not tax the telemetry-disabled path.
+
+    With ``telemetry_enabled=False`` every recorder reference is the
+    shared :data:`NULL_RECORDER` (one no-op method call per hook), so
+    the disabled p50 must stay within 2% of the checked-in baseline
+    (plus a CI-tunable jitter allowance — wall clocks are noisy, the 2%
+    budget is the contract being tracked).
+    """
+    db = make_db(telemetry_enabled=False)
+    try:
+        assert db.telemetry.events is NULL_RECORDER
+        assert not db.telemetry.events.enabled
+        p50 = p50_query_seconds(db)
+        assert db.execute("SHOW EVENTS").rows == []
+
+        if os.environ.get("REPRO_WRITE_BASELINES") == "1":
+            with open(BASELINE_PATH, "w", encoding="utf-8") as f:
+                json.dump(
+                    {
+                        "version": 1,
+                        "p50_seconds": p50,
+                        "meta": {"rows": ROWS, "queries": QUERIES},
+                    },
+                    f,
+                    indent=2,
+                )
+            pytest.skip("baseline regenerated; rerun to compare")
+
+        with open(BASELINE_PATH, encoding="utf-8") as f:
+            baseline = json.load(f)["p50_seconds"]
+        overhead = p50 / baseline - 1.0
+        emit(
+            capsys,
+            render_table(
+                "Ablation A7b: flight-recorder overhead, telemetry disabled",
+                ["p50", "baseline p50", "overhead", "budget"],
+                [
+                    [
+                        fmt_seconds(p50),
+                        fmt_seconds(baseline),
+                        f"{overhead * 100:+.1f}%",
+                        f"{P50_BUDGET * 100:.0f}% (+{P50_JITTER * 100:.0f}% jitter)",
+                    ]
+                ],
+            ),
+        )
+        assert p50 <= baseline * (1.0 + P50_BUDGET + P50_JITTER), (
+            f"disabled-path p50 {fmt_seconds(p50)} exceeds baseline "
+            f"{fmt_seconds(baseline)} by {overhead * 100:.1f}% "
+            f"(budget {P50_BUDGET * 100:.0f}%)"
+        )
+    finally:
+        db.close()

@@ -83,7 +83,7 @@ def test_degradation_ladder(rng, capsys):
         steady_peak = result.peak_memory_bytes
         assert "stage0.recovery" not in result.detail
         np.testing.assert_allclose(result.outputs, reference, atol=1e-9)
-        assert dict(db.execute("SHOW METRICS").rows).get(
+        assert {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}.get(
             'engine_recoveries_total{outcome="gave-up"}', 0
         ) == 0
 

@@ -101,6 +101,13 @@ class SystemConfig:
     # Ring size of retained plan-quality audit records (estimate-vs-actual
     # memory per executed inference stage; backs ``SHOW AUDIT``).
     audit_max_records: int = 1024
+    # Ring size of the flight recorder (structured lifecycle events;
+    # backs ``SHOW EVENTS`` / ``SHOW TIMELINE`` and diagnostics bundles).
+    telemetry_max_events: int = 4096
+    # When non-empty, unhandled server worker errors automatically write
+    # a postmortem bundle (``Database.dump_diagnostics``) into this
+    # directory; empty disables auto-dump.
+    diagnostics_dir: str = ""
     # -- concurrent serving front-end (repro.server) ---------------------
     # Worker threads draining per-model request queues into batched
     # engine invocations.
@@ -173,6 +180,7 @@ class SystemConfig:
             "num_cores",
             "telemetry_max_spans",
             "audit_max_records",
+            "telemetry_max_events",
             "server_workers",
             "server_max_batch_size",
             "server_queue_capacity",

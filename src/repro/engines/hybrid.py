@@ -91,6 +91,8 @@ class HybridExecutor:
         self.breakers = (
             BreakerBoard.from_config(config) if config.breaker_enabled else None
         )
+        if self.breakers is not None:
+            self.breakers.recorder = self.telemetry.events
         registry = self.telemetry.registry
         self._m_stage_runs = {
             rep: registry.counter(
@@ -199,10 +201,18 @@ class HybridExecutor:
                             node_base=node_base,
                             recoveries_left=recoveries_left,
                         )
-                    except RECOVERABLE:
+                    except RECOVERABLE as exc:
                         # Recovery budget spent (or disabled): audit the
                         # stage as gave-up, then let the error propagate.
                         self._m_recoveries["gave-up"].inc()
+                        self.telemetry.events.emit(
+                            "stage.gave_up",
+                            trace_id=tracer.current_trace_id(),
+                            model=plan.model.name,
+                            stage=i,
+                            representation=stage.representation.value,
+                            error=type(exc).__name__,
+                        )
                         self.telemetry.audit.record_stage(
                             model=plan.model.name,
                             stage_index=i,
@@ -222,6 +232,14 @@ class HybridExecutor:
                     )
                     if recovery:
                         stage_span.set(recovery=recovery)
+                        self.telemetry.events.emit(
+                            "stage.rescued",
+                            trace_id=tracer.current_trace_id(),
+                            model=plan.model.name,
+                            stage=i,
+                            representation=stage.representation.value,
+                            recovery=recovery,
+                        )
                 self._m_stage_runs[stage.representation].inc()
                 # Close the optimizer's loop: pair the estimate that routed
                 # this stage with the peak the engine actually reached.

@@ -210,6 +210,9 @@ class FaultInjector:
         self._m_injected: dict[str, object] = {}
         self._m_retries: dict[str, object] = {}
         self._m_recoveries: dict[str, object] = {}
+        #: Optional flight recorder; every fired fault is logged as a
+        #: ``fault.injected`` event with its site and call context.
+        self.recorder = None
 
     # -- arming ----------------------------------------------------------
 
@@ -302,6 +305,18 @@ class FaultInjector:
                 spec.fires += 1
                 self._site_fires[site] = self._site_fires.get(site, 0) + 1
                 self._counter(self._m_injected, "fault_injected_total", site).inc()
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "fault.injected",
+                        site=site,
+                        fault=spec.kind,
+                        transient=spec.transient,
+                        **{
+                            k: v
+                            for k, v in context.items()
+                            if k not in ("site", "fault", "transient")
+                        },
+                    )
                 if spec.kind == ERROR:
                     raise InjectedFaultError(
                         site,

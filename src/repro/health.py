@@ -199,6 +199,20 @@ def collect(db) -> HealthReport:
             )
         )
 
+    # Flight recorder: a dropping ring still works (newest kept) but a
+    # postmortem would be missing history, so eviction degrades it.
+    telemetry = db._telemetry
+    if telemetry.enabled:
+        recorder = telemetry.events
+        components.append(
+            ComponentHealth(
+                "telemetry.events",
+                DEGRADED if recorder.dropped else OK,
+                f"buffered={len(recorder)}/{recorder.max_events} "
+                f"emitted={recorder.emitted_total} dropped={recorder.dropped}",
+            )
+        )
+
     # Armed fault injections mean the session is deliberately unreliable.
     if db._faults.active and db._faults.armed_count:
         components.append(

@@ -80,6 +80,13 @@ class CircuitBreaker:
         self._probe_inflight = False
         self.opened_total = 0
         self.rejected_total = 0
+        #: Optional flight recorder; state transitions are emitted as
+        #: ``breaker.open`` / ``breaker.half_open`` / ``breaker.closed``.
+        self.recorder = None
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(kind, breaker=self.name, **fields)
 
     # -- introspection ---------------------------------------------------
 
@@ -127,6 +134,7 @@ class CircuitBreaker:
                 if self._rejections > self.cooldown_requests:
                     self._state = HALF_OPEN
                     self._probe_inflight = False
+                    self._emit("breaker.half_open", rejections=self._rejections)
                 else:
                     self.rejected_total += 1
                     return False, OPEN
@@ -158,6 +166,7 @@ class CircuitBreaker:
                 self._state = CLOSED
                 self._probe_inflight = False
                 self._outcomes.clear()
+                self._emit("breaker.closed", probe="success")
                 return
             self._outcomes.append(False)
 
@@ -168,6 +177,7 @@ class CircuitBreaker:
                 self._probe_inflight = False
                 self._rejections = 0
                 self.opened_total += 1
+                self._emit("breaker.open", probe="failure")
                 return
             self._outcomes.append(True)
             if self._state == CLOSED and len(self._outcomes) >= self.min_samples:
@@ -176,6 +186,7 @@ class CircuitBreaker:
                     self._state = OPEN
                     self._rejections = 0
                     self.opened_total += 1
+                    self._emit("breaker.open", failure_rate=round(rate, 4))
 
 
 class BreakerBoard:
@@ -200,6 +211,8 @@ class BreakerBoard:
         )
         self._lock = threading.Lock()
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: Optional flight recorder propagated to breakers at creation.
+        self.recorder = None
 
     @classmethod
     def from_config(cls, config, seed: int | None = None) -> "BreakerBoard":
@@ -218,6 +231,7 @@ class BreakerBoard:
             breaker = self._breakers.get(name)
             if breaker is None:
                 breaker = CircuitBreaker(name, **self._kwargs)
+                breaker.recorder = self.recorder
                 self._breakers[name] = breaker
             return breaker
 

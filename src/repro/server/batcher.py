@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import DeadlineExceededError
+from ..telemetry.events import NULL_RECORDER
 from .futures import RequestFuture, RequestState
 
 
@@ -65,12 +66,14 @@ class MicroBatcher:
         max_batch_size: int,
         max_queue_delay_s: float,
         clock=time.monotonic,
+        recorder=None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_queue_delay_s < 0:
             raise ValueError("max_queue_delay_s must be >= 0")
         self.model = model
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
         self.max_batch_size = max_batch_size
         self.max_queue_delay_s = max_queue_delay_s
         self.stats = BatcherStats()
@@ -172,6 +175,17 @@ class MicroBatcher:
                 self.stats.largest_batch_rows = max(
                     self.stats.largest_batch_rows, rows
                 )
+                self._recorder.emit(
+                    "batch.formed",
+                    trace_id=batch.requests[0].trace_id,
+                    model=self.model,
+                    requests=len(batch.requests),
+                    rows=rows,
+                    traces=tuple(
+                        r.trace_id for r in batch.requests
+                        if r.trace_id is not None
+                    ),
+                )
                 return batch
 
     def _shed_expired_locked(self) -> None:
@@ -182,6 +196,13 @@ class MicroBatcher:
             if request.expired(now):
                 self._queued_rows -= request.rows
                 self.stats.deadline_drops += 1
+                self._recorder.emit(
+                    "request.expired",
+                    trace_id=request.trace_id,
+                    model=request.model,
+                    request_id=request.request_id,
+                    queued_s=round(now - request.enqueued_at, 4),
+                )
                 request._fail(
                     DeadlineExceededError(
                         f"request {request.request_id} for model "

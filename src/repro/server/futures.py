@@ -54,6 +54,13 @@ class RequestFuture:
         self.queue_seconds: float | None = None
         #: Seconds the batch containing this request spent in the engine.
         self.execute_seconds: float | None = None
+        #: Trace anchor minted at submit (None when tracing is disabled);
+        #: workers execute the batch under a member's context so engine
+        #: spans inherit its trace id.
+        self.trace = None
+        #: Detached request-lifecycle span, closed on resolution from
+        #: whichever thread resolves the future.
+        self.span = None
         self._event = threading.Event()
         self._state = RequestState.PENDING
         self._result: np.ndarray | None = None
@@ -62,6 +69,11 @@ class RequestFuture:
     @property
     def rows(self) -> int:
         return int(self.features.shape[0])
+
+    @property
+    def trace_id(self) -> int | None:
+        """The request's trace id (None when tracing is disabled)."""
+        return self.trace.trace_id if self.trace is not None else None
 
     @property
     def state(self) -> RequestState:
@@ -113,6 +125,12 @@ class RequestFuture:
         self._result = predictions
         self._state = RequestState.DONE
         self._event.set()
+        if self.span is not None:
+            self.span.finish(
+                outcome="completed",
+                queue_ms=round(queue_seconds * 1e3, 3),
+                execute_ms=round(execute_seconds * 1e3, 3),
+            )
 
     def _fail(
         self, exc: BaseException, state: RequestState = RequestState.FAILED
@@ -120,6 +138,8 @@ class RequestFuture:
         self._exception = exc
         self._state = state
         self._event.set()
+        if self.span is not None:
+            self.span.finish(outcome=state.value, error=type(exc).__name__)
 
     def __repr__(self) -> str:
         return (

@@ -41,7 +41,7 @@ from ..resilience import BreakerBoard
 from ..serving.policy import ServiceTimeEstimator
 from .admission import AdmissionController
 from .batcher import Batch, MicroBatcher
-from .futures import RequestFuture, RequestState
+from .futures import RequestFuture, RequestState, resolve_all
 
 #: Row-count buckets for the batch-size histogram (1 .. 1024).
 BATCH_ROW_BUCKETS: tuple[float, ...] = tuple(float(1 << p) for p in range(0, 11))
@@ -133,10 +133,14 @@ class ModelServer:
         self._shutdown = False  # workers may exit
         self._next_id = itertools.count(1)
         self._rotation = 0  # round-robin start index for batcher picking
+        self._postmortem_dumped = False  # first terminal failure only
 
         registry = db.telemetry.registry
         tracer = db.telemetry.tracer
         self._tracer = tracer
+        self._recorder = db.telemetry.events
+        if self.breakers is not None:
+            self.breakers.recorder = self._recorder
         self._m_requests = {
             outcome: registry.counter(
                 "server_requests_total",
@@ -206,6 +210,9 @@ class ModelServer:
             if not allowed:
                 # Fail fast without touching the queue or a worker.
                 self._m_requests["broken"].inc()
+                self._recorder.emit(
+                    "request.broken", model=name, breaker_state=breaker_state
+                )
                 raise CircuitOpenError(
                     name,
                     breaker_state,
@@ -221,6 +228,21 @@ class ModelServer:
         future = RequestFuture(
             next(self._next_id), name, feats, deadline, enqueued_at=now
         )
+        # Mint the request's trace root: a detached span closed by the
+        # future on resolution (from whichever thread resolves it), plus
+        # a TraceContext anchor workers re-enter to parent batch spans.
+        span = self._tracer.start_span(
+            f"request:{name}",
+            category="server",
+            model=name,
+            request_id=future.request_id,
+            rows=future.rows,
+            deadline_ms=deadline_ms or 0.0,
+        )
+        future.span = span
+        future.trace = span.context(
+            model=name, request_id=future.request_id, deadline_ms=deadline_ms or 0.0
+        )
         with self._work:
             if self._stopping:
                 raise ServerClosedError("server is closed to new requests")
@@ -231,6 +253,8 @@ class ModelServer:
                 batcher.queued_rows,
                 future.rows,
                 deadline,
+                trace_id=future.trace_id,
+                recorder=self._recorder if self._recorder.enabled else None,
             )
             if decision.action == "reject":
                 self._m_requests["rejected"].inc()
@@ -238,6 +262,14 @@ class ModelServer:
                     # A half-open probe that never ran must not stay
                     # in flight; let a later arrival probe instead.
                     breaker.abandon_probe()
+                self._recorder.emit(
+                    "request.rejected",
+                    trace_id=future.trace_id,
+                    model=name,
+                    request_id=future.request_id,
+                    queued=batcher.queued_requests,
+                )
+                span.finish(outcome="rejected")
                 raise ServerOverloadedError(
                     name, batcher.queued_requests, self.queue_capacity
                 )
@@ -245,6 +277,13 @@ class ModelServer:
                 self._m_requests["shed"].inc()
                 if breaker is not None:
                     breaker.abandon_probe()
+                self._recorder.emit(
+                    "request.shed",
+                    trace_id=future.trace_id,
+                    model=name,
+                    request_id=future.request_id,
+                    reason=decision.reason,
+                )
                 future._fail(
                     DeadlineExceededError(
                         f"request shed before queuing: {decision.reason}"
@@ -256,6 +295,15 @@ class ModelServer:
                 self._m_cold_admissions.inc()
             batcher.put(future, front=decision.action == "fastpath")
             self._m_requests["submitted"].inc()
+            self._recorder.emit(
+                "request.admitted",
+                trace_id=future.trace_id,
+                model=name,
+                request_id=future.request_id,
+                rows=future.rows,
+                action=decision.action,
+                cold=decision.cold,
+            )
             self._depth_gauge(name).set(batcher.queued_requests)
             self._work.notify_all()
         return future
@@ -415,7 +463,10 @@ class ModelServer:
             if state is None:
                 state = _ModelState(
                     batcher=MicroBatcher(
-                        name, self.max_batch_size, self.max_queue_delay_s
+                        name,
+                        self.max_batch_size,
+                        self.max_queue_delay_s,
+                        recorder=self._recorder,
                     ),
                     estimator=ServiceTimeEstimator(),
                 )
@@ -471,12 +522,50 @@ class ModelServer:
                 continue
             try:
                 self._execute_batch(batch)
+            except BaseException as exc:  # unhandled: the postmortem path
+                self._handle_worker_error(batch, exc)
             finally:
                 with self._work:
                     self._inflight -= 1
                     self._sync_drops_locked(batcher)
                     self._depth_gauge(batch.model).set(batcher.queued_requests)
                     self._work.notify_all()
+
+    def _handle_worker_error(self, batch: Batch, exc: BaseException) -> None:
+        """Unhandled worker failure: fail the batch, record the postmortem.
+
+        ``_execute_batch`` resolves expected engine errors onto futures;
+        anything that escapes it is a server bug or an unmodeled fault,
+        so the flight recorder logs it and — when ``diagnostics_dir`` is
+        configured — a diagnostics bundle is written automatically.
+        """
+        self._recorder.emit(
+            "server.worker_error",
+            trace_id=batch.requests[0].trace_id if batch.requests else None,
+            model=batch.model,
+            error=type(exc).__name__,
+            detail=str(exc)[:200],
+        )
+        unresolved = sum(1 for r in batch.requests if not r.done())
+        resolve_all(batch.requests, exc)
+        if unresolved:
+            self._m_requests["failed"].inc(unresolved)
+        self._record_outcome(batch.model, ok=False)
+        self._db._maybe_dump_diagnostics("server.worker_error", error=exc)
+
+    def _postmortem(self, exc: BaseException) -> None:
+        """Auto-dump one bundle on the FIRST terminal request failure.
+
+        A client-visible failure (retries and isolation exhausted) is the
+        postmortem moment; later failures are already captured by the
+        flight recorder inside that first bundle, so dumping once per
+        server lifetime keeps failure storms from flooding
+        ``diagnostics_dir``.
+        """
+        if self._postmortem_dumped:
+            return
+        self._postmortem_dumped = True
+        self._db._maybe_dump_diagnostics("server.request_failed", error=exc)
 
     def _sync_drops_locked(self, batcher: MicroBatcher) -> None:
         """Mirror the batcher's deadline drops into the outcome counter."""
@@ -497,39 +586,77 @@ class ModelServer:
         )
         started = time.monotonic()
         attempts = 0
+        # The worker executes under the FIRST member's trace context: the
+        # batch span (and every engine span under it) inherits that
+        # request's trace id and parents to its root span; the other
+        # members are attached via flow-event links.
+        first = batch.requests[0]
+        member_traces = tuple(
+            r.trace_id for r in batch.requests if r.trace_id is not None
+        )
         while True:
             try:
-                with self._tracer.span(
-                    f"serve-batch:{batch.model}",
-                    category="server",
-                    rows=int(features.shape[0]),
-                    requests=len(batch.requests),
-                ):
-                    start = time.perf_counter()
-                    self._injector.fire(
-                        "server.batch",
-                        model=batch.model,
+                with self._tracer.context(first.trace):
+                    with self._tracer.span(
+                        f"serve-batch:{batch.model}",
+                        category="server",
                         rows=int(features.shape[0]),
-                        attempt=attempts,
-                    )
-                    predictions = self._db.predict_labels(batch.model, features)
-                    execute_seconds = time.perf_counter() - start
+                        requests=len(batch.requests),
+                    ) as batch_span:
+                        batch_span.link(
+                            *(t for t in member_traces if t != first.trace_id)
+                        )
+                        start = time.perf_counter()
+                        self._injector.fire(
+                            "server.batch",
+                            model=batch.model,
+                            rows=int(features.shape[0]),
+                            attempt=attempts,
+                        )
+                        predictions = self._db.predict_labels(
+                            batch.model, features
+                        )
+                        execute_seconds = time.perf_counter() - start
                 break
             except BaseException as exc:
                 if is_transient(exc) and attempts < self.retry_limit:
                     attempts += 1
                     self._injector.record_retry("server.batch")
+                    self._recorder.emit(
+                        "request.retried",
+                        trace_id=first.trace_id,
+                        model=batch.model,
+                        attempt=attempts,
+                        error=type(exc).__name__,
+                        traces=member_traces,
+                    )
                     if self.retry_backoff_s:
                         time.sleep(self.retry_backoff_s * attempts)
                     continue
                 if len(batch.requests) > 1:
                     # The batch is poisoned past its retry budget: isolate
                     # so only the poisoned request(s) fail, not all riders.
+                    self._recorder.emit(
+                        "batch.isolated",
+                        trace_id=first.trace_id,
+                        model=batch.model,
+                        requests=len(batch.requests),
+                        error=type(exc).__name__,
+                        traces=member_traces,
+                    )
                     self._execute_isolated(batch, started)
                     return
-                batch.requests[0]._fail(exc)
+                self._recorder.emit(
+                    "request.failed",
+                    trace_id=first.trace_id,
+                    model=batch.model,
+                    request_id=first.request_id,
+                    error=type(exc).__name__,
+                )
+                first._fail(exc)
                 self._m_requests["failed"].inc()
                 self._record_outcome(batch.model, ok=False)
+                self._postmortem(exc)
                 return
         if attempts:
             # Succeeded only because we retried past a transient fault.
@@ -538,6 +665,16 @@ class ModelServer:
         self._m_batches.inc()
         self._m_batch_rows.observe(float(features.shape[0]))
         self._m_execute_seconds.observe(execute_seconds)
+        self._recorder.emit(
+            "batch.executed",
+            trace_id=first.trace_id,
+            model=batch.model,
+            rows=int(features.shape[0]),
+            requests=len(batch.requests),
+            attempts=attempts,
+            execute_ms=round(execute_seconds * 1e3, 3),
+            traces=member_traces,
+        )
         offset = 0
         for request in batch.requests:
             rows = request.rows
@@ -547,6 +684,14 @@ class ModelServer:
                 predictions[offset : offset + rows], queue_seconds, execute_seconds
             )
             offset += rows
+            self._recorder.emit(
+                "request.completed",
+                trace_id=request.trace_id,
+                model=batch.model,
+                request_id=request.request_id,
+                queue_ms=round(queue_seconds * 1e3, 3),
+                execute_ms=round(execute_seconds * 1e3, 3),
+            )
             self._record_outcome(batch.model, ok=True)
         self._m_requests["completed"].inc(len(batch.requests))
 
@@ -562,32 +707,53 @@ class ModelServer:
         succeeded = 0
         for request in batch.requests:
             try:
-                with self._tracer.span(
-                    f"serve-isolated:{batch.model}",
-                    category="server",
-                    rows=request.rows,
-                    requests=1,
-                ):
-                    start = time.perf_counter()
-                    self._injector.fire(
-                        "server.batch",
-                        model=batch.model,
+                # Each isolated run executes under its OWN request's
+                # context, so rescue spans land in the right trace.
+                with self._tracer.context(request.trace):
+                    with self._tracer.span(
+                        f"serve-isolated:{batch.model}",
+                        category="server",
                         rows=request.rows,
-                        isolated=True,
-                    )
-                    predictions = self._db.predict_labels(
-                        batch.model, request.features
-                    )
-                    execute_seconds = time.perf_counter() - start
+                        requests=1,
+                    ):
+                        start = time.perf_counter()
+                        self._injector.fire(
+                            "server.batch",
+                            model=batch.model,
+                            rows=request.rows,
+                            isolated=True,
+                        )
+                        predictions = self._db.predict_labels(
+                            batch.model, request.features
+                        )
+                        execute_seconds = time.perf_counter() - start
             except BaseException as exc:
+                self._recorder.emit(
+                    "request.failed",
+                    trace_id=request.trace_id,
+                    model=batch.model,
+                    request_id=request.request_id,
+                    error=type(exc).__name__,
+                    isolated=True,
+                )
                 request._fail(exc)
                 self._m_requests["failed"].inc()
                 self._record_outcome(batch.model, ok=False)
+                self._postmortem(exc)
                 continue
             state.estimator.observe(request.rows, execute_seconds)
             queue_seconds = max(0.0, started - request.enqueued_at)
             self._m_queue_seconds.observe(queue_seconds)
             request._resolve(predictions, queue_seconds, execute_seconds)
+            self._recorder.emit(
+                "request.completed",
+                trace_id=request.trace_id,
+                model=batch.model,
+                request_id=request.request_id,
+                queue_ms=round(queue_seconds * 1e3, 3),
+                execute_ms=round(execute_seconds * 1e3, 3),
+                isolated=True,
+            )
             self._m_requests["completed"].inc()
             self._record_outcome(batch.model, ok=True)
             succeeded += 1

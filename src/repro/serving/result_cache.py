@@ -112,12 +112,14 @@ class InferenceResultCache:
         insert_on_miss: bool = True,
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
+        recorder=None,
     ):
         self.model = model
         self.index = index
         self.distance_threshold = float(distance_threshold)
         self.insert_on_miss = insert_on_miss
         self._injector = injector if injector is not None else NULL_INJECTOR
+        self._recorder = recorder
         self.stats = CacheStats()
         (
             self._m_hits,
@@ -261,10 +263,12 @@ class ExactResultCache:
         max_entries: int | None = None,
         metrics: MetricsRegistry | None = None,
         injector: FaultInjector | None = None,
+        recorder=None,
     ):
         self.model = model
         self.max_entries = max_entries
         self._injector = injector if injector is not None else NULL_INJECTOR
+        self._recorder = recorder
         self._entries: dict[bytes, int] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -334,6 +338,15 @@ class ExactResultCache:
         self._m_lookup_seconds.observe(lookup_seconds)
         if miss_rows:
             self._m_model_seconds.observe(model_seconds)
+        if self._recorder is not None:
+            self._recorder.emit(
+                "cache.hit" if hits >= len(miss_rows) else "cache.miss",
+                model=self.model.name,
+                kind="exact",
+                hits=hits,
+                misses=len(miss_rows),
+                degraded=degraded,
+            )
         return predictions, CacheServeReport(
             hits=hits,
             misses=len(miss_rows),

@@ -20,6 +20,7 @@ chosen by SLA policies).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -38,12 +39,12 @@ from .errors import CatalogError, ReproError, SqlError
 from .faults import FAULT_COLUMNS, FaultInjector, FaultPlan
 from .health import HEALTH_COLUMNS, HealthReport
 from .health import collect as collect_health
-from .relational.schema import Schema
+from .relational.schema import ColumnType, Schema
 from .resilience import RecoveryLedger
 from .server.locks import ReadWriteLock
 from .sql import ast as sql_ast
 from .sql.parser import parse
-from .sql.planner import Planner, predict_models
+from .sql.planner import Planner, filter_rows, predict_models
 from .storage.buffer_pool import (
     BufferPool,
     ClockPolicy,
@@ -53,7 +54,25 @@ from .storage.buffer_pool import (
 )
 from .storage.catalog import Catalog, ModelInfo
 from .storage.disk import FileDiskManager, InMemoryDiskManager
-from .telemetry import AUDIT_COLUMNS, QueryStats, StageAudit, Telemetry
+from .telemetry import (
+    AUDIT_COLUMNS,
+    EVENT_COLUMNS,
+    TIMELINE_COLUMNS,
+    QueryStats,
+    StageAudit,
+    Telemetry,
+    timeline_rows,
+)
+
+#: Relational schema of the ``SHOW EVENTS`` system view (what a WHERE
+#: clause binds against).
+_EVENTS_SCHEMA = Schema.of(
+    ("seq", ColumnType.INT),
+    ("ts_ms", ColumnType.DOUBLE),
+    ("kind", ColumnType.TEXT),
+    ("trace_id", ColumnType.INT),
+    ("detail", ColumnType.TEXT),
+)
 
 
 @dataclass
@@ -147,6 +166,8 @@ class Cursor:
 _READ_STATEMENTS = (
     sql_ast.Select,
     sql_ast.Show,
+    sql_ast.ShowEvents,
+    sql_ast.ShowTimeline,
     sql_ast.Explain,
     sql_ast.ExplainAnalyze,
     sql_ast.UnionAll,
@@ -183,6 +204,7 @@ class Database:
             enabled=self._config.telemetry_enabled,
             max_spans=self._config.telemetry_max_spans,
             max_audit_records=self._config.audit_max_records,
+            max_events=self._config.telemetry_max_events,
         )
         registry = self._telemetry.registry
         self._m_queries = registry.counter(
@@ -211,6 +233,8 @@ class Database:
             seed=self._config.faults_seed or self._config.seed,
             metrics=registry if self._telemetry.enabled else None,
         )
+        if self._telemetry.enabled:
+            self._faults.recorder = self._telemetry.events
         if fault_plan is not None:
             self._faults.load_plan(fault_plan)
         if path is not None:
@@ -247,7 +271,9 @@ class Database:
         from .storage import persist
 
         snapshot = persist.load_sidecar(
-            persist.sidecar_path(path), injector=self._faults
+            persist.sidecar_path(path),
+            injector=self._faults,
+            recorder=self._telemetry.events if self._telemetry.enabled else None,
         )
         if snapshot is None:
             return
@@ -342,6 +368,12 @@ class Database:
                         len(self._telemetry.tracer.finished),
                     ),
                     ("telemetry.spans_dropped", self._telemetry.tracer.dropped),
+                    ("telemetry.events_recorded", len(self._telemetry.events)),
+                    (
+                        "telemetry.events_emitted",
+                        self._telemetry.events.emitted_total,
+                    ),
+                    ("telemetry.events_dropped", self._telemetry.events.dropped),
                     ("audit.records", len(self._telemetry.audit)),
                     ("audit.records_total", self._telemetry.audit.total_recorded),
                     (
@@ -432,7 +464,7 @@ class Database:
         }
         audit_marker = telemetry.audit.marker()
         start = time.perf_counter()
-        with tracer.span("query", category="sql", sql=sql.strip()[:200]):
+        with tracer.span("query", category="sql", sql=sql.strip()[:200]) as query_span:
             with tracer.span("parse", category="sql"):
                 stmt = parse(sql)
             with self._statement_lock(stmt):
@@ -467,6 +499,7 @@ class Database:
             engine_seconds=self._executor._m_engine_seconds.value - engine_before,
             representations=representations,
             stage_audits=telemetry.audit.records_since(audit_marker),
+            trace_id=query_span.trace_id,
         )
         return cursor
 
@@ -567,8 +600,17 @@ class Database:
                 ]
                 return Cursor(("name", "columns", "rows"), sorted(rows))
             if what == "metrics":
-                snapshot = self._telemetry.registry.snapshot()
-                return Cursor(("name", "value"), sorted(snapshot.items()))
+                registry = self._telemetry.registry
+                rows = [
+                    (name, value, None, None, None)
+                    for name, value in sorted(registry.snapshot().items())
+                ]
+                # One summary row per histogram carrying the quantiles.
+                rows.extend(registry.quantile_rows())
+                return Cursor(
+                    ("name", "value", "p50", "p95", "p99"),
+                    sorted(rows, key=lambda r: r[0]),
+                )
             if what == "stats":
                 return Cursor(("stat", "value"), self._system_stats_rows())
             if what == "server":
@@ -590,8 +632,18 @@ class Database:
                 return Cursor(HEALTH_COLUMNS, collect_health(self).rows())
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
-                "MODELS, METRICS, STATS, SERVER, AUDIT, FAULTS, or HEALTH"
+                "MODELS, METRICS, STATS, SERVER, AUDIT, FAULTS, HEALTH, "
+                "EVENTS, or TIMELINE"
             )
+        if isinstance(stmt, sql_ast.ShowEvents):
+            rows = filter_rows(
+                _EVENTS_SCHEMA, self._telemetry.events.rows(), stmt.where
+            )
+            return Cursor(EVENT_COLUMNS, rows)
+        if isinstance(stmt, sql_ast.ShowTimeline):
+            events = self._telemetry.events.events(trace_id=stmt.trace_id)
+            spans = self._telemetry.tracer.spans_for(stmt.trace_id)
+            return Cursor(TIMELINE_COLUMNS, timeline_rows(events, spans))
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
 
@@ -1010,9 +1062,58 @@ class Database:
         if self._server is server:
             self._server = None
 
+    # -- diagnostics -----------------------------------------------------
+
+    def dump_diagnostics(
+        self, path: str, reason: str = "requested",
+        error: BaseException | None = None,
+    ) -> str:
+        """Write one postmortem diagnostics bundle (JSON) to ``path``.
+
+        The bundle captures the effective config, a metrics snapshot, the
+        health report, breaker states, the recovery ledger, armed faults
+        (with the injector seed, so chaos failures replay), the last-N
+        flight-recorder events, and the last-N finished spans.  See
+        :mod:`repro.telemetry.diagnostics` for the schema and
+        ``validate_bundle`` for the checker CI runs against it.
+        """
+        from .telemetry import diagnostics
+
+        bundle = diagnostics.build_bundle(self, reason=reason, error=error)
+        return diagnostics.write_bundle(bundle, path)
+
+    def _maybe_dump_diagnostics(
+        self, reason: str, error: BaseException | None = None
+    ) -> str | None:
+        """Auto-dump a bundle into ``config.diagnostics_dir`` (if set).
+
+        Called from failure paths (e.g. the serving worker's
+        unhandled-error handler); best-effort — a diagnostics failure must
+        never mask the original error, so everything is swallowed.
+        """
+        directory = self._config.diagnostics_dir
+        if not directory:
+            return None
+        try:
+            stamp = int(time.time() * 1e3)
+            name = f"diagnostics-{reason.replace('.', '-')}-{stamp}.json"
+            return self.dump_diagnostics(
+                os.path.join(directory, name), reason=reason, error=error
+            )
+        except Exception:
+            return None
+
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, diagnostics_path: str | None = None) -> None:
+        """Close the database, optionally dumping a diagnostics bundle.
+
+        ``diagnostics_path`` writes a postmortem bundle (see
+        :meth:`dump_diagnostics`) before any subsystem shuts down, so the
+        bundle still sees the attached server and live telemetry.
+        """
+        if diagnostics_path is not None:
+            self.dump_diagnostics(diagnostics_path, reason="close")
         if self._server is not None:
             self._server.close()
         if self._path is not None:
@@ -1031,7 +1132,12 @@ class Database:
             self._pool.flush_all()
             self._disk.sync()
             persist.save_sidecar(
-                persist.sidecar_path(self._path), snapshot, injector=self._faults
+                persist.sidecar_path(self._path),
+                snapshot,
+                injector=self._faults,
+                recorder=(
+                    self._telemetry.events if self._telemetry.enabled else None
+                ),
             )
         else:
             self._pool.flush_all()

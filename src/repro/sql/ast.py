@@ -164,6 +164,32 @@ class Show(Statement):
 
 
 @dataclass
+class ShowEvents(Statement):
+    """``SHOW EVENTS [WHERE <expr>]``: query the flight recorder.
+
+    Renders the telemetry flight recorder's retained events as a cursor
+    with columns ``(seq, ts_ms, kind, trace_id, detail)``, oldest first.
+    The optional WHERE clause filters against that schema with the same
+    expression language as SELECT (e.g.
+    ``SHOW EVENTS WHERE kind = 'request.shed'``).
+    """
+
+    where: Expression | None = None
+
+
+@dataclass
+class ShowTimeline(Statement):
+    """``SHOW TIMELINE <trace_id>``: replay one request's lifecycle.
+
+    Merges the trace's flight-recorder events and finished spans into a
+    relative-time cursor ``(at_ms, source, what, detail)``, followed by
+    summary rows breaking latency into queue vs execute vs rescue.
+    """
+
+    trace_id: int
+
+
+@dataclass
 class UnionAll(Statement):
     """``<select> UNION ALL <select> [...]`` (bag semantics)."""
 

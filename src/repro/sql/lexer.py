@@ -25,7 +25,8 @@ SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 
 #: The soft keywords valid as a SHOW target.
 SHOW_TARGETS = frozenset(
-    {"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS", "HEALTH"}
+    {"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS", "HEALTH", "EVENTS",
+     "TIMELINE"}
 )
 
 

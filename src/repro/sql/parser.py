@@ -33,6 +33,8 @@ from .ast import (
     Select,
     SelectItem,
     Show,
+    ShowEvents,
+    ShowTimeline,
     Star,
     Statement,
     TableRef,
@@ -133,6 +135,19 @@ class _Parser:
                 stmt = Show("tables")
             elif what.is_keyword("MODELS"):
                 stmt = Show("models")
+            elif what.type is TokenType.IDENT and what.value == "events":
+                where = None
+                if self._accept_keyword("WHERE"):
+                    where = self._parse_expression()
+                stmt = ShowEvents(where)
+            elif what.type is TokenType.IDENT and what.value == "timeline":
+                trace = self._peek()
+                if trace.type is not TokenType.NUMBER:
+                    raise SqlParseError(
+                        "expected a numeric trace id after SHOW TIMELINE"
+                    )
+                self._advance()
+                stmt = ShowTimeline(int(_parse_number(trace.value)))
             elif (
                 what.type is TokenType.IDENT and what.value.upper() in SHOW_TARGETS
             ):
@@ -140,7 +155,7 @@ class _Parser:
             else:
                 raise SqlParseError(
                     "expected TABLES, MODELS, METRICS, STATS, SERVER, "
-                    "AUDIT, FAULTS, or HEALTH after SHOW"
+                    "AUDIT, FAULTS, HEALTH, EVENTS, or TIMELINE after SHOW"
                 )
         else:
             raise SqlParseError(

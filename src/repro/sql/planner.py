@@ -41,6 +41,22 @@ from .ast import AggregateCall, Join, PredictCall, Select, SelectItem, Star, Tab
 PredictFunction = Callable[[str, np.ndarray, "int | None"], np.ndarray]
 
 
+def filter_rows(
+    schema: Schema, rows: list[tuple], where: Expression | None
+) -> list[tuple]:
+    """Filter materialised rows with a bound WHERE expression.
+
+    The system-view statements (``SHOW EVENTS WHERE ...``) expose
+    telemetry rings as relations; this binds the predicate against the
+    view's schema — the same expression language and coercion rules as a
+    table scan — and keeps the rows where it evaluates truthy.
+    """
+    if where is None:
+        return rows
+    bound = where.bind(schema)
+    return [row for row in rows if bound.eval(row)]
+
+
 class Planner:
     """Builds physical plans against a catalog."""
 

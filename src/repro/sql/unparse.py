@@ -54,6 +54,8 @@ from .ast import (
     Select,
     SelectItem,
     Show,
+    ShowEvents,
+    ShowTimeline,
     Star,
     Statement,
     TableRef,
@@ -102,6 +104,13 @@ def unparse(stmt: Statement) -> str:
         if stmt.where is not None:
             sql += f" WHERE {unparse_expression(stmt.where)}"
         return sql
+    if isinstance(stmt, ShowEvents):
+        sql = "SHOW events"
+        if stmt.where is not None:
+            sql += f" WHERE {unparse_expression(stmt.where)}"
+        return sql
+    if isinstance(stmt, ShowTimeline):
+        return f"SHOW timeline {stmt.trace_id}"
     if isinstance(stmt, Show):
         return f"SHOW {stmt.what}"
     raise SqlError(f"cannot unparse statement type {type(stmt).__name__}")

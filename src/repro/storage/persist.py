@@ -275,7 +275,10 @@ def _json_safe(value: object) -> bool:
 
 
 def save_sidecar(
-    path: str, snapshot: dict, injector: FaultInjector | None = None
+    path: str,
+    snapshot: dict,
+    injector: FaultInjector | None = None,
+    recorder=None,
 ) -> None:
     """Atomically persist the catalog snapshot with a backup generation.
 
@@ -294,6 +297,10 @@ def save_sidecar(
     if os.path.exists(path):
         shutil.copyfile(path, backup_path(path))
     os.replace(tmp, path)
+    if recorder is not None:
+        recorder.emit(
+            "sidecar.commit", path=path, tables=len(snapshot.get("tables", ()))
+        )
 
 
 def _read_sidecar(path: str) -> dict:
@@ -301,7 +308,9 @@ def _read_sidecar(path: str) -> dict:
         return json.load(f)
 
 
-def load_sidecar(path: str, injector: FaultInjector | None = None) -> dict | None:
+def load_sidecar(
+    path: str, injector: FaultInjector | None = None, recorder=None
+) -> dict | None:
     """Load the catalog sidecar, falling back to the ``.bak`` generation.
 
     Returns ``None`` when no generation exists (a fresh database).  A
@@ -336,6 +345,13 @@ def load_sidecar(path: str, injector: FaultInjector | None = None) -> dict | Non
             bak,
         )
         injector.record_recovery("persist.sidecar")
+        if recorder is not None:
+            recorder.emit(
+                "sidecar.restored",
+                path=path,
+                backup=bak,
+                reason=str(primary_error or "missing"),
+            )
         return snapshot
     raise StorageError(
         f"catalog sidecar {path!r} is corrupt ({primary_error}) and no "

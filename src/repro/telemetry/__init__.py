@@ -1,20 +1,25 @@
-"""Unified observability: metrics, tracing, per-query stats, logging.
+"""Unified observability: metrics, tracing, events, per-query stats, logging.
 
-One :class:`Telemetry` object bundles the two collection surfaces —
+One :class:`Telemetry` object bundles the three collection surfaces —
 
 * a :class:`~repro.telemetry.registry.MetricsRegistry` of counters,
   gauges, and latency histograms with a Prometheus text exporter;
-* a :class:`~repro.telemetry.tracing.Tracer` of nested spans exportable
-  as Chrome-trace JSON —
+* a :class:`~repro.telemetry.tracing.Tracer` of nested spans with
+  cross-thread :class:`~repro.telemetry.tracing.TraceContext`
+  propagation, exportable as Chrome-trace JSON;
+* a :class:`~repro.telemetry.events.FlightRecorder` ring of structured
+  lifecycle events queryable via ``SHOW EVENTS`` / ``SHOW TIMELINE`` —
 
 behind a single on/off switch (``SystemConfig.telemetry_enabled``).
 Disabled telemetry swaps in shared null objects, so instrumented hot
 paths pay only a no-op method call.
 
 A :class:`~repro.session.Database` owns one ``Telemetry``; query it from
-SQL with ``SHOW METRICS`` / ``SHOW STATS``, per query via
-``cursor.stats`` (:class:`~repro.telemetry.query_stats.QueryStats`), or
-export spans with ``Database.export_trace(path)``.
+SQL with ``SHOW METRICS`` / ``SHOW STATS`` / ``SHOW EVENTS`` /
+``SHOW TIMELINE <trace_id>``, per query via ``cursor.stats``
+(:class:`~repro.telemetry.query_stats.QueryStats`), export spans with
+``Database.export_trace(path)``, or capture everything at once with
+``Database.dump_diagnostics(path)``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,16 @@ from .audit import (
     NullAuditor,
     PlanAuditor,
     StageAudit,
+)
+from .events import (
+    EVENT_COLUMNS,
+    EVENT_KINDS,
+    NULL_RECORDER,
+    TIMELINE_COLUMNS,
+    Event,
+    FlightRecorder,
+    NullRecorder,
+    timeline_rows,
 )
 from .logs import ROOT_LOGGER_NAME, enable_console_logging, get_logger
 from .query_stats import QueryStats
@@ -38,11 +53,11 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
 )
-from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+from .tracing import NULL_TRACER, NullTracer, Span, TraceContext, Tracer
 
 
 class Telemetry:
-    """One registry + one tracer + one plan auditor behind an on/off switch."""
+    """One registry + tracer + flight recorder + plan auditor behind a switch."""
 
     def __init__(
         self,
@@ -51,6 +66,7 @@ class Telemetry:
         tracer: Tracer | None = None,
         max_spans: int = 65536,
         max_audit_records: int = 1024,
+        max_events: int = 4096,
     ):
         self.enabled = enabled
         if enabled:
@@ -60,13 +76,23 @@ class Telemetry:
             self.tracer: Tracer | NullTracer = (
                 tracer if tracer is not None else Tracer(max_spans=max_spans)
             )
+            # Truncated Chrome traces must be self-explaining: overflow
+            # drops feed a registry counter surfaced by SHOW STATS.
+            self.tracer.drop_counter = self.registry.counter(
+                "tracer_spans_dropped_total",
+                "Finished spans dropped by the tracer ring buffer",
+            )
             self.audit: PlanAuditor | NullAuditor = PlanAuditor(
                 self.registry, max_records=max_audit_records
+            )
+            self.events: FlightRecorder | NullRecorder = FlightRecorder(
+                max_events=max_events, metrics=self.registry
             )
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
             self.audit = NULL_AUDITOR
+            self.events = NULL_RECORDER
 
 
 #: Shared disabled instance — components default to this when no
@@ -92,7 +118,16 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "Span",
+    "TraceContext",
     "NULL_TRACER",
+    "Event",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "EVENT_COLUMNS",
+    "EVENT_KINDS",
+    "TIMELINE_COLUMNS",
+    "timeline_rows",
     "QueryStats",
     "get_logger",
     "enable_console_logging",

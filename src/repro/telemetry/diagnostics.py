@@ -1,0 +1,157 @@
+"""Postmortem diagnostics bundles: one JSON artifact per incident.
+
+A bundle is the serialized answer to "what was the system doing when it
+broke?": the effective config, a metrics snapshot, the health report,
+breaker states, the recovery ledger, armed faults (with the injector
+seed, so a chaos failure replays deterministically), the last-N flight
+recorder events, and the last-N finished spans.
+
+``Database.dump_diagnostics(path)`` writes one on request;
+the serving worker's unhandled-error path writes one automatically when
+``SystemConfig.diagnostics_dir`` is set.  :func:`validate_bundle` is the
+schema check CI's diagnostics-smoke job (and the tests) run against the
+artifact — an unparseable or incomplete bundle is itself a bug.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+#: Bumped when the bundle layout changes incompatibly.
+BUNDLE_VERSION = 1
+
+#: Keys every well-formed bundle must carry.
+REQUIRED_KEYS: tuple[str, ...] = (
+    "bundle_version",
+    "created_unix",
+    "reason",
+    "config",
+    "metrics",
+    "health",
+    "breakers",
+    "recovery_ledger",
+    "faults",
+    "events",
+    "traces",
+)
+
+
+def build_bundle(
+    db, reason: str = "requested", error: BaseException | None = None,
+    max_events: int = 512, max_spans: int = 512,
+) -> dict:
+    """Assemble the diagnostics dict for one database (JSON-safe)."""
+    telemetry = db._telemetry
+    bundle: dict = {
+        "bundle_version": BUNDLE_VERSION,
+        "created_unix": time.time(),
+        "reason": reason,
+        "error": (
+            {"type": type(error).__name__, "message": str(error)}
+            if error is not None
+            else None
+        ),
+        "config": dataclasses.asdict(db.config),
+        "metrics": telemetry.registry.snapshot(),
+        "health": [list(row) for row in db.health().rows()],
+        "breakers": _breaker_rows(db),
+        "recovery_ledger": [list(row) for row in db.recovery_ledger.rows()],
+        "faults": {
+            "seed": db.faults.seed,
+            "armed": db.faults.armed_count,
+            "rows": [list(row) for row in db.faults.rows()],
+        },
+        "events": telemetry.events.as_dicts(limit=max_events),
+        "events_dropped": telemetry.events.dropped,
+        "traces": _span_dicts(telemetry.tracer, max_spans),
+        "spans_dropped": getattr(telemetry.tracer, "dropped", 0),
+    }
+    server = getattr(db, "_server", None)
+    if server is not None:
+        bundle["server"] = [list(row) for row in server.stats_rows()]
+    return bundle
+
+
+def _breaker_rows(db) -> list[list]:
+    rows: list[list] = []
+    server = getattr(db, "_server", None)
+    if server is not None and server.breakers is not None:
+        rows.extend(list(row) for row in server.breakers.rows())
+    executor = getattr(db, "_executor", None)
+    if executor is not None and getattr(executor, "breakers", None) is not None:
+        rows.extend(list(row) for row in executor.breakers.rows())
+    return rows
+
+
+def _span_dicts(tracer, max_spans: int) -> list[dict]:
+    finished = getattr(tracer, "finished", [])
+    return [
+        {
+            "name": s.name,
+            "category": s.category,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "trace_id": s.trace_id,
+            "tid": s.tid,
+            "start_s": s.start_s,
+            "end_s": s.end_s,
+            "args": {k: _json_safe(v) for k, v in s.args.items()},
+        }
+        for s in finished[-max_spans:]
+    ]
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def write_bundle(bundle: dict, path: str) -> str:
+    """Write one bundle as JSON; returns the path written."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(bundle, f, indent=2, default=str)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def validate_bundle(bundle: dict) -> list[str]:
+    """Schema-check one bundle; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(bundle, dict):
+        return [f"bundle must be a JSON object, got {type(bundle).__name__}"]
+    for key in REQUIRED_KEYS:
+        if key not in bundle:
+            problems.append(f"missing required key {key!r}")
+    if bundle.get("bundle_version") != BUNDLE_VERSION:
+        problems.append(
+            f"bundle_version must be {BUNDLE_VERSION}, "
+            f"got {bundle.get('bundle_version')!r}"
+        )
+    if not isinstance(bundle.get("created_unix"), (int, float)):
+        problems.append("created_unix must be a number")
+    if not isinstance(bundle.get("config"), dict):
+        problems.append("config must be an object")
+    if not isinstance(bundle.get("metrics"), dict):
+        problems.append("metrics must be an object")
+    faults = bundle.get("faults")
+    if not isinstance(faults, dict) or "seed" not in faults:
+        problems.append("faults must be an object carrying the injector seed")
+    for key in ("health", "breakers", "recovery_ledger", "events", "traces"):
+        if key in bundle and not isinstance(bundle[key], list):
+            problems.append(f"{key} must be an array")
+    for i, event in enumerate(bundle.get("events", [])):
+        if not isinstance(event, dict) or "kind" not in event or "seq" not in event:
+            problems.append(f"events[{i}] must be an object with seq and kind")
+            break
+    return problems

@@ -33,6 +33,9 @@ class QueryStats:
     #: estimate-vs-actual audit records for the inference stages this
     #: statement executed (:class:`~repro.telemetry.audit.StageAudit`).
     stage_audits: list = field(default_factory=list)
+    #: trace id of the statement's root span (0 when tracing is disabled);
+    #: feed it to ``SHOW TIMELINE <trace_id>`` to replay the request.
+    trace_id: int = 0
 
     @property
     def audit_mispredictions(self) -> int:
@@ -66,6 +69,8 @@ class QueryStats:
             ("cache_misses", self.cache_misses),
             ("engine_seconds", self.engine_seconds),
         ]
+        if self.trace_id:
+            rows.append(("trace_id", self.trace_id))
         for rep, count in sorted(self.representations.items()):
             rows.append((f"stages[{rep}]", count))
         if self.stage_audits:

@@ -176,6 +176,34 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        Mirrors Prometheus' ``histogram_quantile``: the target rank is
+        located in the cumulative bucket counts, then interpolated
+        linearly between the bucket's bounds.  Observations in the +Inf
+        bucket clamp to the highest finite bound (the estimate cannot
+        exceed what the buckets can express).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1] (got {q})")
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0
+        for i, n in enumerate(counts):
+            if running + n >= rank and n > 0:
+                if i >= len(self._bounds):  # +Inf bucket: clamp
+                    return self._bounds[-1]
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                upper = self._bounds[i]
+                return lower + (upper - lower) * ((rank - running) / n)
+            running += n
+        return self._bounds[-1]
+
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative counts keyed by upper bound (+Inf as ``float('inf')``)."""
         with self._lock:
@@ -282,6 +310,24 @@ class MetricsRegistry:
                 out[rendered] = value
         return out
 
+    def quantile_rows(
+        self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> list[tuple]:
+        """One summary row per histogram: ``(name, count, *quantiles)``.
+
+        Feeds the p50/p95/p99 columns of ``SHOW METRICS``; scalar metrics
+        have no distribution and contribute no row here.
+        """
+        rows: list[tuple] = []
+        for metric in self:
+            if isinstance(metric, Histogram):
+                rendered = metric.name + _render_labels(metric.labels)
+                rows.append(
+                    (rendered, float(metric.count))
+                    + tuple(round(metric.quantile(q), 9) for q in quantiles)
+                )
+        return sorted(rows)
+
     def render_prometheus(self) -> str:
         """The registry in the Prometheus text exposition format."""
         lines: list[str] = []
@@ -332,6 +378,9 @@ class _NullCounter:
     def reset(self) -> None:
         pass
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def bucket_counts(self) -> dict[float, int]:
         return {}
 
@@ -373,6 +422,11 @@ class NullRegistry:
 
     def snapshot(self) -> dict[str, float]:
         return {}
+
+    def quantile_rows(
+        self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> list[tuple]:
+        return []
 
     def render_prometheus(self) -> str:
         return ""

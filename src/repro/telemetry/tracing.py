@@ -1,4 +1,4 @@
-"""Span-based query tracing with Chrome-trace export.
+"""Span-based request tracing with Chrome-trace export.
 
 A :class:`Tracer` hands out context-managed spans; entering a span while
 another is open makes it a child (per thread), so one ``PREDICT`` query
@@ -11,9 +11,24 @@ produces a tree like::
         └── predict:fraud
             └── stage0:udf-centric
 
-Finished spans accumulate (bounded by ``max_spans``) until exported with
-:meth:`Tracer.export_chrome_trace`, which writes the Chrome trace-event
-JSON format — load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+Cross-thread requests use an explicit :class:`TraceContext`: the span
+that roots a request (minted in ``Database.execute`` or
+``ModelServer.submit``) exposes :meth:`Span.context`, and a worker thread
+re-anchors under it with :meth:`Tracer.context` so every span it opens
+shares the request's ``trace_id`` with correct parentage — the request no
+longer shatters into per-thread orphans.  Spans that outlive a single
+``with`` block (a request's lifecycle from submit to resolution) use
+:meth:`Tracer.start_span` and finish from any thread via
+:meth:`Span.finish`.
+
+Finished spans accumulate (bounded by ``max_spans``; overflow counts into
+``Tracer.dropped`` and, when wired, a ``tracer_spans_dropped_total``
+metric) until exported with :meth:`Tracer.export_chrome_trace`, which
+writes the Chrome trace-event JSON format — load the file at
+``chrome://tracing`` or https://ui.perfetto.dev.  The export carries
+``process_name``/``thread_name`` metadata records (real thread ids, so
+server workers render by name in Perfetto) and flow events linking a
+batch span to every member request it coalesced.
 
 Timestamps come from ``time.perf_counter`` — durations are exact, the
 epoch is arbitrary (Chrome tracing only cares about relative times).
@@ -31,6 +46,26 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """A portable anchor into one request's trace.
+
+    Carries the request's ``trace_id``, the span id new children should
+    parent under, and free-form baggage (model, SLA deadline, ...).
+    Immutable, so it can be handed across threads and queues freely.
+    """
+
+    trace_id: int
+    span_id: int
+    baggage: tuple[tuple[str, object], ...] = ()
+
+    def get(self, key: str, default: object = None) -> object:
+        for k, v in self.baggage:
+            if k == key:
+                return v
+        return default
+
+
 @dataclass
 class Span:
     """One timed region of work."""
@@ -42,6 +77,14 @@ class Span:
     start_s: float
     end_s: float | None = None
     args: dict[str, object] = field(default_factory=dict)
+    #: Every span belongs to exactly one trace; a root span's trace id is
+    #: its own span id.
+    trace_id: int = 0
+    #: OS thread that opened the span (Chrome-trace ``tid``).
+    tid: int = 0
+    #: Trace ids of other requests this span links to (flow events).
+    links: tuple[int, ...] = ()
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     @property
     def duration_s(self) -> float:
@@ -52,6 +95,32 @@ class Span:
     def set(self, **args: object) -> None:
         """Attach extra key/value detail to the span."""
         self.args.update(args)
+
+    def link(self, *trace_ids: int) -> None:
+        """Link other traces to this span (rendered as flow events)."""
+        self.links = self.links + tuple(int(t) for t in trace_ids)
+
+    def context(self, **baggage: object) -> TraceContext:
+        """A :class:`TraceContext` anchoring new work under this span."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            baggage=tuple(baggage.items()),
+        )
+
+    def finish(self, **args: object) -> None:
+        """Finish a detached span (started via ``Tracer.start_span``).
+
+        Idempotent and callable from any thread; the finishing thread is
+        not recorded (the opening thread's ``tid`` stands).
+        """
+        if args:
+            self.args.update(args)
+        tracer = self._tracer
+        if tracer is None or self.end_s is not None:
+            return
+        self.end_s = time.perf_counter()
+        tracer._collect(self)
 
 
 class Tracer:
@@ -69,43 +138,143 @@ class Tracer:
         self._local = threading.local()
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        self._thread_names: dict[int, str] = {}
         self.dropped = 0
+        #: Optional Counter mirroring ``dropped`` into the metrics
+        #: registry (``tracer_spans_dropped_total``); wired by Telemetry.
+        self.drop_counter = None
 
-    def _stack(self) -> list[Span]:
+    def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
+    def _open(
+        self,
+        name: str,
+        category: str,
+        args: dict[str, object],
+        parent: "Span | TraceContext | None",
+    ) -> Span:
+        tid = threading.get_ident()
+        if tid not in self._thread_names:
+            with self._lock:
+                self._thread_names[tid] = threading.current_thread().name
+        span_id = next(self._ids)
+        if parent is not None:
+            parent_id: int | None = parent.span_id
+            trace_id = parent.trace_id
+        else:
+            parent_id = None
+            trace_id = span_id  # a root span roots its own trace
+        return Span(
+            name=name,
+            category=category,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_s=time.perf_counter(),
+            args=args,
+            trace_id=trace_id,
+            tid=tid,
+            _tracer=self,
+        )
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) < self._max_spans:
+                self._finished.append(span)
+            else:
+                self.dropped += 1
+                if self.drop_counter is not None:
+                    self.drop_counter.inc()
+
     @contextmanager
     def span(self, name: str, category: str = "repro", **args: object) -> Iterator[Span]:
         stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
-        record = Span(
-            name=name,
-            category=category,
-            span_id=next(self._ids),
-            parent_id=parent_id,
-            start_s=time.perf_counter(),
-            args=dict(args),
-        )
+        parent = stack[-1] if stack else None
+        record = self._open(name, category, dict(args), parent)
         stack.append(record)
         try:
             yield record
         finally:
             record.end_s = time.perf_counter()
             stack.pop()
-            with self._lock:
-                if len(self._finished) < self._max_spans:
-                    self._finished.append(record)
-                else:
-                    self.dropped += 1
+            self._collect(record)
+
+    def start_span(
+        self,
+        name: str,
+        category: str = "repro",
+        ctx: TraceContext | None = None,
+        **args: object,
+    ) -> Span:
+        """Open a detached span that may finish on another thread.
+
+        Not pushed on the thread-local stack; parentage comes from ``ctx``
+        when given, else from the calling thread's current span.  Close it
+        with :meth:`Span.finish` (or :meth:`end_span`) from any thread.
+        """
+        parent: Span | TraceContext | None = ctx
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1] if stack else None
+        return self._open(name, category, dict(args), parent)
+
+    def end_span(self, span: Span, **args: object) -> None:
+        """Finish a detached span (alias for :meth:`Span.finish`)."""
+        span.finish(**args)
+
+    @contextmanager
+    def context(self, ctx: TraceContext | None) -> Iterator[None]:
+        """Anchor this thread's new spans under a request's context.
+
+        Pushes a lightweight anchor onto the thread-local stack: spans
+        opened inside the block inherit ``ctx.trace_id`` and parent under
+        ``ctx.span_id``, even though the context was minted on another
+        thread.  ``ctx=None`` is a no-op (requests without tracing).
+        """
+        if ctx is None:
+            yield None
+            return
+        stack = self._stack()
+        stack.append(ctx)
+        try:
+            yield None
+        finally:
+            stack.pop()
+
+    def current_context(self, **baggage: object) -> TraceContext | None:
+        """The calling thread's innermost span/anchor as a context."""
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        if isinstance(top, TraceContext):
+            if baggage:
+                return TraceContext(
+                    top.trace_id, top.span_id, top.baggage + tuple(baggage.items())
+                )
+            return top
+        return top.context(**baggage)
+
+    def current_trace_id(self) -> int | None:
+        """The trace id active on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1].trace_id if stack else None
 
     @property
     def finished(self) -> list[Span]:
         """Completed spans, in completion order (children before parents)."""
         with self._lock:
             return list(self._finished)
+
+    def spans_for(self, trace_id: int) -> list[Span]:
+        """Finished spans belonging to one trace, start-ordered."""
+        return sorted(
+            (s for s in self.finished if s.trace_id == trace_id),
+            key=lambda s: s.start_s,
+        )
 
     def clear(self) -> None:
         with self._lock:
@@ -114,13 +283,43 @@ class Tracer:
 
     def export_chrome_trace(self, path: str) -> int:
         """Write finished spans as Chrome trace-event JSON; returns the
-        number of events written."""
-        events = []
+        number of duration events written (metadata/flow records ride
+        along for free)."""
+        spans = self.finished
+        with self._lock:
+            thread_names = dict(self._thread_names)
         pid = os.getpid()
-        for span in self.finished:
-            args = {"span_id": span.span_id}
+        events: list[dict] = []
+        # Metadata records: process name once, thread names per tid seen.
+        meta: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        tids_seen = {span.tid or 1 for span in spans}
+        for tid in sorted(tids_seen):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_names.get(tid, f"thread-{tid}")},
+                }
+            )
+        roots = {s.trace_id: s for s in spans if s.span_id == s.trace_id}
+        flows: list[dict] = []
+        for span in spans:
+            tid = span.tid or 1
+            args: dict[str, object] = {"span_id": span.span_id}
             if span.parent_id is not None:
                 args["parent_id"] = span.parent_id
+            if span.trace_id:
+                args["trace_id"] = span.trace_id
             args.update(span.args)
             events.append(
                 {
@@ -130,18 +329,53 @@ class Tracer:
                     "ts": span.start_s * 1e6,
                     "dur": span.duration_s * 1e6,
                     "pid": pid,
-                    "tid": 1,
+                    "tid": tid,
                     "args": args,
                 }
             )
+            # Flow events: an arrow from each linked request's root span
+            # to this span (how a batch points at its member requests).
+            for linked in span.links:
+                source = roots.get(linked)
+                if source is None:
+                    continue
+                flows.append(
+                    {
+                        "name": "request-flow",
+                        "cat": "flow",
+                        "ph": "s",
+                        "id": f"{linked}-{span.span_id}",
+                        "ts": source.start_s * 1e6,
+                        "pid": pid,
+                        "tid": source.tid or 1,
+                    }
+                )
+                flows.append(
+                    {
+                        "name": "request-flow",
+                        "cat": "flow",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": f"{linked}-{span.span_id}",
+                        "ts": span.start_s * 1e6,
+                        "pid": pid,
+                        "tid": tid,
+                    }
+                )
         # Chrome tracing nests by (tid, ts, dur) containment, so events can
         # be written in any order; sort by start for readable raw JSON.
         events.sort(key=lambda e: e["ts"])
+        count = len(events)
         with open(path, "w", encoding="utf-8") as f:
             json.dump(
-                {"traceEvents": events, "displayTimeUnit": "ms"}, f, default=str
+                {
+                    "traceEvents": meta + events + flows,
+                    "displayTimeUnit": "ms",
+                },
+                f,
+                default=str,
             )
-        return len(events)
+        return count
 
 
 class _NullSpan:
@@ -155,9 +389,21 @@ class _NullSpan:
     start_s = 0.0
     end_s = 0.0
     duration_s = 0.0
+    trace_id = 0
+    tid = 0
+    links: tuple[int, ...] = ()
     args: dict[str, object] = {}
 
     def set(self, **args: object) -> None:
+        pass
+
+    def link(self, *trace_ids: int) -> None:
+        pass
+
+    def context(self, **baggage: object) -> None:
+        return None
+
+    def finish(self, **args: object) -> None:
         pass
 
 
@@ -179,11 +425,27 @@ class _NullSpanContext:
 _NULL_CTX = _NullSpanContext()
 
 
+class _NullAnchorContext:
+    """Reusable no-op for ``NullTracer.context``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_ANCHOR = _NullAnchorContext()
+
+
 class NullTracer:
     """No-op tracer: spans cost one method call, exports are empty."""
 
     enabled = False
     dropped = 0
+    drop_counter = None
 
     @property
     def finished(self) -> list[Span]:
@@ -191,6 +453,30 @@ class NullTracer:
 
     def span(self, name: str, category: str = "repro", **args: object) -> _NullSpanContext:
         return _NULL_CTX
+
+    def start_span(
+        self,
+        name: str,
+        category: str = "repro",
+        ctx: TraceContext | None = None,
+        **args: object,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end_span(self, span: object, **args: object) -> None:
+        pass
+
+    def context(self, ctx: TraceContext | None) -> _NullAnchorContext:
+        return _NULL_ANCHOR
+
+    def current_context(self, **baggage: object) -> None:
+        return None
+
+    def current_trace_id(self) -> None:
+        return None
+
+    def spans_for(self, trace_id: int) -> list[Span]:
+        return []
 
     def clear(self) -> None:
         pass

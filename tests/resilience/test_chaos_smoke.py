@@ -46,7 +46,7 @@ def test_served_load_survives_seeded_faults_without_client_errors():
         assert stats["server.requests.completed"] == 8
         assert stats["server.requests.failed"] == 0
         # ...and the resilience layer actually worked for it.
-        metrics = dict(db.execute("SHOW METRICS").rows)
+        metrics = {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
         engine_rescues = sum(
             value
             for name, value in metrics.items()

@@ -127,7 +127,7 @@ def test_health_gauges_published_on_collection(rng):
         db.register_model(fraud_fc_256(), name="fraud")
         db.predict("fraud", rng.normal(size=(8, 28)))
         db.health()
-        metrics = dict(db.execute("SHOW METRICS").rows)
+        metrics = {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
         assert metrics["health_overall_status"] == 1.0  # degraded
         assert metrics["health_components"] >= 3
         assert metrics['health_component_status{component="recovery"}'] == 1.0

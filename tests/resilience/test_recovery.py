@@ -43,7 +43,7 @@ def test_oom_recovers_relowered_with_identical_results(expected):
         result = db.predict("fraud", x)
         np.testing.assert_allclose(result.outputs, model.forward(x), atol=1e-9)
         assert result.detail.get("stage0.recovery") == 1.0
-        metrics = dict(db.execute("SHOW METRICS").rows)
+        metrics = {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
         assert metrics['engine_recoveries_total{outcome="relowered"}'] == 1
 
 
@@ -88,7 +88,7 @@ def test_gave_up_when_recovery_disabled(expected):
         db.register_model(fraud_fc_256(), name="fraud")
         with pytest.raises(OutOfMemoryError):
             db.predict("fraud", x)
-        metrics = dict(db.execute("SHOW METRICS").rows)
+        metrics = {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
         assert metrics['engine_recoveries_total{outcome="gave-up"}'] == 1
         audit = db.execute("SHOW AUDIT")
         recovery = dict(zip(audit.column("model"), audit.column("recovery")))

@@ -164,5 +164,5 @@ def test_cold_admissions_are_counted_by_the_server():
             stats = dict(server.stats_rows())
         assert cold_after_first == 1
         assert stats["server.cold_admissions"] == 3
-        metrics = dict(db.execute("SHOW METRICS").rows)
+        metrics = {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
         assert metrics["server_cold_admissions_total"] == 3

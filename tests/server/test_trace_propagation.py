@@ -1,0 +1,170 @@
+"""Trace-context propagation through the concurrent serving front-end.
+
+The acceptance stress: under 8 concurrent clients, every finished span
+carries the trace id of exactly one submitted request, parentage forms a
+tree per trace, and ``SHOW TIMELINE <trace_id>`` reconstructs the full
+admitted -> queued -> batched -> executed path across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+from repro.server import RequestState
+
+
+def _finished_spans(db):
+    return db._telemetry.tracer.finished
+
+
+def test_submit_mints_one_trace_per_request(db, features):
+    with db.serve(workers=1) as server:
+        futures = [server.submit("fraud", features[i]) for i in range(3)]
+        for future in futures:
+            future.result(timeout=10.0)
+        trace_ids = [future.trace_id for future in futures]
+        assert len(set(trace_ids)) == 3
+        for future in futures:
+            assert future.trace.trace_id == future.trace_id
+            assert future.trace.get("model") == "fraud"
+            assert future.trace.get("request_id") == future.request_id
+
+
+def test_request_span_finishes_with_outcome(db, features):
+    with db.serve(workers=1) as server:
+        future = server.submit("fraud", features[0])
+        future.result(timeout=10.0)
+    roots = [s for s in _finished_spans(db) if s.name == "request:fraud"]
+    assert roots, "the request's lifecycle span must finish"
+    span = next(s for s in roots if s.trace_id == future.trace_id)
+    assert span.args["outcome"] == "completed"
+    assert span.args["queue_ms"] >= 0.0
+    assert span.args["execute_ms"] >= 0.0
+
+
+def test_batch_span_runs_under_first_member_and_links_the_rest(db, features):
+    with db.serve(workers=1, max_batch_size=8, max_queue_delay_ms=50.0) as server:
+        futures = [server.submit("fraud", features[i]) for i in range(4)]
+        for future in futures:
+            future.result(timeout=10.0)
+    batches = [s for s in _finished_spans(db) if s.name.startswith("serve-batch:")]
+    assert batches
+    member_ids = {f.trace_id for f in futures}
+    for batch in batches:
+        assert batch.trace_id in member_ids  # runs under a member's trace
+        for linked in batch.links:
+            assert linked in member_ids
+    # Every member is either the batch's own trace or linked from it.
+    covered = set()
+    for batch in batches:
+        covered.add(batch.trace_id)
+        covered.update(batch.links)
+    assert member_ids <= covered
+
+
+def test_stress_every_span_maps_to_exactly_one_request(db, rng):
+    clients, per_client = 8, 12
+    feats = rng.normal(size=(clients * per_client, 28))
+    submitted: dict[int, object] = {}
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    with db.serve(workers=3, max_batch_size=16, max_queue_delay_ms=2.0) as server:
+
+        def client(cid: int):
+            try:
+                futures = [
+                    server.submit("fraud", feats[i])
+                    for i in range(cid * per_client, (cid + 1) * per_client)
+                ]
+                with lock:
+                    for future in futures:
+                        submitted[future.trace_id] = future
+                for future in futures:
+                    future.result(timeout=30.0)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(c,)) for c in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+
+    request_traces = set(submitted)
+    assert len(request_traces) == clients * per_client
+
+    spans = [s for s in _finished_spans(db) if s.category == "server"]
+    assert spans
+    by_id = {}
+    for span in spans:
+        # Every server-side span belongs to exactly one submitted request.
+        assert span.trace_id in request_traces, span.name
+        by_id[span.span_id] = span
+
+    # Parentage forms a tree per trace: following parent pointers within
+    # the server spans terminates at the request's root span, whose
+    # span_id equals the trace_id, and never crosses traces.
+    for span in spans:
+        seen = set()
+        node = span
+        while node.parent_id is not None and node.parent_id in by_id:
+            assert node.span_id not in seen  # no cycles
+            seen.add(node.span_id)
+            parent = by_id[node.parent_id]
+            assert parent.trace_id == span.trace_id
+            node = parent
+        if node.span_id == node.trace_id:
+            assert node.name == "request:fraud"
+
+    # Each request contributed exactly one root lifecycle span.
+    roots = [s for s in spans if s.span_id == s.trace_id]
+    assert {s.trace_id for s in roots} == request_traces
+    assert len(roots) == len(request_traces)
+    for future in submitted.values():
+        assert future.state is RequestState.DONE
+
+
+def test_show_timeline_reconstructs_request_path(db, features):
+    with db.serve(workers=1, max_batch_size=4, max_queue_delay_ms=5.0) as server:
+        futures = [server.submit("fraud", features[i]) for i in range(4)]
+        for future in futures:
+            future.result(timeout=10.0)
+
+    for future in futures:
+        cursor = db.execute(f"SHOW TIMELINE {future.trace_id}")
+        assert cursor.columns == ("at_ms", "source", "what", "detail")
+        whats = {(row[1], row[2]) for row in cursor.rows}
+        assert ("event", "request.admitted") in whats
+        assert ("event", "batch.formed") in whats
+        assert ("event", "batch.executed") in whats
+        assert ("event", "request.completed") in whats
+        assert ("span", "request:fraud") in whats
+        summary = {
+            row[2]: row[3] for row in cursor.rows if row[1] == "summary"
+        }
+        assert summary["outcome"] == "completed"
+        assert float(summary["queue_ms"]) >= 0.0
+        assert float(summary["execute_ms"]) >= 0.0
+
+
+def test_chrome_export_links_batches_to_members(db, features, tmp_path):
+    with db.serve(workers=1, max_batch_size=8, max_queue_delay_ms=50.0) as server:
+        futures = [server.submit("fraud", features[i]) for i in range(4)]
+        for future in futures:
+            future.result(timeout=10.0)
+    path = str(tmp_path / "trace.json")
+    assert db.export_trace(path) > 0
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    if any(
+        s.links for s in _finished_spans(db) if s.name.startswith("serve-batch:")
+    ):
+        assert "s" in phases and "f" in phases

@@ -33,7 +33,7 @@ def fraud_db(db):
 
 
 def metrics(db) -> dict[str, float]:
-    return dict(db.execute("SHOW METRICS").rows)
+    return {row[0]: row[1] for row in db.execute("SHOW METRICS").rows}
 
 
 def test_show_metrics_and_stats_parse_as_show():

@@ -1,0 +1,156 @@
+"""Postmortem diagnostics bundles: build, write, validate, auto-dump."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import SystemConfig
+from repro.errors import InjectedFaultError
+from repro.faults import FaultPlan, FaultSpec
+from repro.models import fraud_fc_256
+from repro.telemetry.diagnostics import (
+    BUNDLE_VERSION,
+    REQUIRED_KEYS,
+    build_bundle,
+    validate_bundle,
+    write_bundle,
+)
+
+
+@pytest.fixture
+def db(rng):
+    database = Database()
+    database.register_model(fraud_fc_256(), name="fraud")
+    database.execute("CREATE TABLE tx (id INT, amount DOUBLE)")
+    database.execute("INSERT INTO tx VALUES (1, 10.5), (2, 99.0)")
+    yield database
+    database.close()
+
+
+def test_bundle_has_every_required_key_and_validates(db):
+    db.execute("SELECT * FROM tx")
+    bundle = build_bundle(db)
+    for key in REQUIRED_KEYS:
+        assert key in bundle
+    assert bundle["bundle_version"] == BUNDLE_VERSION
+    assert bundle["reason"] == "requested"
+    assert bundle["error"] is None
+    assert bundle["config"]["telemetry_enabled"] is True
+    assert bundle["faults"]["seed"] is not None or "seed" in bundle["faults"]
+    assert validate_bundle(bundle) == []
+
+
+def test_bundle_captures_events_and_error(db, rng):
+    with db.serve(workers=1) as server:
+        server.predict("fraud", rng.normal(size=(4, 28)))
+    bundle = build_bundle(db, reason="test", error=ValueError("boom"))
+    assert bundle["reason"] == "test"
+    assert bundle["error"] == {"type": "ValueError", "message": "boom"}
+    kinds = {event["kind"] for event in bundle["events"]}
+    assert "request.admitted" in kinds
+    assert "request.completed" in kinds
+    assert bundle["traces"], "finished spans should be captured"
+    assert validate_bundle(bundle) == []
+
+
+def test_write_bundle_round_trips_as_json(db, tmp_path):
+    path = str(tmp_path / "nested" / "bundle.json")
+    written = db.dump_diagnostics(path, reason="unit-test")
+    assert written == path
+    with open(path, encoding="utf-8") as f:
+        loaded = json.load(f)
+    assert validate_bundle(loaded) == []
+    assert loaded["reason"] == "unit-test"
+
+
+def test_validate_bundle_reports_problems():
+    assert validate_bundle([]) != []
+    problems = validate_bundle({"bundle_version": 99, "events": [{"oops": 1}]})
+    assert any("missing required key" in p for p in problems)
+    assert any("bundle_version" in p for p in problems)
+    assert any("events[0]" in p for p in problems)
+
+
+def test_close_dumps_bundle_on_request(tmp_path, rng):
+    db = Database()
+    db.register_model(fraud_fc_256(), name="fraud")
+    db.predict_labels("fraud", rng.normal(size=(2, 28)))
+    path = str(tmp_path / "close.json")
+    db.close(diagnostics_path=path)
+    with open(path, encoding="utf-8") as f:
+        bundle = json.load(f)
+    assert validate_bundle(bundle) == []
+    assert bundle["reason"] == "close"
+
+
+def test_terminal_failure_auto_dumps_into_diagnostics_dir(tmp_path, rng):
+    directory = str(tmp_path / "diag")
+    config = SystemConfig(diagnostics_dir=directory)
+    db = Database(config=config)
+    db.register_model(fraud_fc_256(), name="fraud")
+    # A non-transient server.batch fault fails the lone request
+    # terminally (a batch of one cannot be isolated) — the FIRST
+    # client-visible failure auto-dumps exactly one bundle; the second
+    # does not (storm protection).
+    db.faults.load_plan(
+        FaultPlan(
+            specs=(
+                FaultSpec(site="server.batch", transient=False,
+                          one_shot=False, max_fires=2),
+            ),
+            seed=11,
+        )
+    )
+    with db.serve(workers=1, retry_limit=0) as server:
+        for __ in range(2):
+            future = server.submit("fraud", rng.normal(size=28))
+            with pytest.raises(InjectedFaultError):
+                future.result(timeout=10.0)
+    names = os.listdir(directory)
+    assert len(names) == 1, names
+    with open(os.path.join(directory, names[0]), encoding="utf-8") as f:
+        bundle = json.load(f)
+    assert validate_bundle(bundle) == []
+    assert bundle["reason"] == "server.request_failed"
+    assert bundle["error"]["type"] == "InjectedFaultError"
+    kinds = {event["kind"] for event in bundle["events"]}
+    assert "fault.injected" in kinds and "request.failed" in kinds
+    db.close()
+
+
+def test_seeded_fault_in_bundle_is_replayable(tmp_path, rng):
+    """The bundle records the injector seed and armed specs — enough to
+    re-arm the same plan and reproduce the same fault."""
+    feats = rng.normal(size=(8, 28))
+
+    def run(seed):
+        db = Database()
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.faults.load_plan(
+            FaultPlan(
+                specs=(
+                    FaultSpec(site="engine.stage", probability=0.5,
+                              one_shot=False, max_fires=2),
+                ),
+                seed=seed,
+            )
+        )
+        try:
+            db.predict_labels("fraud", feats)
+        except Exception:
+            pass
+        bundle = build_bundle(db, reason="chaos")
+        db.close()
+        return bundle
+
+    first = run(seed=1234)
+    assert first["faults"]["seed"] == 1234
+    again = run(seed=first["faults"]["seed"])
+    fired = [e for e in first["events"] if e["kind"] == "fault.injected"]
+    fired_again = [e for e in again["events"] if e["kind"] == "fault.injected"]
+    assert [e["fields"] for e in fired] == [e["fields"] for e in fired_again]

@@ -69,12 +69,17 @@ def test_export_chrome_trace_is_valid_json(tmp_path):
     assert tracer.export_chrome_trace(str(path)) == 2
     doc = json.loads(path.read_text())
     assert doc["displayTimeUnit"] == "ms"
-    events = doc["traceEvents"]
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
     assert [e["name"] for e in events] == ["query", "parse"]  # sorted by start
     for event in events:
-        assert event["ph"] == "X"
         assert event["dur"] >= 0
         assert isinstance(event["pid"], int)
+    # Metadata records name the process and every thread that emitted spans.
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    meta_names = {e["name"] for e in meta}
+    assert {"process_name", "thread_name"} <= meta_names
+    named_tids = {e["tid"] for e in meta if e["name"] == "thread_name"}
+    assert {e["tid"] for e in events} <= named_tids
     query, parse = events
     assert parse["args"]["parent_id"] == query["args"]["span_id"]
     assert query["args"]["sql"] == "SELECT 1"
