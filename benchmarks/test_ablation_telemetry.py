@@ -185,3 +185,61 @@ def test_ablation_events_disabled_p50_budget(capsys):
         )
     finally:
         db.close()
+
+
+#: The sampling profiler's whole point is rate-independent cost: one
+#: dict write per stage while running, one attribute check while stopped.
+#: Budget: running may add at most 15% to p50 on this single-digit-ms
+#: workload (the dominant term is the sampler thread waking at 5ms).
+PROFILER_BUDGET = 0.15
+
+
+def test_ablation_profiler_overhead(capsys):
+    """Ablation A7c — stage-profiler overhead while sampling vs stopped.
+
+    Three p50s on one telemetry-enabled database: before the sampler
+    starts, while it runs, and after it stops.  Running must stay within
+    ``PROFILER_BUDGET`` (+ the shared jitter allowance) of the baseline,
+    and stopping must return to it — the enter/exit hooks leave no
+    residual cost.
+    """
+    db = make_db(telemetry_enabled=True)
+    try:
+        before = p50_query_seconds(db)
+        assert db.start_profiler()
+        running = p50_query_seconds(db)
+        assert db.stop_profiler()
+        after = p50_query_seconds(db)
+        running_overhead = running / before - 1.0
+        stopped_overhead = after / before - 1.0
+        emit(
+            capsys,
+            render_table(
+                "Ablation A7c: stage-profiler overhead on the query path",
+                ["profiler", "p50", "overhead", "budget"],
+                [
+                    ["stopped (before)", fmt_seconds(before), "-", "-"],
+                    [
+                        "running",
+                        fmt_seconds(running),
+                        f"{running_overhead * 100:+.1f}%",
+                        f"{PROFILER_BUDGET * 100:.0f}% "
+                        f"(+{P50_JITTER * 100:.0f}% jitter)",
+                    ],
+                    [
+                        "stopped (after)",
+                        fmt_seconds(after),
+                        f"{stopped_overhead * 100:+.1f}%",
+                        f"(+{P50_JITTER * 100:.0f}% jitter)",
+                    ],
+                ],
+            ),
+        )
+        assert running <= before * (1.0 + PROFILER_BUDGET + P50_JITTER), (
+            f"profiler adds {running_overhead * 100:.1f}% while sampling"
+        )
+        assert after <= before * (1.0 + P50_JITTER), (
+            f"stopped profiler leaves {stopped_overhead * 100:.1f}% residue"
+        )
+    finally:
+        db.close()

@@ -165,6 +165,42 @@ class SystemConfig:
     # In half-open, each arrival becomes the probe with this probability,
     # drawn from the breaker's seeded RNG (1.0 = first arrival probes).
     breaker_probe_probability: float = 1.0
+    # -- workload intelligence (repro.telemetry.workload) ----------------
+    # Bound on distinct query fingerprints tracked; least-recently-seen
+    # shapes are evicted beyond it (backs ``SHOW WORKLOAD``).
+    workload_max_fingerprints: int = 512
+    # A fresh execution slower than factor * the fingerprint's rolling
+    # baseline flags a latency regression ...
+    workload_regression_factor: float = 3.0
+    # ... once the fingerprint has at least this many baseline calls ...
+    workload_regression_warmup: int = 8
+    # ... and the absolute slowdown is at least this many milliseconds
+    # (suppresses microsecond-scale noise on trivially fast shapes).
+    workload_regression_min_ms: float = 5.0
+    # -- service-level objectives (repro.telemetry.slo) ------------------
+    # Default per-model latency objective applied to models without an
+    # explicit ``Database.set_slo`` policy; 0 disables auto-tracking.
+    slo_latency_ms: float = 0.0
+    # Tolerated bad-request fraction (0.01 = 99% of requests good).
+    slo_error_budget: float = 0.01
+    # Multi-window burn-rate evaluation: the fast window catches acute
+    # incidents, the slow window confirms sustained burns.
+    slo_fast_window_s: float = 60.0
+    slo_slow_window_s: float = 3600.0
+    # Burn rates are 0 until a window holds this many outcomes.
+    slo_min_samples: int = 8
+    # An objective is "burning" when burn rate reaches this (1.0 spends
+    # the error budget exactly as fast as allowed).
+    slo_burn_threshold: float = 1.0
+    # -- sampling stage profiler (repro.telemetry.profiler) --------------
+    # Start the background stage sampler with the Database (opt-in; it
+    # can also be toggled at runtime via Database.start_profiler()).
+    profiler_enabled: bool = False
+    # Sampling period of the profiler's daemon thread.
+    profiler_interval_ms: float = 5.0
+    # Bound on distinct stage frames tracked; overflow attributes to a
+    # catch-all "<other>" frame.
+    profiler_max_stages: int = 256
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -224,6 +260,28 @@ class SystemConfig:
                 f"eviction_policy must be 'lru', 'clock', or '2q', "
                 f"got {self.eviction_policy!r}"
             )
+        for name in ("workload_max_fingerprints", "workload_regression_warmup",
+                     "slo_min_samples", "profiler_max_stages"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.workload_regression_factor <= 1.0:
+            raise ConfigError("workload_regression_factor must be > 1")
+        if self.workload_regression_min_ms < 0:
+            raise ConfigError("workload_regression_min_ms must be >= 0")
+        if self.slo_latency_ms < 0:
+            raise ConfigError("slo_latency_ms must be >= 0")
+        if not 0.0 < self.slo_error_budget <= 1.0:
+            raise ConfigError("slo_error_budget must be in (0, 1]")
+        if self.slo_fast_window_s <= 0 or self.slo_slow_window_s <= 0:
+            raise ConfigError("slo windows must be positive")
+        if self.slo_slow_window_s < self.slo_fast_window_s:
+            raise ConfigError(
+                "slo_slow_window_s must be >= slo_fast_window_s"
+            )
+        if self.slo_burn_threshold <= 0:
+            raise ConfigError("slo_burn_threshold must be positive")
+        if self.profiler_interval_ms <= 0:
+            raise ConfigError("profiler_interval_ms must be positive")
 
     @property
     def buffer_pool_pages(self) -> int:

@@ -163,6 +163,7 @@ class HybridExecutor:
         detail: dict[str, float] = {}
         outputs = current
         tracer = self.telemetry.tracer
+        profiler = self.telemetry.profiler
         # Forced plans are the paper's fixed-architecture baselines: a
         # forced whole-tensor plan that OOMs is the measurement (the OOM
         # cells of Table 3), so rescue only adaptive plans.
@@ -190,6 +191,12 @@ class HybridExecutor:
                         model=plan.model.name,
                         stage=i,
                         representation=stage.representation.value,
+                    )
+                    # Mark this worker thread's current stage for the
+                    # sampling profiler (near-free while it is stopped).
+                    profiler.enter(
+                        f"{plan.model.name};stage{i}:"
+                        f"{stage.representation.value}"
                     )
                     try:
                         result, recovery, recoveries_left = self._run_stage_guarded(
@@ -226,6 +233,8 @@ class HybridExecutor:
                             recovery="gave-up",
                         )
                         raise
+                    finally:
+                        profiler.exit()
                     stage_span.set(
                         engine=result.engine,
                         measured_seconds=result.measured_seconds,

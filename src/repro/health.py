@@ -212,6 +212,25 @@ def collect(db) -> HealthReport:
                 f"emitted={recorder.emitted_total} dropped={recorder.dropped}",
             )
         )
+        # SLO burn rates: a fast-window burn is DEGRADED (acute incident,
+        # page-soon); fast + slow burning together is FAILING (sustained,
+        # budget actively exhausting).
+        for model, slo in sorted(telemetry.slo.snapshot().items()):
+            if slo["burning_fast"] and slo["burning_slow"]:
+                status = FAILING
+            elif slo["burning_fast"] or slo["burning_slow"]:
+                status = DEGRADED
+            else:
+                status = OK
+            components.append(
+                ComponentHealth(
+                    f"slo:{model}",
+                    status,
+                    f"fast_burn={slo['fast_burn']} slow_burn={slo['slow_burn']} "
+                    f"budget={slo['error_budget']} "
+                    f"latency_ms={slo['latency_ms']:g}",
+                )
+            )
 
     # Armed fault injections mean the session is deliberately unreliable.
     if db._faults.active and db._faults.armed_count:

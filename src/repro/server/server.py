@@ -139,6 +139,7 @@ class ModelServer:
         tracer = db.telemetry.tracer
         self._tracer = tracer
         self._recorder = db.telemetry.events
+        self._slo = db.telemetry.slo
         if self.breakers is not None:
             self.breakers.recorder = self._recorder
         self._m_requests = {
@@ -443,8 +444,14 @@ class ModelServer:
             return None
         return self.breakers.get(f"model:{name}")
 
-    def _record_outcome(self, model: str, ok: bool) -> None:
-        """Feed one terminal request outcome to the model's breaker."""
+    def _record_outcome(
+        self, model: str, ok: bool, latency_ms: float = 0.0
+    ) -> None:
+        """Feed one terminal request outcome to the model's breaker and
+        SLO window.  ``latency_ms`` is the client-visible latency (queue +
+        execute) for completed requests; failures pass 0 — they count
+        against the error budget regardless of how fast they failed."""
+        self._slo.observe(model, ok, latency_ms)
         breaker = self._breaker(model)
         if breaker is None:
             return
@@ -574,8 +581,12 @@ class ModelServer:
             return
         drops = batcher.stats.deadline_drops
         if drops > state.drops_seen:
-            self._m_requests["expired"].inc(drops - state.drops_seen)
+            new_drops = drops - state.drops_seen
+            self._m_requests["expired"].inc(new_drops)
             state.drops_seen = drops
+            # An expired request never completed: each one burns budget.
+            for _ in range(new_drops):
+                self._slo.observe(batcher.model, False, 0.0)
 
     def _execute_batch(self, batch: Batch) -> None:
         state = self._models[batch.model]
@@ -692,7 +703,11 @@ class ModelServer:
                 queue_ms=round(queue_seconds * 1e3, 3),
                 execute_ms=round(execute_seconds * 1e3, 3),
             )
-            self._record_outcome(batch.model, ok=True)
+            self._record_outcome(
+                batch.model,
+                ok=True,
+                latency_ms=(queue_seconds + execute_seconds) * 1e3,
+            )
         self._m_requests["completed"].inc(len(batch.requests))
 
     def _execute_isolated(self, batch: Batch, started: float) -> None:
@@ -755,7 +770,11 @@ class ModelServer:
                 isolated=True,
             )
             self._m_requests["completed"].inc()
-            self._record_outcome(batch.model, ok=True)
+            self._record_outcome(
+                batch.model,
+                ok=True,
+                latency_ms=(queue_seconds + execute_seconds) * 1e3,
+            )
             succeeded += 1
         if succeeded:
             # Isolation salvaged at least part of a poisoned batch.

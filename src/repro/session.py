@@ -57,7 +57,10 @@ from .storage.disk import FileDiskManager, InMemoryDiskManager
 from .telemetry import (
     AUDIT_COLUMNS,
     EVENT_COLUMNS,
+    PROFILE_COLUMNS,
+    SLO_COLUMNS,
     TIMELINE_COLUMNS,
+    WORKLOAD_COLUMNS,
     QueryStats,
     StageAudit,
     Telemetry,
@@ -168,6 +171,7 @@ _READ_STATEMENTS = (
     sql_ast.Show,
     sql_ast.ShowEvents,
     sql_ast.ShowTimeline,
+    sql_ast.ShowWorkload,
     sql_ast.Explain,
     sql_ast.ExplainAnalyze,
     sql_ast.UnionAll,
@@ -205,7 +209,22 @@ class Database:
             max_spans=self._config.telemetry_max_spans,
             max_audit_records=self._config.audit_max_records,
             max_events=self._config.telemetry_max_events,
+            workload_max_fingerprints=self._config.workload_max_fingerprints,
+            workload_regression_factor=self._config.workload_regression_factor,
+            workload_regression_warmup=self._config.workload_regression_warmup,
+            workload_regression_min_ms=self._config.workload_regression_min_ms,
+            page_size=self._config.page_size,
+            slo_fast_window_s=self._config.slo_fast_window_s,
+            slo_slow_window_s=self._config.slo_slow_window_s,
+            slo_min_samples=self._config.slo_min_samples,
+            slo_burn_threshold=self._config.slo_burn_threshold,
+            slo_latency_ms=self._config.slo_latency_ms,
+            slo_error_budget=self._config.slo_error_budget,
+            profiler_interval_ms=self._config.profiler_interval_ms,
+            profiler_max_stages=self._config.profiler_max_stages,
         )
+        if self._config.profiler_enabled:
+            self._telemetry.profiler.start()
         registry = self._telemetry.registry
         self._m_queries = registry.counter(
             "queries_total", "SQL statements executed"
@@ -335,6 +354,48 @@ class Database:
         """
         return self._telemetry.tracer.export_chrome_trace(path)
 
+    def set_slo(
+        self,
+        model: str,
+        latency_ms: float = 0.0,
+        error_budget: float = 0.01,
+    ) -> None:
+        """Declare a per-model service-level objective.
+
+        A served request counts against ``model``'s error budget when it
+        fails or finishes slower than ``latency_ms`` (0 disables the
+        latency component).  Burn rates over the fast/slow windows back
+        ``SHOW SLO``, fold into :meth:`health`, and emit
+        ``slo.burn_start`` / ``slo.burn_stop`` flight-recorder events.
+        No-op with telemetry disabled.
+        """
+        self._telemetry.slo.set_policy(model, latency_ms, error_budget)
+
+    def start_profiler(self) -> bool:
+        """Start the sampling stage profiler (see ``SHOW PROFILE``).
+
+        Returns False if already running or telemetry is disabled.
+        """
+        return self._telemetry.profiler.start()
+
+    def stop_profiler(self) -> bool:
+        """Stop the sampling stage profiler (samples are kept)."""
+        return self._telemetry.profiler.stop()
+
+    def export_profile(self, path: str) -> int:
+        """Write the stage profile in collapsed-stack (folded) format.
+
+        One ``frames count`` line per sampled stage, directly consumable
+        by ``flamegraph.pl`` or speedscope.  Returns the number of lines
+        written (0 with telemetry disabled or nothing sampled, which
+        still produces a valid empty file).
+        """
+        lines = self._telemetry.profiler.collapsed()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
     def _system_stats_rows(self) -> list[tuple[str, object]]:
         """Rows for ``SHOW STATS``: one (stat, value) pair per line.
 
@@ -380,6 +441,19 @@ class Database:
                         "audit.mispredictions",
                         len(self._telemetry.audit.mispredictions()),
                     ),
+                    ("workload.fingerprints", len(self._telemetry.workload)),
+                    (
+                        "workload.recorded",
+                        self._telemetry.workload.recorded_total,
+                    ),
+                    ("workload.evicted", self._telemetry.workload.evicted_total),
+                    (
+                        "workload.regressions",
+                        self._telemetry.workload.regressions_total(),
+                    ),
+                    ("slo.models", len(self._telemetry.slo.policies())),
+                    ("profiler.running", self._telemetry.profiler.running),
+                    ("profiler.samples", self._telemetry.profiler.sampled),
                 ]
             )
         if self._server is not None:
@@ -501,6 +575,7 @@ class Database:
             stage_audits=telemetry.audit.records_since(audit_marker),
             trace_id=query_span.trace_id,
         )
+        telemetry.workload.record(stmt, cursor.stats)
         return cursor
 
     def _statement_lock(self, stmt: sql_ast.Statement):
@@ -630,10 +705,16 @@ class Database:
                 return Cursor(FAULT_COLUMNS, self._faults.rows())
             if what == "health":
                 return Cursor(HEALTH_COLUMNS, collect_health(self).rows())
+            if what == "slo":
+                return Cursor(SLO_COLUMNS, self._telemetry.slo.rows())
+            if what == "profile":
+                return Cursor(
+                    PROFILE_COLUMNS, self._telemetry.profiler.top_rows()
+                )
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
                 "MODELS, METRICS, STATS, SERVER, AUDIT, FAULTS, HEALTH, "
-                "EVENTS, or TIMELINE"
+                "EVENTS, TIMELINE, WORKLOAD, SLO, or PROFILE"
             )
         if isinstance(stmt, sql_ast.ShowEvents):
             rows = filter_rows(
@@ -644,6 +725,15 @@ class Database:
             events = self._telemetry.events.events(trace_id=stmt.trace_id)
             spans = self._telemetry.tracer.spans_for(stmt.trace_id)
             return Cursor(TIMELINE_COLUMNS, timeline_rows(events, spans))
+        if isinstance(stmt, sql_ast.ShowWorkload):
+            workload = self._telemetry.workload
+            if stmt.fingerprint is not None:
+                return Cursor(
+                    ("stat", "value"), workload.detail_rows(stmt.fingerprint)
+                )
+            return Cursor(
+                WORKLOAD_COLUMNS, workload.top_rows(stmt.top, stmt.by)
+            )
         if isinstance(stmt, sql_ast.UnionAll):
             from .relational.operators import Concat
 
@@ -1114,6 +1204,7 @@ class Database:
         """
         if diagnostics_path is not None:
             self.dump_diagnostics(diagnostics_path, reason="close")
+        self._telemetry.profiler.stop()
         if self._server is not None:
             self._server.close()
         if self._path is not None:

@@ -178,6 +178,23 @@ class ShowEvents(Statement):
 
 
 @dataclass
+class ShowWorkload(Statement):
+    """``SHOW WORKLOAD [TOP k BY latency|count|bytes]`` or
+    ``SHOW WORKLOAD '<fingerprint>'``.
+
+    Renders the workload-intelligence store: one aggregated row per query
+    fingerprint (normalized statement with literals stripped), or the
+    per-fingerprint detail view when a fingerprint string is given.  The
+    grammar only produces ``by`` together with ``top``, so the canonical
+    form ``ShowWorkload()`` unparses as plain ``SHOW workload``.
+    """
+
+    top: int | None = None
+    by: str = "latency"  # "latency", "count", or "bytes"
+    fingerprint: str | None = None
+
+
+@dataclass
 class ShowTimeline(Statement):
     """``SHOW TIMELINE <trace_id>``: replay one request's lifecycle.
 

@@ -23,10 +23,13 @@ KEYWORDS = frozenset(
 # tokens; the parser special-cases them by value.
 SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 
-#: The soft keywords valid as a SHOW target.
+#: The soft keywords valid as a SHOW target.  WORKLOAD / SLO / PROFILE
+#: back the workload-intelligence layer (per-fingerprint aggregates,
+#: burn-rate objectives, and the sampling stage profiler); WORKLOAD is
+#: parsed specially for its TOP k BY / fingerprint forms.
 SHOW_TARGETS = frozenset(
     {"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS", "HEALTH", "EVENTS",
-     "TIMELINE"}
+     "TIMELINE", "WORKLOAD", "SLO", "PROFILE"}
 )
 
 

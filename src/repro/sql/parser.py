@@ -35,6 +35,7 @@ from .ast import (
     Show,
     ShowEvents,
     ShowTimeline,
+    ShowWorkload,
     Star,
     Statement,
     TableRef,
@@ -148,6 +149,8 @@ class _Parser:
                     )
                 self._advance()
                 stmt = ShowTimeline(int(_parse_number(trace.value)))
+            elif what.type is TokenType.IDENT and what.value == "workload":
+                stmt = self._parse_show_workload()
             elif (
                 what.type is TokenType.IDENT and what.value.upper() in SHOW_TARGETS
             ):
@@ -155,7 +158,8 @@ class _Parser:
             else:
                 raise SqlParseError(
                     "expected TABLES, MODELS, METRICS, STATS, SERVER, "
-                    "AUDIT, FAULTS, HEALTH, EVENTS, or TIMELINE after SHOW"
+                    "AUDIT, FAULTS, HEALTH, EVENTS, TIMELINE, WORKLOAD, "
+                    "SLO, or PROFILE after SHOW"
                 )
         else:
             raise SqlParseError(
@@ -257,6 +261,42 @@ class _Parser:
             if not self._accept_punct(","):
                 break
         return Insert(table, rows)
+
+    def _parse_show_workload(self) -> ShowWorkload:
+        """``SHOW WORKLOAD [TOP k BY latency|count|bytes | '<fingerprint>']``.
+
+        TOP is a soft keyword (only meaningful here, stays usable as an
+        identifier elsewhere); BY is required whenever TOP is given so
+        the statement round-trips through unparse unambiguously.
+        """
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ShowWorkload(fingerprint=token.value)
+        if token.type is TokenType.IDENT and token.value == "top":
+            self._advance()
+            count = self._peek()
+            if count.type is not TokenType.NUMBER:
+                raise SqlParseError(
+                    "expected a row count after SHOW WORKLOAD TOP"
+                )
+            self._advance()
+            top = int(_parse_number(count.value))
+            if top < 1:
+                raise SqlParseError("SHOW WORKLOAD TOP count must be >= 1")
+            self._expect_keyword("BY")
+            target = self._advance()
+            if target.type is not TokenType.IDENT or target.value not in (
+                "latency",
+                "count",
+                "bytes",
+            ):
+                raise SqlParseError(
+                    "expected latency, count, or bytes after "
+                    "SHOW WORKLOAD TOP k BY"
+                )
+            return ShowWorkload(top=top, by=target.value)
+        return ShowWorkload()
 
     def _parse_literal_value(self) -> object:
         token = self._peek()

@@ -56,6 +56,7 @@ from .ast import (
     Show,
     ShowEvents,
     ShowTimeline,
+    ShowWorkload,
     Star,
     Statement,
     TableRef,
@@ -111,6 +112,12 @@ def unparse(stmt: Statement) -> str:
         return sql
     if isinstance(stmt, ShowTimeline):
         return f"SHOW timeline {stmt.trace_id}"
+    if isinstance(stmt, ShowWorkload):
+        if stmt.fingerprint is not None:
+            return f"SHOW workload {_string(stmt.fingerprint)}"
+        if stmt.top is not None:
+            return f"SHOW workload TOP {stmt.top} BY {stmt.by}"
+        return "SHOW workload"
     if isinstance(stmt, Show):
         return f"SHOW {stmt.what}"
     raise SqlError(f"cannot unparse statement type {type(stmt).__name__}")

@@ -41,8 +41,30 @@ from .events import (
     NullRecorder,
     timeline_rows,
 )
-from .logs import ROOT_LOGGER_NAME, enable_console_logging, get_logger
+from .logs import (
+    ROOT_LOGGER_NAME,
+    TRACE_LOG_FORMAT,
+    TraceContextFilter,
+    current_trace_ids,
+    enable_console_logging,
+    get_logger,
+    register_tracer,
+)
+from .profiler import (
+    NULL_PROFILER,
+    PROFILE_COLUMNS,
+    NullStageProfiler,
+    StageProfiler,
+)
 from .query_stats import QueryStats
+from .slo import NULL_SLO, SLO_COLUMNS, NullSloTracker, SloPolicy, SloTracker
+from .workload import (
+    NULL_WORKLOAD,
+    WORKLOAD_COLUMNS,
+    NullWorkloadStore,
+    WorkloadStore,
+    fingerprint,
+)
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     GLOBAL_REGISTRY,
@@ -57,7 +79,9 @@ from .tracing import NULL_TRACER, NullTracer, Span, TraceContext, Tracer
 
 
 class Telemetry:
-    """One registry + tracer + flight recorder + plan auditor behind a switch."""
+    """One registry + tracer + flight recorder + plan auditor + workload
+    intelligence (fingerprint store, SLO tracker, stage profiler) behind
+    a single switch."""
 
     def __init__(
         self,
@@ -67,6 +91,19 @@ class Telemetry:
         max_spans: int = 65536,
         max_audit_records: int = 1024,
         max_events: int = 4096,
+        workload_max_fingerprints: int = 512,
+        workload_regression_factor: float = 3.0,
+        workload_regression_warmup: int = 8,
+        workload_regression_min_ms: float = 5.0,
+        page_size: int = 64 * 1024,
+        slo_fast_window_s: float = 60.0,
+        slo_slow_window_s: float = 3600.0,
+        slo_min_samples: int = 8,
+        slo_burn_threshold: float = 1.0,
+        slo_latency_ms: float = 0.0,
+        slo_error_budget: float = 0.01,
+        profiler_interval_ms: float = 5.0,
+        profiler_max_stages: int = 256,
     ):
         self.enabled = enabled
         if enabled:
@@ -82,17 +119,45 @@ class Telemetry:
                 "tracer_spans_dropped_total",
                 "Finished spans dropped by the tracer ring buffer",
             )
+            register_tracer(self.tracer)  # log-record trace correlation
             self.audit: PlanAuditor | NullAuditor = PlanAuditor(
                 self.registry, max_records=max_audit_records
             )
             self.events: FlightRecorder | NullRecorder = FlightRecorder(
                 max_events=max_events, metrics=self.registry
             )
+            self.workload: WorkloadStore | NullWorkloadStore = WorkloadStore(
+                max_fingerprints=workload_max_fingerprints,
+                page_size=page_size,
+                regression_factor=workload_regression_factor,
+                regression_warmup=workload_regression_warmup,
+                regression_min_ms=workload_regression_min_ms,
+                metrics=self.registry,
+                recorder=self.events,
+            )
+            self.slo: SloTracker | NullSloTracker = SloTracker(
+                fast_window_s=slo_fast_window_s,
+                slow_window_s=slo_slow_window_s,
+                min_samples=slo_min_samples,
+                burn_threshold=slo_burn_threshold,
+                default_latency_ms=slo_latency_ms,
+                default_error_budget=slo_error_budget,
+                metrics=self.registry,
+                recorder=self.events,
+            )
+            self.profiler: StageProfiler | NullStageProfiler = StageProfiler(
+                interval_ms=profiler_interval_ms,
+                max_frames=profiler_max_stages,
+                metrics=self.registry,
+            )
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
             self.audit = NULL_AUDITOR
             self.events = NULL_RECORDER
+            self.workload = NULL_WORKLOAD
+            self.slo = NULL_SLO
+            self.profiler = NULL_PROFILER
 
 
 #: Shared disabled instance — components default to this when no
@@ -131,5 +196,23 @@ __all__ = [
     "QueryStats",
     "get_logger",
     "enable_console_logging",
+    "register_tracer",
+    "current_trace_ids",
+    "TraceContextFilter",
+    "TRACE_LOG_FORMAT",
     "ROOT_LOGGER_NAME",
+    "WorkloadStore",
+    "NullWorkloadStore",
+    "NULL_WORKLOAD",
+    "WORKLOAD_COLUMNS",
+    "fingerprint",
+    "SloTracker",
+    "NullSloTracker",
+    "SloPolicy",
+    "NULL_SLO",
+    "SLO_COLUMNS",
+    "StageProfiler",
+    "NullStageProfiler",
+    "NULL_PROFILER",
+    "PROFILE_COLUMNS",
 ]

@@ -4,7 +4,9 @@ A bundle is the serialized answer to "what was the system doing when it
 broke?": the effective config, a metrics snapshot, the health report,
 breaker states, the recovery ledger, armed faults (with the injector
 seed, so a chaos failure replays deterministically), the last-N flight
-recorder events, and the last-N finished spans.
+recorder events, the last-N finished spans, the workload top-K (which
+query shapes dominated), the SLO burn state, and the stage-profiler
+summary.
 
 ``Database.dump_diagnostics(path)`` writes one on request;
 the serving worker's unhandled-error path writes one automatically when
@@ -20,8 +22,13 @@ import json
 import os
 import time
 
-#: Bumped when the bundle layout changes incompatibly.
-BUNDLE_VERSION = 1
+from .profiler import PROFILE_COLUMNS
+from .slo import SLO_COLUMNS
+from .workload import WORKLOAD_COLUMNS
+
+#: Bumped when the bundle layout changes incompatibly.  v2 added the
+#: workload / slo / profile sections.
+BUNDLE_VERSION = 2
 
 #: Keys every well-formed bundle must carry.
 REQUIRED_KEYS: tuple[str, ...] = (
@@ -36,7 +43,13 @@ REQUIRED_KEYS: tuple[str, ...] = (
     "faults",
     "events",
     "traces",
+    "workload",
+    "slo",
+    "profile",
 )
+
+#: Query shapes included in a bundle's workload section.
+WORKLOAD_TOP_K = 20
 
 
 def build_bundle(
@@ -68,6 +81,39 @@ def build_bundle(
         "events_dropped": telemetry.events.dropped,
         "traces": _span_dicts(telemetry.tracer, max_spans),
         "spans_dropped": getattr(telemetry.tracer, "dropped", 0),
+        # Workload intelligence: which query shapes dominated (top-K by
+        # total latency), whether any SLO was burning, and where sampled
+        # stage time went — the "what was hot" half of the postmortem.
+        "workload": {
+            "columns": list(WORKLOAD_COLUMNS),
+            "top": [
+                [_json_safe(v) for v in row]
+                for row in telemetry.workload.top_rows(
+                    top=WORKLOAD_TOP_K, by="latency"
+                )
+            ],
+            "fingerprints": len(telemetry.workload),
+            "evicted": telemetry.workload.evicted_total,
+            "regressions": telemetry.workload.regressions_total(),
+        },
+        "slo": {
+            "columns": list(SLO_COLUMNS),
+            "rows": [[_json_safe(v) for v in row] for row in telemetry.slo.rows()],
+            "models": {
+                model: {k: _json_safe(v) for k, v in state.items()}
+                for model, state in telemetry.slo.snapshot().items()
+            },
+        },
+        "profile": {
+            "columns": list(PROFILE_COLUMNS),
+            "running": bool(telemetry.profiler.running),
+            "samples": telemetry.profiler.sampled,
+            "top": [
+                [_json_safe(v) for v in row]
+                for row in telemetry.profiler.top_rows(top=WORKLOAD_TOP_K)
+            ],
+            "collapsed": telemetry.profiler.collapsed(),
+        },
     }
     server = getattr(db, "_server", None)
     if server is not None:
@@ -154,4 +200,39 @@ def validate_bundle(bundle: dict) -> list[str]:
         if not isinstance(event, dict) or "kind" not in event or "seq" not in event:
             problems.append(f"events[{i}] must be an object with seq and kind")
             break
+    workload = bundle.get("workload")
+    if workload is not None:
+        if not isinstance(workload, dict) or "top" not in workload:
+            problems.append("workload must be an object carrying top rows")
+        else:
+            columns = workload.get("columns", [])
+            for i, row in enumerate(workload.get("top", [])):
+                if not isinstance(row, list) or len(row) != len(columns):
+                    problems.append(
+                        f"workload.top[{i}] must be a row matching "
+                        "workload.columns"
+                    )
+                    break
+    slo = bundle.get("slo")
+    if slo is not None and (
+        not isinstance(slo, dict) or not isinstance(slo.get("rows"), list)
+    ):
+        problems.append("slo must be an object carrying rows")
+    profile = bundle.get("profile")
+    if profile is not None:
+        if not isinstance(profile, dict) or "collapsed" not in profile:
+            problems.append("profile must be an object carrying collapsed stacks")
+        else:
+            for i, line in enumerate(profile.get("collapsed", [])):
+                # Folded-stack format: "frame[;frame...] <count>".
+                if (
+                    not isinstance(line, str)
+                    or " " not in line
+                    or not line.rsplit(" ", 1)[1].isdigit()
+                ):
+                    problems.append(
+                        f"profile.collapsed[{i}] must be a "
+                        "'frames count' folded-stack line"
+                    )
+                    break
     return problems

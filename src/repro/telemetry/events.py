@@ -51,6 +51,9 @@ EVENT_KINDS: tuple[str, ...] = (
     "cache.hit",
     "cache.miss",
     "server.worker_error",
+    "slo.burn_start",
+    "slo.burn_stop",
+    "workload.regression",
 )
 
 #: Columns for ``SHOW EVENTS`` cursors.

@@ -1,4 +1,4 @@
-"""The ``repro`` logging namespace.
+"""The ``repro`` logging namespace, trace-correlated.
 
 Every subsystem logs under ``repro.<subsystem>`` (e.g.
 ``repro.optimizer`` emits a DEBUG record per representation decision).
@@ -9,17 +9,70 @@ unless it configures logging itself — or calls
 
     from repro.telemetry import enable_console_logging
     enable_console_logging()          # DEBUG to stderr
+
+Log records are **trace-correlated**: a :class:`TraceContextFilter`
+(attached automatically by :func:`enable_console_logging`, attachable to
+any handler) stamps every record with the ``trace_id`` / ``span_id`` of
+the span active on the emitting thread, so a grep for one request's
+trace id joins its log lines against ``SHOW TIMELINE`` and the exported
+Chrome trace.  Tracers register themselves here on construction (via a
+weak set, so a closed Database's tracer never pins memory); records
+emitted outside any span carry ``trace_id=0 span_id=0``.
 """
 
 from __future__ import annotations
 
 import logging
+import weakref
 
 ROOT_LOGGER_NAME = "repro"
+
+#: Log format that surfaces the correlation ids stamped by
+#: :class:`TraceContextFilter`.
+TRACE_LOG_FORMAT = (
+    "%(asctime)s %(name)s %(levelname)s "
+    "[trace=%(trace_id)s span=%(span_id)s] %(message)s"
+)
 
 _root = logging.getLogger(ROOT_LOGGER_NAME)
 if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
     _root.addHandler(logging.NullHandler())
+
+# Live tracers whose per-thread span stacks the filter consults.  Weak so
+# that log correlation never keeps a closed Database's tracer alive.
+_ACTIVE_TRACERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_tracer(tracer) -> None:
+    """Make a tracer's active spans visible to log correlation."""
+    _ACTIVE_TRACERS.add(tracer)
+
+
+def current_trace_ids() -> tuple[int, int]:
+    """(trace_id, span_id) of the span active on this thread, or (0, 0).
+
+    With several live Databases the first registered tracer with an
+    active span on the calling thread wins — spans are thread-local, so
+    in practice at most one tracer has one.
+    """
+    for tracer in list(_ACTIVE_TRACERS):
+        context = tracer.current_context()
+        if context is not None:
+            return context.trace_id, context.span_id
+    return 0, 0
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp ``record.trace_id`` / ``record.span_id`` from the active span.
+
+    Implemented as a filter (that always passes) rather than a formatter
+    so it composes with any formatter and the ids are available to
+    structured handlers too.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.trace_id, record.span_id = current_trace_ids()
+        return True
 
 
 def get_logger(subsystem: str | None = None) -> logging.Logger:
@@ -30,15 +83,14 @@ def get_logger(subsystem: str | None = None) -> logging.Logger:
 
 
 def enable_console_logging(level: int = logging.DEBUG) -> logging.Handler:
-    """Attach a stderr handler to the ``repro`` namespace.
+    """Attach a trace-correlated stderr handler to the ``repro`` namespace.
 
     Returns the handler so callers can detach it again with
     ``logging.getLogger("repro").removeHandler(handler)``.
     """
     handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-    )
+    handler.addFilter(TraceContextFilter())
+    handler.setFormatter(logging.Formatter(TRACE_LOG_FORMAT))
     handler.setLevel(level)
     _root.addHandler(handler)
     _root.setLevel(min(level, _root.level or level))

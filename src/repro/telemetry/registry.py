@@ -316,17 +316,24 @@ class MetricsRegistry:
         """One summary row per histogram: ``(name, count, *quantiles)``.
 
         Feeds the p50/p95/p99 columns of ``SHOW METRICS``; scalar metrics
-        have no distribution and contribute no row here.
+        have no distribution and contribute no row here.  A histogram
+        with zero observations has no quantiles at all — its columns
+        render as SQL NULL (``None``), not a misleading ``0.0``.
         """
         rows: list[tuple] = []
         for metric in self:
             if isinstance(metric, Histogram):
                 rendered = metric.name + _render_labels(metric.labels)
-                rows.append(
-                    (rendered, float(metric.count))
-                    + tuple(round(metric.quantile(q), 9) for q in quantiles)
-                )
-        return sorted(rows)
+                if metric.count == 0:
+                    rows.append(
+                        (rendered, 0.0) + (None,) * len(quantiles)
+                    )
+                else:
+                    rows.append(
+                        (rendered, float(metric.count))
+                        + tuple(round(metric.quantile(q), 9) for q in quantiles)
+                    )
+        return sorted(rows, key=lambda r: r[0])
 
     def render_prometheus(self) -> str:
         """The registry in the Prometheus text exposition format."""

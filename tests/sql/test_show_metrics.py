@@ -143,6 +143,21 @@ def test_export_trace_has_nested_query_spans(fraud_db, tmp_path):
         assert by_name[name]["args"]["parent_id"] == predict["args"]["span_id"]
 
 
+def test_zero_observation_histogram_quantiles_render_null(db):
+    # A histogram that never observed anything has no distribution: its
+    # SHOW METRICS quantile columns must be SQL NULL, not 0.0.
+    db.telemetry.registry.histogram("ghost_seconds", "never observed")
+    db.telemetry.registry.histogram("busy_seconds", "observed").observe(0.25)
+    cur = db.execute("SHOW METRICS")
+    assert cur.columns == ("name", "value", "p50", "p95", "p99")
+    summary = {r[0]: r for r in cur.rows}
+    assert summary["ghost_seconds"][1:] == (0.0, None, None, None)
+    # A populated histogram keeps real quantiles on the same cursor.
+    populated = summary["busy_seconds"]
+    assert populated[1] == 1.0
+    assert all(isinstance(q, float) for q in populated[2:])
+
+
 def test_metrics_text_renders_prometheus(fraud_db):
     fraud_db.execute("SELECT id FROM tx")
     text = fraud_db.metrics_text()

@@ -1,0 +1,170 @@
+"""``SHOW WORKLOAD``: grammar, cursor shape, and end-to-end accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.errors import SqlParseError
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+from repro.telemetry.workload import WORKLOAD_COLUMNS
+
+
+# -- grammar -------------------------------------------------------------
+
+
+def test_parse_forms():
+    assert parse("SHOW WORKLOAD") == ast.ShowWorkload()
+    assert parse("show workload top 5 by latency") == ast.ShowWorkload(
+        top=5, by="latency"
+    )
+    assert parse("SHOW WORKLOAD TOP 1 BY count") == ast.ShowWorkload(
+        top=1, by="count"
+    )
+    assert parse("SHOW WORKLOAD TOP 3 BY bytes") == ast.ShowWorkload(
+        top=3, by="bytes"
+    )
+    assert parse("SHOW WORKLOAD 'abc123def456'") == ast.ShowWorkload(
+        fingerprint="abc123def456"
+    )
+
+
+def test_unparse_round_trips():
+    for sql in (
+        "SHOW WORKLOAD",
+        "SHOW WORKLOAD TOP 5 BY latency",
+        "SHOW WORKLOAD TOP 2 BY bytes",
+        "SHOW WORKLOAD 'deadbeef1234'",
+    ):
+        stmt = parse(sql)
+        assert parse(unparse(stmt)) == stmt
+
+
+def test_parse_errors():
+    with pytest.raises(SqlParseError):
+        parse("SHOW WORKLOAD TOP")  # missing count
+    with pytest.raises(SqlParseError):
+        parse("SHOW WORKLOAD TOP 0 BY latency")  # count < 1
+    with pytest.raises(SqlParseError):
+        parse("SHOW WORKLOAD TOP 5 latency")  # BY required
+    with pytest.raises(SqlParseError):
+        parse("SHOW WORKLOAD TOP 5 BY vibes")  # unknown ordering
+
+
+def test_soft_keywords_stay_usable_as_identifiers():
+    # WORKLOAD / SLO / PROFILE are soft keywords: still valid table and
+    # column names outside the SHOW position.
+    stmt = parse("SELECT workload, slo FROM profile WHERE workload = 1")
+    assert isinstance(stmt, ast.Select)
+    assert stmt.table.name == "profile"
+
+
+# -- end-to-end ----------------------------------------------------------
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    yield database
+    database.close()
+
+
+def seed(db, rows=6):
+    db.execute("CREATE TABLE t (x INT, name TEXT)")
+    for i in range(rows):
+        db.execute(f"INSERT INTO t VALUES ({i}, 'n{i}')")
+
+
+def test_workload_counts_sum_to_executed_queries(db):
+    seed(db, rows=6)
+    for i in range(10):
+        db.execute(f"SELECT * FROM t WHERE x = {i}")
+    for i in range(4):
+        db.execute(f"SELECT name FROM t LIMIT {i + 1}")
+    rows = db.execute("SHOW WORKLOAD TOP 50 BY count").fetchall()
+    executed = 1 + 6 + 10 + 4  # create + inserts + two select shapes
+    assert sum(r[WORKLOAD_COLUMNS.index("calls")] for r in rows) == executed
+    # Literal-insensitive: 10 point lookups fold into one fingerprint.
+    calls = {r[WORKLOAD_COLUMNS.index("sql")]: r[2] for r in rows}
+    assert 10 in calls.values()
+    assert 6 in calls.values()
+
+
+def test_show_workload_under_concurrency(db):
+    """Acceptance: with 8 concurrent clients, SHOW WORKLOAD counts still
+    sum exactly to the number of executed statements."""
+    seed(db, rows=4)
+    per_thread = 12
+    errors = []
+
+    def client(k):
+        try:
+            for i in range(per_thread):
+                db.execute(f"SELECT * FROM t WHERE x = {k * 100 + i}")
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(k,)) for k in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    rows = db.execute("SHOW WORKLOAD TOP 5 BY latency").fetchall()
+    lookup = next(
+        r for r in rows if "WHERE" in r[WORKLOAD_COLUMNS.index("sql")]
+    )
+    assert lookup[WORKLOAD_COLUMNS.index("calls")] == 8 * per_thread
+
+
+def test_top_k_and_ordering(db):
+    seed(db)
+    for __ in range(5):
+        db.execute("SELECT * FROM t")
+    rows = db.execute("SHOW WORKLOAD TOP 1 BY count").fetchall()
+    assert len(rows) == 1
+    assert rows[0][WORKLOAD_COLUMNS.index("calls")] >= 5
+
+
+def test_fingerprint_detail_view(db):
+    seed(db)
+    db.execute("SELECT * FROM t WHERE x = 7")
+    summary = db.execute("SHOW WORKLOAD TOP 50 BY count").fetchall()
+    target = next(
+        r for r in summary if "WHERE" in r[WORKLOAD_COLUMNS.index("sql")]
+    )
+    fp = target[WORKLOAD_COLUMNS.index("fingerprint")]
+    detail = dict(db.execute(f"SHOW WORKLOAD '{fp}'").fetchall())
+    assert detail["fingerprint"] == fp
+    assert detail["calls"] == 1
+    assert db.execute("SHOW WORKLOAD 'ffffffffffff'").fetchall() == []
+
+
+def test_show_workload_records_itself_shape_normalized(db):
+    # SHOW WORKLOAD is a statement like any other (pg_stat_statements
+    # semantics): it appears in the store, with TOP k normalized so all
+    # variants fold into one fingerprint.
+    seed(db, rows=1)
+    db.execute("SHOW WORKLOAD TOP 3 BY count")
+    db.execute("SHOW WORKLOAD TOP 9 BY count")
+    rows = db.execute("SHOW WORKLOAD TOP 50 BY count").fetchall()
+    show_rows = [
+        r for r in rows if r[WORKLOAD_COLUMNS.index("statement")] == "ShowWorkload"
+    ]
+    assert len(show_rows) == 1
+    assert show_rows[0][WORKLOAD_COLUMNS.index("calls")] == 2
+
+
+def test_disabled_telemetry_returns_empty(tmp_path):
+    db = Database(telemetry_enabled=False)
+    try:
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("SELECT * FROM t")
+        assert db.execute("SHOW WORKLOAD").fetchall() == []
+        assert db.execute("SHOW WORKLOAD TOP 5 BY latency").fetchall() == []
+    finally:
+        db.close()

@@ -68,12 +68,56 @@ def test_write_bundle_round_trips_as_json(db, tmp_path):
     assert loaded["reason"] == "unit-test"
 
 
+def test_bundle_workload_slo_profile_sections(db):
+    db.execute("SELECT * FROM tx WHERE id = 1")
+    db.execute("SELECT * FROM tx WHERE id = 2")
+    db.set_slo("fraud", latency_ms=250.0)
+    bundle = build_bundle(db)
+    workload = bundle["workload"]
+    assert workload["columns"][0] == "fingerprint"
+    assert workload["fingerprints"] == len(workload["top"]) > 0
+    calls = {row[-1]: row[2] for row in workload["top"]}
+    assert 2 in calls.values(), "the two point lookups share one fingerprint"
+    slo = bundle["slo"]
+    assert [r[0] for r in slo["rows"]] == ["fraud", "fraud"]
+    assert slo["models"]["fraud"]["latency_ms"] == 250.0
+    profile = bundle["profile"]
+    assert profile["running"] is False
+    assert profile["collapsed"] == [] and profile["top"] == []
+    assert validate_bundle(bundle) == []
+
+
+def test_bundle_profile_section_carries_collapsed_stacks(db, rng):
+    db.start_profiler()
+    deadline_samples = 0
+    while db.telemetry.profiler.sampled < 3 and deadline_samples < 4000:
+        db.predict_labels("fraud", rng.normal(size=(256, 28)))
+        deadline_samples += 1
+    db.stop_profiler()
+    bundle = build_bundle(db)
+    profile = bundle["profile"]
+    assert profile["samples"] >= 3
+    assert profile["collapsed"], "sampled frames must serialize"
+    assert all(line.rsplit(" ", 1)[1].isdigit() for line in profile["collapsed"])
+    assert validate_bundle(bundle) == []
+
+
 def test_validate_bundle_reports_problems():
     assert validate_bundle([]) != []
     problems = validate_bundle({"bundle_version": 99, "events": [{"oops": 1}]})
     assert any("missing required key" in p for p in problems)
     assert any("bundle_version" in p for p in problems)
     assert any("events[0]" in p for p in problems)
+    problems = validate_bundle(
+        {
+            "workload": {"columns": ["a", "b"], "top": [[1]]},
+            "slo": {"no_rows": True},
+            "profile": {"collapsed": ["not-a-folded-line"]},
+        }
+    )
+    assert any("workload.top[0]" in p for p in problems)
+    assert any("slo must be" in p for p in problems)
+    assert any("profile.collapsed[0]" in p for p in problems)
 
 
 def test_close_dumps_bundle_on_request(tmp_path, rng):
