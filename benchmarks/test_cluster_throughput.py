@@ -1,0 +1,180 @@
+"""Process-parallel serving throughput: cluster workers vs one process.
+
+The acceptance benchmark for the cluster tier (Sec. 6 scale-out): 8
+client threads stream fraud PREDICT batches through
+``Database.serve``.  The engine is pinned to the relation-centric path
+(``memory_threshold_bytes=1``), whose per-block Python execution holds
+the GIL — so thread-mode throughput is capped at roughly one core no
+matter how many server threads run, while 4 worker *processes* behind
+the shared-memory transport scale with the cores.
+
+On >=4-core hosts (CI) the cluster must deliver at least 2x the req/s
+of the thread path.  On smaller hosts the speedup physically cannot
+appear, so only the correctness invariants are asserted there; both
+scenarios are still recorded for the baseline diff.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import SystemConfig
+from repro.models import fraud_fc_256
+
+from _util import emit, record, render_table
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 10
+ROWS_PER_REQUEST = 16
+FEATURE_DIM = 28
+CLUSTER_WORKERS = 4
+
+#: The >=2x bar only applies where the hardware can show it.
+MULTICORE = (os.cpu_count() or 1) >= CLUSTER_WORKERS
+
+
+@pytest.fixture(scope="module")
+def cpu_bound_db():
+    # memory_threshold_bytes=1 forces every tensor operator down the
+    # relation-centric path: Python-loop-heavy, GIL-holding — the
+    # workload processes help with and threads cannot.
+    config = SystemConfig(memory_threshold_bytes=1)
+    db = Database(config=config)
+    db.register_model(fraud_fc_256(), name="fraud")
+    yield db
+    db.close()
+
+
+def run_clients(server, feats, expected) -> float:
+    errors: list[BaseException] = []
+    start_gate = threading.Barrier(CLIENTS + 1)
+
+    def client(cid: int):
+        try:
+            start_gate.wait()
+            lo = cid * REQUESTS_PER_CLIENT
+            futures = [
+                server.submit(
+                    "fraud",
+                    feats[(lo + i) * ROWS_PER_REQUEST:
+                          (lo + i + 1) * ROWS_PER_REQUEST],
+                )
+                for i in range(REQUESTS_PER_CLIENT)
+            ]
+            for i, future in enumerate(futures):
+                got = future.result(timeout=120.0)
+                lo_row = (lo + i) * ROWS_PER_REQUEST
+                np.testing.assert_array_equal(
+                    got, expected[lo_row:lo_row + ROWS_PER_REQUEST]
+                )
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    start_gate.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed
+
+
+def serve_once(db, feats, expected, cluster_workers: int) -> tuple[float, dict]:
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    with db.serve(
+        workers=CLUSTER_WORKERS,
+        cluster_workers=cluster_workers,
+        queue_capacity=total * ROWS_PER_REQUEST,
+        max_batch_size=ROWS_PER_REQUEST,
+        max_queue_delay_ms=0.0,
+    ) as server:
+        server.predict("fraud", feats[:1])  # warm plans (and the pool)
+        elapsed = run_clients(server, feats, expected)
+        stats = dict(server.stats_rows())
+    return elapsed, stats
+
+
+def test_cluster_throughput(cpu_bound_db, rng, capsys):
+    total_requests = CLIENTS * REQUESTS_PER_CLIENT
+    feats = rng.normal(size=(total_requests * ROWS_PER_REQUEST, FEATURE_DIM))
+    expected = cpu_bound_db.predict_labels("fraud", feats)
+
+    thread_seconds, thread_stats = serve_once(
+        cpu_bound_db, feats, expected, cluster_workers=0
+    )
+    cluster_seconds, cluster_stats = serve_once(
+        cpu_bound_db, feats, expected, cluster_workers=CLUSTER_WORKERS
+    )
+
+    thread_rps = total_requests / thread_seconds
+    cluster_rps = total_requests / cluster_seconds
+    speedup = cluster_rps / thread_rps
+
+    emit(
+        capsys,
+        render_table(
+            f"Cluster throughput: {CLIENTS} clients x {REQUESTS_PER_CLIENT} "
+            f"requests x {ROWS_PER_REQUEST} rows (relation-centric fraud FC, "
+            f"{os.cpu_count()} cores)",
+            ["mode", "wall", "req/s"],
+            [
+                [f"threads={CLUSTER_WORKERS}", f"{thread_seconds:.3f}s",
+                 f"{thread_rps:.0f}"],
+                [f"cluster={CLUSTER_WORKERS} procs",
+                 f"{cluster_seconds:.3f}s", f"{cluster_rps:.0f}"],
+                ["speedup", "-", f"{speedup:.2f}x"],
+            ],
+        ),
+    )
+
+    record(
+        "cluster-thread-mode",
+        latency_seconds=thread_seconds,
+        requests=total_requests,
+        clients=CLIENTS,
+        rows_per_request=ROWS_PER_REQUEST,
+        requests_per_second=round(thread_rps, 1),
+    )
+    record(
+        "cluster-process-mode",
+        latency_seconds=cluster_seconds,
+        requests=total_requests,
+        clients=CLIENTS,
+        rows_per_request=ROWS_PER_REQUEST,
+        workers=CLUSTER_WORKERS,
+        requests_per_second=round(cluster_rps, 1),
+        speedup_vs_threads=round(speedup, 2),
+        cores=os.cpu_count(),
+    )
+
+    # Correctness invariants hold on any host: all requests completed on
+    # both paths, and the cluster actually served them (not a silent
+    # fallback to the in-process engine).
+    assert thread_stats["server.requests.completed"] >= total_requests
+    assert cluster_stats["server.requests.completed"] >= total_requests
+    assert any(
+        name.startswith("server.worker.") for name in cluster_stats
+    ), "cluster stats must carry worker-process rows"
+    if MULTICORE:
+        # The tentpole acceptance bar: >=2x req/s from 4 worker
+        # processes over the GIL-bound thread path.
+        assert speedup >= 2.0, (
+            f"cluster reached only {speedup:.2f}x over thread mode "
+            f"({cluster_rps:.0f} vs {thread_rps:.0f} req/s)"
+        )
+    else:  # pragma: no cover - exercised only on small hosts
+        emit(
+            capsys,
+            f"[cluster-throughput] {os.cpu_count()} core(s) < "
+            f"{CLUSTER_WORKERS}: speedup assertion skipped "
+            f"(measured {speedup:.2f}x)",
+        )

@@ -1,0 +1,86 @@
+"""Sharded model placement: consistent hashing with replication.
+
+Models are assigned to worker processes by a consistent-hash ring:
+every worker contributes ``vnodes`` virtual points (CRC32 of
+``worker-<id>#<v>``), and a model lands on the first ``replication``
+distinct workers clockwise from its shard key.  Respawning a worker
+keeps its id, so placement survives crashes verbatim; growing the pool
+moves only the models whose arc a new worker's vnodes split — the
+standard consistent-hashing bound.
+
+The shard key reuses the data/model co-partitioning machinery of
+:class:`repro.dedup.copartition.CoPartitioner` (Sec. 4.2): a model's
+key is derived from its first-layer feature *chunk list* — the same
+chunking that co-locates feature partitions with weight row-blocks —
+so models whose first matmuls share a chunk layout hash from the same
+key space the storage layer already shards by.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..dedup.copartition import CoPartitioner
+
+
+def shard_key(model_name: str, in_features: int, block_rows: int) -> int:
+    """The placement key for one model.
+
+    ``in_features``/``block_rows`` feed :class:`CoPartitioner` to get
+    the model's feature-chunk count — the co-partitioning key its first
+    matmul joins on — which is mixed with the model name so two models
+    with identical layouts still spread across the ring.
+    """
+    chunks = CoPartitioner(
+        num_partitions=1, block_rows=max(1, block_rows)
+    ).feature_chunks(max(1, in_features))
+    token = f"{model_name.lower()}:chunks={len(chunks)}"
+    return zlib.crc32(token.encode("utf-8")) & 0xFFFFFFFF
+
+
+class Placement:
+    """A consistent-hash ring mapping models onto worker ids."""
+
+    def __init__(
+        self,
+        worker_ids: list[int] | tuple[int, ...],
+        replication: int = 2,
+        vnodes: int = 32,
+        block_rows: int = 128,
+    ):
+        if not worker_ids:
+            raise ValueError("placement needs at least one worker")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.worker_ids = tuple(sorted(worker_ids))
+        self.replication = min(replication, len(self.worker_ids))
+        self.vnodes = vnodes
+        self.block_rows = block_rows
+        points: list[tuple[int, int]] = []
+        for wid in self.worker_ids:
+            for v in range(vnodes):
+                token = f"worker-{wid}#{v}".encode("utf-8")
+                points.append((zlib.crc32(token) & 0xFFFFFFFF, wid))
+        points.sort()
+        self._ring = points
+
+    def replicas(self, model_name: str, in_features: int) -> tuple[int, ...]:
+        """The ordered worker ids hosting this model (primary first)."""
+        key = shard_key(model_name, in_features, self.block_rows)
+        start = self._bisect(key)
+        chosen: list[int] = []
+        for i in range(len(self._ring)):
+            wid = self._ring[(start + i) % len(self._ring)][1]
+            if wid not in chosen:
+                chosen.append(wid)
+                if len(chosen) == self.replication:
+                    break
+        return tuple(chosen)
+
+    def _bisect(self, key: int) -> int:
+        import bisect
+
+        idx = bisect.bisect_left(self._ring, (key, -1))
+        return idx % len(self._ring)

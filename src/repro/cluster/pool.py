@@ -1,0 +1,707 @@
+"""The multi-process worker pool behind the serving front-end.
+
+``ClusterPool`` owns N child processes (:mod:`repro.cluster.worker`),
+the consistent-hash :class:`~repro.cluster.placement.Placement` that
+shards models onto them, and the health-aware
+:class:`~repro.cluster.router.ClusterRouter` that picks a replica per
+request.  The serving front-end calls :meth:`predict` exactly where the
+thread path calls ``Database.predict_labels`` — everything above (the
+micro-batcher, admission control, per-model breakers, SLO tracking)
+stays unchanged.
+
+Failure semantics:
+
+* a worker that exits (or is SIGKILLed) is detected via its process
+  sentinel or heartbeat timeout; its in-flight requests are marked
+  crashed, and each blocked caller *reroutes* to another live replica
+  (``cluster.reroute``), failing with
+  :class:`~repro.errors.WorkerCrashedError` only when no replica can
+  take the request before the cluster request timeout;
+* the dead slot is respawned with the same worker id, and every model
+  the placement layer had assigned to it is re-loaded
+  (``cluster.respawn`` — placement is restored, not recomputed);
+* a worker that is alive but silent past the heartbeat timeout is
+  treated as wedged: killed, then respawned through the same path.
+
+All tensor payloads cross via :mod:`repro.cluster.shm`; the parent owns
+every segment (inputs and pre-sized response slots) so crashed workers
+cannot leak ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import sys
+import threading
+import time
+from dataclasses import replace
+from multiprocessing.connection import wait as conn_wait
+
+import numpy as np
+
+from ..errors import (
+    ClusterError,
+    ClusterUnavailableError,
+    WorkerCrashedError,
+    WorkerExecutionError,
+)
+from ..resources.threads import worker_thread_budget
+from . import shm as shm_transport
+from .placement import Placement
+from .router import ClusterRouter
+from .worker import (
+    DEAD,
+    MSG_ERR,
+    MSG_HEARTBEAT,
+    MSG_LOAD,
+    MSG_LOADED,
+    MSG_OK,
+    MSG_PREDICT,
+    MSG_READY,
+    MSG_STOP,
+    READY,
+    STARTING,
+    STOPPED,
+    WorkerHandle,
+    _worker_main,
+)
+
+#: Request outcomes tracked under ``cluster_requests_total``.
+CLUSTER_OUTCOMES: tuple[str, ...] = ("completed", "failed", "rerouted")
+
+#: Bytes per label slot in the pre-sized response segment (int64).
+_LABEL_BYTES = 8
+
+
+class _Pending:
+    """One in-flight request awaiting its worker's response."""
+
+    __slots__ = ("event", "worker_id", "generation", "ref", "error", "crashed")
+
+    def __init__(self, worker_id: int, generation: int):
+        self.event = threading.Event()
+        self.worker_id = worker_id
+        self.generation = generation
+        self.ref = None
+        self.error: BaseException | None = None
+        self.crashed = False
+
+
+class ClusterPool:
+    """Process-parallel model serving with shared-memory transport."""
+
+    def __init__(self, db, workers: int | None = None, replication: int | None = None):
+        config = db.config
+        self.workers = int(
+            workers if workers is not None else config.cluster_workers
+        )
+        if self.workers < 1:
+            raise ClusterError("a cluster pool needs at least one worker")
+        self.replication = int(
+            replication if replication is not None else config.cluster_replication
+        )
+        self._db = db
+        self._config = config
+        self.shm_max_bytes = int(config.cluster_shm_max_bytes)
+        self._hb_interval_s = config.cluster_heartbeat_interval_ms / 1e3
+        self._hb_timeout_s = config.cluster_heartbeat_timeout_ms / 1e3
+        self._request_timeout_s = config.cluster_request_timeout_ms / 1e3
+        method = config.cluster_start_method or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self.start_method = method
+        self._ctx = multiprocessing.get_context(method)
+        # Per-worker thread budget: each child's BLAS/engine threading is
+        # sized from its share of the cores, not the whole machine.
+        self._worker_config = replace(
+            config,
+            telemetry_enabled=False,
+            profiler_enabled=False,
+            diagnostics_dir="",
+            cluster_workers=0,
+            num_cores=worker_thread_budget(config.num_cores, self.workers),
+        )
+        self._recorder = db.telemetry.events
+        registry = db.telemetry.registry
+        self._m_requests = {
+            outcome: registry.counter(
+                "cluster_requests_total",
+                "Requests through the process pool, by outcome",
+                outcome=outcome,
+            )
+            for outcome in CLUSTER_OUTCOMES
+        }
+        self._m_shm_fallback = registry.counter(
+            "cluster_shm_fallback_total",
+            "Tensor payloads that fell back to pickling (oversized batch "
+            "or mismatched response slot)",
+        )
+        self._m_reroutes = registry.counter(
+            "cluster_reroutes_total",
+            "In-flight requests moved to a replica after a worker crash",
+        )
+        self._m_spawns = registry.counter(
+            "cluster_spawns_total", "Worker processes started (incl. respawns)"
+        )
+        self._m_crashes = registry.counter(
+            "cluster_crashes_total", "Workers declared dead (exit or wedge)"
+        )
+        self._m_respawns = registry.counter(
+            "cluster_respawns_total", "Dead workers restarted with placement restored"
+        )
+        self._m_alive = registry.gauge(
+            "cluster_workers_alive", "Worker processes currently serving"
+        )
+
+        self._lock = threading.RLock()
+        self._loaded_cond = threading.Condition(self._lock)
+        self._handles: dict[int, WorkerHandle] = {
+            wid: WorkerHandle(worker_id=wid) for wid in range(self.workers)
+        }
+        self._placement = Placement(
+            list(self._handles),
+            replication=self.replication,
+            vnodes=config.cluster_vnodes,
+            block_rows=config.tensor_block_rows,
+        )
+        self.replication = self._placement.replication
+        self.router = ClusterRouter(self._handles, config, slo=db.telemetry.slo)
+        self._placed: dict[str, tuple[int, ...]] = {}
+        self._model_bytes: dict[str, bytes] = {}
+        self._pending: dict[int, _Pending] = {}
+        self._ids = itertools.count(1)
+        self._seg_prefix = f"rc{os.getpid()}"
+        self._closing = False
+        self.closed = False
+
+        for wid in self._handles:
+            self._spawn_locked(self._handles[wid], initial=True)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        # Attach so SHOW CLUSTER / diagnostics see the pool even when it
+        # is constructed directly rather than via Database.serve().
+        if getattr(db, "_cluster", None) is None:
+            db._cluster = self
+
+    # -- client API ------------------------------------------------------
+
+    def predict(self, model: str, features: np.ndarray) -> np.ndarray:
+        """Run one batched inference on a placed replica.
+
+        Drop-in for ``Database.predict_labels`` on the serving hot path;
+        blocks the calling (server worker) thread, never the client.
+        Reroutes transparently on worker crashes; raises
+        :class:`WorkerCrashedError` / :class:`ClusterUnavailableError`
+        when the placement cannot serve within the request timeout.
+        """
+        if self._closing:
+            raise ClusterError("cluster pool is closed")
+        name = model.lower()
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[np.newaxis, :]
+        deadline = time.monotonic() + self._request_timeout_s
+        replicas = self._ensure_placed(name)
+        tried: set[int] = set()
+        last_crash: WorkerCrashedError | None = None
+        while True:
+            wid = self.router.choose(name, replicas, exclude=tried)
+            if wid is None:
+                if time.monotonic() >= deadline or self._closing:
+                    if last_crash is not None:
+                        raise last_crash
+                    raise ClusterUnavailableError(
+                        f"no live replica for model {name!r} "
+                        f"(placement {list(replicas)})"
+                    )
+                # Every replica is down; wait out the respawn and retry
+                # the full placement.
+                time.sleep(self._hb_interval_s)
+                tried.clear()
+                continue
+            handle = self._handles[wid]
+            if not self._await_loaded(handle, name, deadline):
+                tried.add(wid)
+                continue
+            outcome = self._predict_on(handle, name, features, deadline)
+            if isinstance(outcome, WorkerCrashedError):
+                last_crash = outcome
+                tried.add(wid)
+                self._m_requests["rerouted"].inc()
+                self._m_reroutes.inc()
+                self._recorder.emit(
+                    "cluster.reroute",
+                    model=name,
+                    from_worker=wid,
+                    rows=int(features.shape[0]),
+                )
+                continue
+            if isinstance(outcome, BaseException):
+                self._m_requests["failed"].inc()
+                raise outcome
+            self._m_requests["completed"].inc()
+            return outcome
+
+    def _predict_on(
+        self, handle: WorkerHandle, model: str, features: np.ndarray, deadline: float
+    ):
+        """One attempt on one worker: returns labels, or an exception
+        value (``WorkerCrashedError`` means the caller should reroute)."""
+        req_id = next(self._ids)
+        in_ref, in_seg = shm_transport.share_array(
+            features, f"{self._seg_prefix}-{req_id}i", self.shm_max_bytes
+        )
+        if in_ref.kind == shm_transport.INLINE:
+            self._m_shm_fallback.inc()
+            self._recorder.emit(
+                "cluster.shm_fallback",
+                model=model,
+                rows=int(features.shape[0]),
+                nbytes=int(features.nbytes),
+            )
+        out_seg = None
+        out_name = None
+        out_cap = 0
+        rows = int(features.shape[0])
+        if rows > 0:
+            out_cap = rows * _LABEL_BYTES
+            out_seg = shm_transport.shared_memory.SharedMemory(
+                create=True, size=out_cap, name=f"{self._seg_prefix}-{req_id}o"
+            )
+            out_name = out_seg.name
+        pending = _Pending(handle.worker_id, handle.generation)
+        with self._lock:
+            self._pending[req_id] = pending
+            handle.inflight += 1
+        try:
+            sent = handle.alive and handle.send(
+                (MSG_PREDICT, req_id, model, in_ref, out_name, out_cap)
+            )
+            if not sent:
+                return WorkerCrashedError(
+                    handle.worker_id, model, detail="send failed"
+                )
+            if not pending.event.wait(max(0.0, deadline - time.monotonic())):
+                return ClusterUnavailableError(
+                    f"worker {handle.worker_id} did not answer for model "
+                    f"{model!r} within the cluster request timeout"
+                )
+            if pending.crashed:
+                self.router.record_outcome(handle.worker_id, ok=False)
+                return WorkerCrashedError(handle.worker_id, model)
+            if pending.error is not None:
+                # The worker is healthy — it executed and reported an
+                # engine-level failure.  Health-wise that is a success.
+                self.router.record_outcome(handle.worker_id, ok=True)
+                return pending.error
+            self.router.record_outcome(handle.worker_id, ok=True)
+            ref = pending.ref
+            if (
+                ref.kind == shm_transport.INLINE
+                and ref.nbytes > 0
+                and out_seg is not None
+            ):
+                # The response did not fit its pre-sized slot.
+                self._m_shm_fallback.inc()
+            if ref.kind == shm_transport.SHM and out_seg is not None:
+                view = np.ndarray(
+                    ref.shape, dtype=np.dtype(ref.dtype), buffer=out_seg.buf
+                )
+                return view.copy()
+            return shm_transport.read_array(ref)
+        finally:
+            with self._lock:
+                self._pending.pop(req_id, None)
+                handle.inflight = max(0, handle.inflight - 1)
+            shm_transport.release(in_seg)
+            shm_transport.release(out_seg)
+
+    # -- placement -------------------------------------------------------
+
+    def ensure_model(self, model: str) -> tuple[int, ...]:
+        """Place (and start loading) a model; returns its replica ids."""
+        return self._ensure_placed(model.lower())
+
+    def _ensure_placed(self, name: str) -> tuple[int, ...]:
+        with self._lock:
+            placed = self._placed.get(name)
+            if placed is not None:
+                return placed
+            info = self._db.model_info(name)  # raises CatalogError if unknown
+            in_features = int(np.prod(info.model.input_shape))
+            replicas = self._placement.replicas(name, in_features)
+            self._model_bytes[name] = pickle.dumps(info.model)
+            self._placed[name] = replicas
+            for wid in replicas:
+                self._send_load_locked(self._handles[wid], name)
+            return replicas
+
+    def _send_load_locked(self, handle: WorkerHandle, name: str) -> None:
+        if name in handle.loaded:
+            return
+        handle.send((MSG_LOAD, name, self._model_bytes[name]))
+
+    def _await_loaded(
+        self, handle: WorkerHandle, name: str, deadline: float
+    ) -> bool:
+        """Wait until the worker acks the model (False: gave up/crashed)."""
+        with self._loaded_cond:
+            while name not in handle.loaded:
+                if handle.state in (DEAD, STOPPED) or self._closing:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._loaded_cond.wait(min(remaining, 0.05))
+            return True
+
+    def placement_map(self) -> dict[str, list[int]]:
+        with self._lock:
+            return {name: list(wids) for name, wids in sorted(self._placed.items())}
+
+    def worker_pids(self) -> dict[int, int | None]:
+        with self._lock:
+            # Before the READY handshake lands, the OS-level pid is
+            # already known from the spawned process object.
+            return {
+                wid: (
+                    h.pid
+                    if h.pid is not None
+                    else getattr(h.process, "pid", None)
+                )
+                for wid, h in sorted(self._handles.items())
+            }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn_locked(self, handle: WorkerHandle, initial: bool) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        handle.generation += 1
+        handle.conn = parent_conn
+        handle.state = STARTING
+        handle.pid = None
+        handle.loaded = set()
+        handle.last_heartbeat = time.monotonic()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, handle.worker_id, self._worker_config),
+            name=f"repro-cluster-w{handle.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        self._m_spawns.inc()
+        self._recorder.emit(
+            "cluster.spawn",
+            worker=handle.worker_id,
+            pid=process.pid,
+            generation=handle.generation,
+            initial=initial,
+        )
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(handle, handle.generation),
+            name=f"repro-cluster-r{handle.worker_id}",
+            daemon=True,
+        )
+        reader.start()
+
+    def _reader_loop(self, handle: WorkerHandle, generation: int) -> None:
+        conn = handle.conn
+        process = handle.process
+        while not self._closing and handle.generation == generation:
+            try:
+                ready = conn_wait([conn, process.sentinel], timeout=0.2)
+            except OSError:
+                break
+            if self._closing or handle.generation != generation:
+                return
+            if conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._dispatch(handle, generation, msg)
+                continue
+            if process.sentinel in ready:
+                break
+        if not self._closing and handle.generation == generation:
+            self._declare_dead(handle, generation, reason="exit")
+
+    def _dispatch(self, handle: WorkerHandle, generation: int, msg: tuple) -> None:
+        handle.last_heartbeat = time.monotonic()
+        tag = msg[0]
+        if tag == MSG_READY:
+            handle.pid = msg[1]
+            handle.state = READY
+            self._refresh_alive_gauge()
+        elif tag == MSG_LOADED:
+            with self._loaded_cond:
+                handle.loaded.add(msg[1])
+                self._loaded_cond.notify_all()
+        elif tag == MSG_HEARTBEAT:
+            pass  # the timestamp update above is the whole point
+        elif tag in (MSG_OK, MSG_ERR):
+            __, req_id, payload = msg
+            with self._lock:
+                pending = self._pending.get(req_id)
+            if pending is None or pending.generation != generation:
+                return  # raced with a reroute; the caller moved on
+            if tag == MSG_OK:
+                pending.ref = payload
+            else:
+                pending.error = self._unpickle_error(payload)
+            pending.event.set()
+
+    @staticmethod
+    def _unpickle_error(payload) -> BaseException:
+        if isinstance(payload, tuple):
+            return WorkerExecutionError(payload[0], payload[1])
+        try:
+            error = pickle.loads(payload)
+            if isinstance(error, BaseException):
+                return error
+        except Exception:
+            pass
+        return WorkerExecutionError("UnknownError", repr(payload))
+
+    def _declare_dead(
+        self, handle: WorkerHandle, generation: int, reason: str
+    ) -> None:
+        """Mark one incarnation dead and fail its in-flight requests."""
+        with self._lock:
+            if handle.generation != generation or handle.state in (DEAD, STOPPED):
+                return
+            handle.state = DEAD
+            victims = [
+                p
+                for p in self._pending.values()
+                if p.worker_id == handle.worker_id and p.generation == generation
+            ]
+        self._m_crashes.inc()
+        self._refresh_alive_gauge()
+        self.router.record_outcome(handle.worker_id, ok=False)
+        self._recorder.emit(
+            "cluster.crash",
+            worker=handle.worker_id,
+            pid=handle.pid,
+            reason=reason,
+            inflight=len(victims),
+        )
+        for pending in victims:
+            pending.crashed = True
+            pending.event.set()
+        with self._loaded_cond:
+            self._loaded_cond.notify_all()
+
+    def _monitor_loop(self) -> None:
+        while not self._closing:
+            time.sleep(self._hb_interval_s)
+            if self._closing:
+                return
+            now = time.monotonic()
+            for handle in self._handles.values():
+                if self._closing:
+                    return
+                if handle.state == DEAD:
+                    self._respawn(handle)
+                    continue
+                if handle.state not in (READY, STARTING):
+                    continue
+                process = handle.process
+                if process is not None and not process.is_alive():
+                    self._declare_dead(handle, handle.generation, reason="exit")
+                    self._respawn(handle)
+                elif handle.heartbeat_age_s(now) > self._hb_timeout_s:
+                    # Alive but silent: wedged.  Kill, then respawn.
+                    try:
+                        process.kill()
+                    except Exception:  # pragma: no cover - already gone
+                        pass
+                    self._declare_dead(handle, handle.generation, reason="wedged")
+                    self._respawn(handle)
+
+    def _respawn(self, handle: WorkerHandle) -> None:
+        with self._lock:
+            if self._closing or handle.state != DEAD:
+                return
+            old_generation = handle.generation
+            try:
+                handle.conn.close()
+            except Exception:  # pragma: no cover
+                pass
+            self._spawn_locked(handle, initial=False)
+            handle.restarts += 1
+            # Placement restored, not recomputed: every model this slot
+            # hosted is re-loaded into the fresh process.
+            restored = [
+                name
+                for name, wids in self._placed.items()
+                if handle.worker_id in wids
+            ]
+            for name in restored:
+                self._send_load_locked(handle, name)
+        self._m_respawns.inc()
+        self._recorder.emit(
+            "cluster.respawn",
+            worker=handle.worker_id,
+            pid=handle.process.pid,
+            generation=handle.generation,
+            replaced_generation=old_generation,
+            models=len(restored),
+        )
+
+    def _refresh_alive_gauge(self) -> None:
+        self._m_alive.set(
+            sum(1 for h in self._handles.values() if h.alive)
+        )
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker and fail whatever is still in flight."""
+        with self._lock:
+            if self.closed:
+                return
+            self._closing = True
+            pendings = list(self._pending.values())
+        for pending in pendings:
+            pending.crashed = True
+            pending.event.set()
+        with self._loaded_cond:
+            self._loaded_cond.notify_all()
+        for handle in self._handles.values():
+            handle.send((MSG_STOP,))
+        end = time.monotonic() + timeout
+        for handle in self._handles.values():
+            process = handle.process
+            if process is None:
+                continue
+            process.join(max(0.1, end - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+            handle.state = STOPPED
+            try:
+                handle.conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        if self._monitor.is_alive():
+            self._monitor.join(timeout=2.0)
+        self._refresh_alive_gauge()
+        self.closed = True
+        if getattr(self._db, "_cluster", None) is self:
+            self._db._cluster = None
+
+    def __enter__(self) -> "ClusterPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- observability ---------------------------------------------------
+
+    def stats_rows(self) -> list[tuple[str, object]]:
+        """(stat, value) rows for ``SHOW CLUSTER``."""
+        now = time.monotonic()
+        rows: list[tuple[str, object]] = [
+            ("cluster.workers", self.workers),
+            ("cluster.replication", self.replication),
+            ("cluster.start_method", self.start_method),
+            ("cluster.shm_max_bytes", self.shm_max_bytes),
+            ("cluster.closed", self.closed),
+        ]
+        for outcome in CLUSTER_OUTCOMES:
+            rows.append(
+                (f"cluster.requests.{outcome}",
+                 int(self._m_requests[outcome].value))
+            )
+        rows.extend(
+            [
+                ("cluster.reroutes", int(self._m_reroutes.value)),
+                ("cluster.shm_fallbacks", int(self._m_shm_fallback.value)),
+                ("cluster.spawns", int(self._m_spawns.value)),
+                ("cluster.crashes", int(self._m_crashes.value)),
+                ("cluster.respawns", int(self._m_respawns.value)),
+            ]
+        )
+        rows.extend(self.worker_rows(prefix="cluster"))
+        with self._lock:
+            for name, wids in sorted(self._placed.items()):
+                rows.append(
+                    (f"cluster.placement.{name}",
+                     ",".join(str(w) for w in wids))
+                )
+        for row in self.router.rows():
+            rows.append((f"cluster.breaker.{row[0]}.state", row[1]))
+            rows.append((f"cluster.breaker.{row[0]}.failure_rate", row[2]))
+        del now
+        return rows
+
+    def worker_rows(self, prefix: str = "server") -> list[tuple[str, object]]:
+        """Per-worker (stat, value) rows; shared by SHOW CLUSTER and the
+        worker section SHOW SERVER grows when a cluster is attached."""
+        now = time.monotonic()
+        rows: list[tuple[str, object]] = []
+        with self._lock:
+            for wid, handle in sorted(self._handles.items()):
+                models = sorted(handle.loaded)
+                base = f"{prefix}.worker.{wid}"
+                rows.extend(
+                    [
+                        (f"{base}.pid", handle.pid),
+                        (f"{base}.state", handle.state),
+                        (f"{base}.models", ",".join(models)),
+                        (f"{base}.inflight", handle.inflight),
+                        (
+                            f"{base}.heartbeat_age_ms",
+                            round(handle.heartbeat_age_s(now) * 1e3, 1),
+                        ),
+                        (f"{base}.restarts", handle.restarts),
+                    ]
+                )
+        return rows
+
+    def snapshot(self) -> dict:
+        """The ``cluster`` section of a diagnostics bundle (JSON-safe)."""
+        now = time.monotonic()
+        with self._lock:
+            workers = [
+                {
+                    "worker_id": wid,
+                    "pid": handle.pid,
+                    "state": handle.state,
+                    "restarts": handle.restarts,
+                    "inflight": handle.inflight,
+                    "heartbeat_age_ms": round(
+                        handle.heartbeat_age_s(now) * 1e3, 1
+                    ),
+                    "models": sorted(handle.loaded),
+                }
+                for wid, handle in sorted(self._handles.items())
+            ]
+            placement = {
+                name: list(wids) for name, wids in sorted(self._placed.items())
+            }
+        return {
+            "workers": workers,
+            "placement": placement,
+            "replication": self.replication,
+            "start_method": self.start_method,
+            "counters": {
+                "completed": int(self._m_requests["completed"].value),
+                "failed": int(self._m_requests["failed"].value),
+                "rerouted": int(self._m_requests["rerouted"].value),
+                "reroutes": int(self._m_reroutes.value),
+                "shm_fallbacks": int(self._m_shm_fallback.value),
+                "spawns": int(self._m_spawns.value),
+                "crashes": int(self._m_crashes.value),
+                "respawns": int(self._m_respawns.value),
+            },
+        }

@@ -1,0 +1,122 @@
+"""Replica choice with worker health folded in.
+
+The :class:`ClusterRouter` sits between the serving front-end's worker
+threads and the process pool: given a model's placed replicas it picks
+the worker the next request should land on, demoting replicas that are
+unhealthy on any of three signals:
+
+* **liveness** — the handle must be READY with a live process;
+* **breaker state** — each worker slot has a deterministic
+  :class:`~repro.resilience.CircuitBreaker` (``worker:<id>``) fed by
+  request outcomes; an open breaker drops the replica out of rotation
+  until its half-open probe succeeds;
+* **heartbeat staleness** — a replica whose heartbeat is older than
+  half the crash timeout is *suspect* and used only when nothing
+  healthier exists;
+* **SLO burn** — while the model's fast SLO window is burning
+  (:class:`~repro.telemetry.slo.SloTracker`), routing switches from
+  round-robin to least-inflight so a slow replica stops accumulating
+  queue.
+
+All demotions are soft orderings, never hard failures: if every
+replica looks sick the router still returns the least-bad live one —
+failing a request the pool could have served is worse than routing to
+a suspect worker.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..resilience import BreakerBoard
+from ..resilience.breaker import CLOSED
+
+
+class ClusterRouter:
+    """Health-aware replica selection over :class:`WorkerHandle` slots."""
+
+    def __init__(self, handles: dict, config, slo=None):
+        self._handles = handles  # worker_id -> WorkerHandle (pool-owned)
+        self._slo = slo
+        self._suspect_age_s = config.cluster_heartbeat_timeout_ms / 2e3
+        self.breakers = (
+            BreakerBoard.from_config(config) if config.breaker_enabled else None
+        )
+        self._lock = threading.Lock()
+        self._rotation: dict[str, int] = {}
+
+    def breaker(self, worker_id: int):
+        if self.breakers is None:
+            return None
+        return self.breakers.get(f"worker:{worker_id}")
+
+    def record_outcome(self, worker_id: int, ok: bool) -> None:
+        breaker = self.breaker(worker_id)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def choose(
+        self, model: str, replicas: tuple[int, ...], exclude: set[int] = frozenset()
+    ) -> int | None:
+        """The worker id for the next request, or None if none is live."""
+        live = [
+            wid
+            for wid in replicas
+            if wid not in exclude and self._handles[wid].alive
+        ]
+        if not live:
+            return None
+        healthy = [wid for wid in live if self._healthy(wid)]
+        if not healthy:
+            # Every replica is demoted.  Give each tripped breaker its
+            # allow() call — in the open state that call *is* the
+            # cooldown clock, and the first half-open grant becomes the
+            # probe this request carries.
+            for wid in live:
+                breaker = self.breaker(wid)
+                if breaker is not None and breaker.state != CLOSED:
+                    allowed, __ = breaker.allow()
+                    if allowed:
+                        return wid
+            # No probe granted: serve anyway on the least-loaded live
+            # replica — the front-end's per-model breaker still protects
+            # clients, and starving the pool helps nobody.
+            return min(live, key=lambda wid: self._handles[wid].inflight)
+        if len(healthy) == 1:
+            return healthy[0]
+        if self._burning(model):
+            # Acute latency incident: stop spreading evenly, drain onto
+            # the replica with the least queued work.
+            return min(healthy, key=lambda wid: self._handles[wid].inflight)
+        with self._lock:
+            slot = self._rotation.get(model, 0)
+            self._rotation[model] = slot + 1
+        return healthy[slot % len(healthy)]
+
+    def _healthy(self, worker_id: int) -> bool:
+        handle = self._handles[worker_id]
+        if handle.heartbeat_age_s() > self._suspect_age_s:
+            return False
+        breaker = self.breaker(worker_id)
+        if breaker is not None and breaker.state != CLOSED:
+            return False
+        return True
+
+    def _burning(self, model: str) -> bool:
+        if self._slo is None:
+            return False
+        try:
+            state = self._slo.snapshot().get(model.lower())
+        except Exception:  # pragma: no cover - null tracker variants
+            return False
+        return bool(state and state.get("burning_fast"))
+
+    def rows(self) -> list[tuple]:
+        """Breaker rows (for SHOW CLUSTER), empty when breakers are off."""
+        if self.breakers is None:
+            return []
+        return [breaker.as_row() for breaker in self.breakers]

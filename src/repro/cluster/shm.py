@@ -1,0 +1,155 @@
+"""Shared-memory tensor transport for the process-parallel serving tier.
+
+Tensor blocks cross the process boundary as *named shared-memory
+segments* (``multiprocessing.shared_memory``): the sender copies the
+array into a segment and ships only a tiny :class:`TensorRef` descriptor
+(segment name, dtype, shape) over the control pipe; the receiver maps a
+numpy view over the same physical pages.  No tensor payload is pickled
+on the hot path.
+
+Two edge cases deliberately leave the shared-memory path:
+
+* **zero-row batches** — a POSIX shm segment cannot be empty, so a
+  0-byte array travels as an ``empty`` descriptor with no segment;
+* **oversized batches** — payloads beyond ``max_shm_bytes`` fall back to
+  pickling through the pipe (an ``inline`` descriptor carrying the
+  bytes) so one huge request cannot exhaust ``/dev/shm``; callers count
+  these under ``cluster_shm_fallback_total``.
+
+Ownership protocol: the *parent* creates every segment (inputs and the
+pre-sized output slot) and is the only side that ever ``unlink``\\ s, so
+a SIGKILL'd worker can never leak a segment — its attachments die with
+the process and the parent's cleanup still runs.  Worker-side attaches
+go through :func:`attach`, which unregisters the mapping from the
+``resource_tracker`` (on CPython < 3.13 every attach is tracked, and a
+tracked segment the parent already unlinked produces spurious
+"leaked shared_memory" warnings at worker exit).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+#: Descriptor kinds (see module docstring for when each is used).
+SHM = "shm"  # payload lives in the named segment
+INLINE = "inline"  # payload pickled into the descriptor itself
+EMPTY = "empty"  # zero-byte array; no payload at all
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A picklable descriptor for one tensor crossing the boundary."""
+
+    kind: str  # SHM | INLINE | EMPTY
+    dtype: str
+    shape: tuple[int, ...]
+    segment: str | None = None  # SHM: the shared-memory segment name
+    payload: bytes | None = None  # INLINE: the pickled ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+#: True inside a cluster worker process (set by ``_worker_main``).  A
+#: worker's attaches must not stay registered with its resource tracker:
+#: the parent owns and unlinks every segment, and a tracked-but-foreign
+#: name makes the tracker warn about (and try to unlink) "leaked"
+#: segments at worker exit.  In the parent the registration balance is
+#: already correct, so unregistering there would erase the *creator's*
+#: registration instead.
+IN_WORKER = False
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment (untracked inside worker processes)."""
+    seg = shared_memory.SharedMemory(name=name)
+    if IN_WORKER:
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return seg
+
+
+def share_array(
+    arr: np.ndarray, name: str, max_shm_bytes: int
+) -> tuple[TensorRef, shared_memory.SharedMemory | None]:
+    """Publish ``arr`` for another process; returns (ref, owned segment).
+
+    The returned segment (when non-None) is owned by the caller, who
+    must ``close()`` and ``unlink()`` it once the peer has responded.
+    Zero-byte arrays return an ``empty`` ref; arrays beyond
+    ``max_shm_bytes`` return an ``inline`` ref (pickle fallback).
+    """
+    arr = np.ascontiguousarray(arr)
+    shape = tuple(int(d) for d in arr.shape)
+    dtype = str(arr.dtype)
+    if arr.nbytes == 0:
+        return TensorRef(EMPTY, dtype, shape), None
+    if arr.nbytes > max_shm_bytes:
+        return (
+            TensorRef(INLINE, dtype, shape, payload=pickle.dumps(arr)),
+            None,
+        )
+    seg = shared_memory.SharedMemory(create=True, size=arr.nbytes, name=name)
+    np.ndarray(shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+    return TensorRef(SHM, dtype, shape, segment=seg.name), seg
+
+
+def read_array(ref: TensorRef) -> np.ndarray:
+    """Materialize the tensor a :class:`TensorRef` describes (a copy).
+
+    The copy decouples the caller from the segment's lifetime: the
+    sender may unlink the moment the response lands.
+    """
+    if ref.kind == EMPTY:
+        return np.empty(ref.shape, dtype=np.dtype(ref.dtype))
+    if ref.kind == INLINE:
+        return pickle.loads(ref.payload)
+    seg = attach(ref.segment)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        return view.copy()
+    finally:
+        seg.close()
+
+
+def write_into(segment: str, capacity: int, arr: np.ndarray) -> TensorRef:
+    """Write ``arr`` into a pre-created segment (the response slot).
+
+    The parent sizes the output slot for the expected label payload; a
+    result that does not fit (unexpected dtype or shape) falls back to
+    an ``inline`` ref rather than corrupting the slot.
+    """
+    arr = np.ascontiguousarray(arr)
+    shape = tuple(int(d) for d in arr.shape)
+    dtype = str(arr.dtype)
+    if arr.nbytes == 0:
+        return TensorRef(EMPTY, dtype, shape)
+    if arr.nbytes > capacity:
+        return TensorRef(INLINE, dtype, shape, payload=pickle.dumps(arr))
+    seg = attach(segment)
+    try:
+        seg.buf[: arr.nbytes] = arr.tobytes()
+        return TensorRef(SHM, dtype, shape, segment=segment)
+    finally:
+        seg.close()
+
+
+def release(seg: shared_memory.SharedMemory | None) -> None:
+    """Close and unlink one parent-owned segment (idempotent-ish)."""
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except Exception:  # pragma: no cover - buffer already released
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass

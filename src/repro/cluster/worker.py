@@ -1,0 +1,172 @@
+"""One cluster worker: a model-hosting child process and its handle.
+
+``_worker_main`` is the child's entire life: build a private in-memory
+:class:`~repro.session.Database` (telemetry off — the parent owns
+observability), register the models the placement layer assigns, and
+drain the control pipe.  Inference requests arrive as
+:class:`~repro.cluster.shm.TensorRef` descriptors, the features are
+mapped straight out of shared memory, and the labels are written back
+into the parent's pre-sized response slot — the pipe only ever carries
+descriptors and heartbeats, never tensor payloads.
+
+The function is module-level and its arguments picklable, so both
+``fork`` and ``spawn`` start methods work.
+
+:class:`WorkerHandle` is the parent-side view: the process, its pipe,
+the heartbeat clock, the set of models acked as loaded, and the
+liveness state the router folds into replica choice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+
+from . import shm as shm_transport
+
+#: Parent -> worker message tags.
+MSG_LOAD = "load"  # (MSG_LOAD, model_name, pickled_model_bytes)
+MSG_PREDICT = "predict"  # (MSG_PREDICT, req_id, model, in_ref, out_name, out_cap)
+MSG_STOP = "stop"  # (MSG_STOP,)
+
+#: Worker -> parent message tags.
+MSG_READY = "ready"  # (MSG_READY, pid)
+MSG_LOADED = "loaded"  # (MSG_LOADED, model_name)
+MSG_HEARTBEAT = "hb"  # (MSG_HEARTBEAT, inflight)
+MSG_OK = "ok"  # (MSG_OK, req_id, out_ref)
+MSG_ERR = "err"  # (MSG_ERR, req_id, payload) payload: pickled exc | (type, msg)
+
+#: Worker liveness states surfaced by SHOW CLUSTER / SHOW SERVER.
+STARTING = "starting"
+READY = "ready"
+DEAD = "dead"
+STOPPED = "stopped"
+
+
+def _worker_main(conn, worker_id: int, config) -> None:
+    """Child-process entry point: serve until MSG_STOP or parent EOF."""
+    from multiprocessing import resource_tracker
+
+    from ..session import Database
+
+    # Shed the parent's resource tracker.  A worker forked after the
+    # parent has created segments inherits the parent's tracker pipe;
+    # the unregister each attach performs would then erase the *parent's*
+    # registration, and the parent's own unlink would double-unregister
+    # (KeyError tracebacks in the shared tracker).  The state must be
+    # reset *in place* — ``shared_memory`` binds the module-level
+    # register/unregister to the original instance — so the first attach
+    # spawns a tracker private to this process.
+    try:
+        tracker = resource_tracker._resource_tracker
+        if tracker._fd is not None:
+            os.close(tracker._fd)
+        tracker._fd = None
+        tracker._pid = None
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    shm_transport.IN_WORKER = True
+
+    hb_interval_s = config.cluster_heartbeat_interval_ms / 1e3
+    db = Database(config=config)
+    try:
+        conn.send((MSG_READY, os.getpid()))
+        while True:
+            if not conn.poll(hb_interval_s):
+                conn.send((MSG_HEARTBEAT, 0))
+                continue
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away; nothing left to serve
+            tag = msg[0]
+            if tag == MSG_STOP:
+                break
+            if tag == MSG_LOAD:
+                __, name, model_bytes = msg
+                db.register_model(pickle.loads(model_bytes), name=name)
+                conn.send((MSG_LOADED, name))
+            elif tag == MSG_PREDICT:
+                __, req_id, model, in_ref, out_name, out_cap = msg
+                conn.send(_serve_one(db, req_id, model, in_ref, out_name, out_cap))
+                conn.send((MSG_HEARTBEAT, 0))
+    finally:
+        try:
+            db.close()
+        except Exception:  # pragma: no cover - best-effort shutdown
+            pass
+        conn.close()
+
+
+def _serve_one(db, req_id: int, model: str, in_ref, out_name, out_cap) -> tuple:
+    """Run one inference; returns the response message tuple."""
+    try:
+        features = shm_transport.read_array(in_ref)
+        labels = db.predict_labels(model, features)
+        if out_name is None:
+            out_ref = shm_transport.TensorRef(
+                shm_transport.INLINE,
+                str(labels.dtype),
+                tuple(int(d) for d in labels.shape),
+                payload=pickle.dumps(labels),
+            )
+            if labels.nbytes == 0:
+                out_ref = shm_transport.TensorRef(
+                    shm_transport.EMPTY,
+                    str(labels.dtype),
+                    tuple(int(d) for d in labels.shape),
+                )
+        else:
+            out_ref = shm_transport.write_into(out_name, out_cap, labels)
+        return (MSG_OK, req_id, out_ref)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            payload = pickle.dumps(exc)
+        except Exception:
+            payload = (type(exc).__name__, str(exc))
+        return (MSG_ERR, req_id, payload)
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side state for one worker slot.
+
+    The slot's ``worker_id`` is stable across respawns; ``generation``
+    counts process incarnations so late messages from a dead process
+    can be discarded.
+    """
+
+    worker_id: int
+    process: object = None  # multiprocessing.Process
+    conn: object = None  # parent end of the duplex pipe
+    generation: int = 0
+    state: str = STARTING
+    pid: int | None = None
+    restarts: int = 0
+    inflight: int = 0
+    last_heartbeat: float = field(default_factory=time.monotonic)
+    loaded: set = field(default_factory=set)
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self.state == READY
+            and self.process is not None
+            and self.process.is_alive()
+        )
+
+    def heartbeat_age_s(self, now: float | None = None) -> float:
+        return max(0.0, (now or time.monotonic()) - self.last_heartbeat)
+
+    def send(self, msg: tuple) -> bool:
+        """Ship one message; False when the pipe is already broken."""
+        with self.send_lock:
+            try:
+                self.conn.send(msg)
+                return True
+            except (BrokenPipeError, OSError, ValueError):
+                return False

@@ -192,6 +192,32 @@ class SystemConfig:
     # An objective is "burning" when burn rate reaches this (1.0 spends
     # the error budget exactly as fast as allowed).
     slo_burn_threshold: float = 1.0
+    # -- process-parallel serving (repro.cluster) ------------------------
+    # Worker *processes* hosting sharded model replicas behind the
+    # serving front-end.  0 disables the cluster entirely: serving stays
+    # on the in-process thread path and none of the knobs below matter.
+    cluster_workers: int = 0
+    # How many workers each model is placed on (hot-model replication);
+    # clamped to the worker count at placement time.
+    cluster_replication: int = 2
+    # Virtual nodes per worker on the consistent-hash placement ring.
+    cluster_vnodes: int = 32
+    # Tensor payloads up to this size cross the process boundary via
+    # shared-memory segments (zero pickling); larger batches fall back to
+    # pickling through the control pipe (cluster_shm_fallback_total).
+    cluster_shm_max_bytes: int = 8 * MB
+    # How often an idle worker process emits a heartbeat.
+    cluster_heartbeat_interval_ms: float = 25.0
+    # A worker whose last heartbeat is older than this is declared
+    # wedged/crashed: its in-flight requests are re-routed to a replica
+    # and the process is respawned with its placement restored.
+    cluster_heartbeat_timeout_ms: float = 2000.0
+    # Upper bound on one cluster PREDICT, covering reroutes and the wait
+    # for a respawning worker.
+    cluster_request_timeout_ms: float = 30000.0
+    # multiprocessing start method: "fork", "spawn", or "" to pick fork
+    # where the platform offers it (Linux) and spawn elsewhere.
+    cluster_start_method: str = ""
     # -- sampling stage profiler (repro.telemetry.profiler) --------------
     # Start the background stage sampler with the Database (opt-in; it
     # can also be toggled at runtime via Database.start_profiler()).
@@ -282,6 +308,26 @@ class SystemConfig:
             raise ConfigError("slo_burn_threshold must be positive")
         if self.profiler_interval_ms <= 0:
             raise ConfigError("profiler_interval_ms must be positive")
+        if self.cluster_workers < 0:
+            raise ConfigError("cluster_workers must be >= 0")
+        for name in ("cluster_replication", "cluster_vnodes",
+                     "cluster_shm_max_bytes"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.cluster_heartbeat_interval_ms <= 0:
+            raise ConfigError("cluster_heartbeat_interval_ms must be positive")
+        if self.cluster_heartbeat_timeout_ms <= self.cluster_heartbeat_interval_ms:
+            raise ConfigError(
+                "cluster_heartbeat_timeout_ms must exceed "
+                "cluster_heartbeat_interval_ms"
+            )
+        if self.cluster_request_timeout_ms <= 0:
+            raise ConfigError("cluster_request_timeout_ms must be positive")
+        if self.cluster_start_method not in ("", "fork", "spawn"):
+            raise ConfigError(
+                f"cluster_start_method must be '', 'fork', or 'spawn', "
+                f"got {self.cluster_start_method!r}"
+            )
 
     @property
     def buffer_pool_pages(self) -> int:

@@ -190,6 +190,50 @@ class CircuitOpenError(ServerError):
         super().__init__(message)
 
 
+class ClusterError(ReproError):
+    """Base class for errors raised by the process-parallel serving tier
+    (:mod:`repro.cluster`)."""
+
+
+class WorkerCrashedError(ClusterError):
+    """A cluster worker process died (or wedged past its heartbeat
+    timeout) while holding this request.
+
+    Marked ``transient`` because the pool reroutes to a replica and the
+    serving front-end's retry loop may safely re-run the batch: the
+    failed attempt never produced a partial side effect (inference is
+    read-only).
+    """
+
+    transient = True
+
+    def __init__(self, worker_id: int, model: str, detail: str = ""):
+        self.worker_id = worker_id
+        self.model = model
+        message = (
+            f"cluster worker {worker_id} crashed while serving "
+            f"model {model!r}"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class ClusterUnavailableError(ClusterError):
+    """No live replica could serve the request within the cluster
+    request timeout (all placed workers crashed faster than they could
+    respawn)."""
+
+
+class WorkerExecutionError(ClusterError):
+    """A worker's engine raised an error that could not be pickled back
+    verbatim; carries the remote error's type name and message."""
+
+    def __init__(self, error_type: str, message: str):
+        self.error_type = error_type
+        super().__init__(f"worker-side {error_type}: {message}")
+
+
 class InjectedFaultError(ReproError):
     """A fault deliberately raised by :mod:`repro.faults`.
 

@@ -157,6 +157,31 @@ def collect(db) -> HealthReport:
                 )
             )
 
+    # Cluster tier: one component per worker process.  DEAD slots are
+    # failing (the monitor is between crash and respawn); a respawned or
+    # heartbeat-stale worker is degraded; a fresh READY worker is ok.
+    cluster = getattr(db, "_cluster", None)
+    if cluster is not None:
+        for row in cluster.snapshot()["workers"]:
+            stale = row["heartbeat_age_ms"] > (
+                db.config.cluster_heartbeat_timeout_ms / 2
+            )
+            if row["state"] != "ready":
+                status = FAILING if row["state"] == "dead" else DEGRADED
+            elif stale or row["restarts"]:
+                status = DEGRADED
+            else:
+                status = OK
+            components.append(
+                ComponentHealth(
+                    f"cluster.worker:{row['worker_id']}",
+                    status,
+                    f"state={row['state']} pid={row['pid']} "
+                    f"restarts={row['restarts']} inflight={row['inflight']} "
+                    f"heartbeat_age_ms={row['heartbeat_age_ms']:g}",
+                )
+            )
+
     # Memory budgets: the DB-side and DL-runtime-side whole-tensor pools.
     components.append(
         _utilisation_health(

@@ -73,9 +73,32 @@ def _log2(x: float) -> float:
     return math.log2(x)
 
 
-def candidate_grid(cores: int, max_threads: int | None = None) -> list[ThreadConfig]:
-    """All (db, blas) pairs up to ``max_threads`` per dimension."""
-    limit = max_threads if max_threads is not None else 2 * cores
+def worker_thread_budget(cores: int, workers: int = 1) -> int:
+    """Per-process thread budget when ``workers`` processes share a host.
+
+    Each process in the cluster pool gets an equal slice of the cores —
+    ``cores // workers``, floored at 1 — so the per-process DB/BLAS
+    thread tuning cannot oversubscribe the machine ``workers``-fold.
+    The old heuristic handed every process the full core count, which
+    was only correct for the single-process thread path.
+    """
+    if cores < 1:
+        raise ConfigError("cores must be >= 1")
+    if workers < 1:
+        raise ConfigError("workers must be >= 1")
+    return max(1, cores // workers)
+
+
+def candidate_grid(
+    cores: int, max_threads: int | None = None, workers: int = 1
+) -> list[ThreadConfig]:
+    """All (db, blas) pairs up to ``max_threads`` per dimension.
+
+    With ``workers > 1`` the grid is sized from this process's share of
+    the cores (:func:`worker_thread_budget`), not the whole machine.
+    """
+    budget = worker_thread_budget(cores, workers)
+    limit = max_threads if max_threads is not None else 2 * budget
     return [
         ThreadConfig(db, blas)
         for db in range(1, limit + 1)

@@ -80,9 +80,18 @@ class ModelServer:
         default_deadline_ms: float | None = None,
         retry_limit: int | None = None,
         retry_backoff_ms: float | None = None,
+        cluster=None,
     ):
         config = db.config
         self._db = db
+        #: Optional :class:`~repro.cluster.ClusterPool`.  When attached,
+        #: batches execute on its worker processes instead of in-process;
+        #: everything above the execute call (batching, admission,
+        #: breakers, retries, tracing) is identical on both paths.
+        self.cluster = cluster
+        self._predict_fn = (
+            cluster.predict if cluster is not None else db.predict_labels
+        )
         self._injector = getattr(db, "faults", NULL_INJECTOR)
         self.retry_limit = int(
             retry_limit if retry_limit is not None else config.server_retry_limit
@@ -357,6 +366,8 @@ class ModelServer:
             self._work.notify_all()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if self.cluster is not None:
+            self.cluster.close()
         self._db._detach_server(self)
 
     @property
@@ -427,6 +438,10 @@ class ModelServer:
                     rows.append(
                         (f"server.breaker.{row[0]}.opened_total", row[4])
                     )
+            if self.cluster is not None:
+                # Worker-process rows appear only in cluster mode; the
+                # thread path's output stays byte-for-byte unchanged.
+                rows.extend(self.cluster.worker_rows(prefix="server"))
             return rows
 
     def queue_depths(self) -> dict[str, int]:
@@ -624,7 +639,7 @@ class ModelServer:
                             rows=int(features.shape[0]),
                             attempt=attempts,
                         )
-                        predictions = self._db.predict_labels(
+                        predictions = self._predict_fn(
                             batch.model, features
                         )
                         execute_seconds = time.perf_counter() - start
@@ -738,7 +753,7 @@ class ModelServer:
                             rows=request.rows,
                             isolated=True,
                         )
-                        predictions = self._db.predict_labels(
+                        predictions = self._predict_fn(
                             batch.model, request.features
                         )
                         execute_seconds = time.perf_counter() - start

@@ -282,6 +282,7 @@ class Database:
         self._vector_indexes: dict[str, _VectorIndexEntry] = {}
         self._rwlock = ReadWriteLock()
         self._server = None  # attached ModelServer, if any
+        self._cluster = None  # attached ClusterPool, if any
         self._rebuild_planning()
         if path is not None:
             self._restore_if_persisted(path)
@@ -458,6 +459,8 @@ class Database:
             )
         if self._server is not None:
             rows.extend(self._server.stats_rows())
+        if self._cluster is not None:
+            rows.extend(self._cluster.stats_rows())
         if self._faults.active:
             rows.extend(
                 [
@@ -693,6 +696,13 @@ class Database:
                     self._server.stats_rows() if self._server is not None else []
                 )
                 return Cursor(("stat", "value"), rows)
+            if what == "cluster":
+                rows = (
+                    self._cluster.stats_rows()
+                    if self._cluster is not None
+                    else []
+                )
+                return Cursor(("stat", "value"), rows)
             if what == "audit":
                 return Cursor(AUDIT_COLUMNS, self._telemetry.audit.rows())
             if what == "models":
@@ -713,8 +723,8 @@ class Database:
                 )
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
-                "MODELS, METRICS, STATS, SERVER, AUDIT, FAULTS, HEALTH, "
-                "EVENTS, TIMELINE, WORKLOAD, SLO, or PROFILE"
+                "MODELS, METRICS, STATS, SERVER, CLUSTER, AUDIT, FAULTS, "
+                "HEALTH, EVENTS, TIMELINE, WORKLOAD, SLO, or PROFILE"
             )
         if isinstance(stmt, sql_ast.ShowEvents):
             rows = filter_rows(
@@ -1116,6 +1126,7 @@ class Database:
         default_deadline_ms: float | None = None,
         retry_limit: int | None = None,
         retry_backoff_ms: float | None = None,
+        cluster_workers: int | None = None,
     ) -> "ModelServer":
         """Start the concurrent serving front-end for this database.
 
@@ -1127,6 +1138,15 @@ class Database:
         At most one server may be attached at a time; ``SHOW SERVER``
         reports the attached server's live state.  Close the server
         (or this database) to detach it.
+
+        ``cluster_workers`` (default: ``config.cluster_workers``) opts
+        into the process-parallel tier: batches execute on N worker
+        *processes* behind a :class:`~repro.cluster.ClusterPool` (models
+        sharded by consistent hashing, tensors crossing via shared
+        memory) instead of in this process.  ``workers`` still sets the
+        *thread* count of the front-end; with a cluster attached it
+        defaults to the worker-process count so every process stays
+        busy.  ``cluster_workers=0`` is the plain thread path.
         """
         from .server import ModelServer
 
@@ -1135,17 +1155,37 @@ class Database:
                 "a ModelServer is already attached to this database; "
                 "close it before starting another"
             )
-        server = ModelServer(
-            self,
-            workers=workers,
-            max_batch_size=max_batch_size,
-            max_queue_delay_ms=max_queue_delay_ms,
-            queue_capacity=queue_capacity,
-            default_deadline_ms=default_deadline_ms,
-            retry_limit=retry_limit,
-            retry_backoff_ms=retry_backoff_ms,
+        n_cluster = int(
+            cluster_workers
+            if cluster_workers is not None
+            else self._config.cluster_workers
         )
+        pool = None
+        if n_cluster > 0:
+            from .cluster import ClusterPool
+
+            pool = ClusterPool(self, workers=n_cluster)
+            if workers is None:
+                workers = max(self._config.server_workers, n_cluster)
+        try:
+            server = ModelServer(
+                self,
+                workers=workers,
+                max_batch_size=max_batch_size,
+                max_queue_delay_ms=max_queue_delay_ms,
+                queue_capacity=queue_capacity,
+                default_deadline_ms=default_deadline_ms,
+                retry_limit=retry_limit,
+                retry_backoff_ms=retry_backoff_ms,
+                cluster=pool,
+            )
+        except BaseException:
+            if pool is not None:
+                pool.close()
+            raise
         self._server = server
+        if pool is not None:
+            self._cluster = pool
         return server
 
     def _detach_server(self, server: "ModelServer") -> None:
@@ -1207,6 +1247,8 @@ class Database:
         self._telemetry.profiler.stop()
         if self._server is not None:
             self._server.close()
+        if self._cluster is not None:
+            self._cluster.close()
         if self._path is not None:
             from .storage import persist
 

@@ -147,7 +147,11 @@ class ExplainAnalyze(Statement):
 @dataclass
 class Show(Statement):
     """``SHOW TABLES`` / ``MODELS`` / ``METRICS`` / ``STATS`` / ``SERVER``
-    / ``AUDIT`` / ``FAULTS`` / ``HEALTH``.
+    / ``CLUSTER`` / ``AUDIT`` / ``FAULTS`` / ``HEALTH``.
+
+    CLUSTER renders the attached process pool's live state — worker
+    pids, heartbeat ages, restart counts, the model placement map, and
+    the ``cluster_*`` counters (empty when no cluster is attached).
 
     METRICS renders the session's telemetry registry as a cursor; STATS
     renders system-level statistics (buffer pool, caches, catalog sizes);

@@ -28,8 +28,8 @@ SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 #: burn-rate objectives, and the sampling stage profiler); WORKLOAD is
 #: parsed specially for its TOP k BY / fingerprint forms.
 SHOW_TARGETS = frozenset(
-    {"METRICS", "STATS", "AUDIT", "SERVER", "FAULTS", "HEALTH", "EVENTS",
-     "TIMELINE", "WORKLOAD", "SLO", "PROFILE"}
+    {"METRICS", "STATS", "AUDIT", "SERVER", "CLUSTER", "FAULTS", "HEALTH",
+     "EVENTS", "TIMELINE", "WORKLOAD", "SLO", "PROFILE"}
 )
 
 

@@ -27,8 +27,9 @@ from .slo import SLO_COLUMNS
 from .workload import WORKLOAD_COLUMNS
 
 #: Bumped when the bundle layout changes incompatibly.  v2 added the
-#: workload / slo / profile sections.
-BUNDLE_VERSION = 2
+#: workload / slo / profile sections; v3 added the cluster section
+#: (null when no process pool is attached).
+BUNDLE_VERSION = 3
 
 #: Keys every well-formed bundle must carry.
 REQUIRED_KEYS: tuple[str, ...] = (
@@ -46,6 +47,7 @@ REQUIRED_KEYS: tuple[str, ...] = (
     "workload",
     "slo",
     "profile",
+    "cluster",
 )
 
 #: Query shapes included in a bundle's workload section.
@@ -115,6 +117,10 @@ def build_bundle(
             "collapsed": telemetry.profiler.collapsed(),
         },
     }
+    # Cluster tier: the placement map and per-worker heartbeat/restart
+    # state — which process hosted what, and who had been crashing.
+    cluster = getattr(db, "_cluster", None)
+    bundle["cluster"] = cluster.snapshot() if cluster is not None else None
     server = getattr(db, "_server", None)
     if server is not None:
         bundle["server"] = [list(row) for row in server.stats_rows()]
@@ -235,4 +241,28 @@ def validate_bundle(bundle: dict) -> list[str]:
                         "'frames count' folded-stack line"
                     )
                     break
+    if "cluster" in bundle:
+        cluster = bundle["cluster"]
+        if cluster is not None:
+            # Attached-pool bundles must carry the placement map and the
+            # per-worker heartbeat/restart rows.
+            if not isinstance(cluster, dict) or not isinstance(
+                cluster.get("placement"), dict
+            ):
+                problems.append(
+                    "cluster must be null or an object carrying the "
+                    "placement map"
+                )
+            elif not isinstance(cluster.get("workers"), list):
+                problems.append("cluster.workers must be an array")
+            else:
+                for i, worker in enumerate(cluster["workers"]):
+                    if not isinstance(worker, dict) or not {
+                        "worker_id", "state", "restarts", "heartbeat_age_ms"
+                    } <= set(worker):
+                        problems.append(
+                            f"cluster.workers[{i}] must carry worker_id, "
+                            "state, restarts, and heartbeat_age_ms"
+                        )
+                        break
     return problems

@@ -51,6 +51,11 @@ EVENT_KINDS: tuple[str, ...] = (
     "cache.hit",
     "cache.miss",
     "server.worker_error",
+    "cluster.spawn",
+    "cluster.crash",
+    "cluster.respawn",
+    "cluster.reroute",
+    "cluster.shm_fallback",
     "slo.burn_start",
     "slo.burn_stop",
     "workload.regression",

@@ -1,0 +1,50 @@
+"""Fixtures for the process-parallel serving tier tests."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.config import SystemConfig
+from repro.models import fraud_fc_256
+
+
+def shm_listing() -> set[str]:
+    """The current /dev/shm entries (empty set where it doesn't exist)."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+@pytest.fixture
+def shm_before() -> set[str]:
+    return shm_listing()
+
+
+@pytest.fixture
+def cluster_config() -> SystemConfig:
+    # Tight heartbeats so crash detection and respawn happen inside a
+    # test-friendly budget; everything else stays at defaults.
+    return SystemConfig(
+        telemetry_enabled=True,
+        cluster_workers=2,
+        cluster_heartbeat_interval_ms=20.0,
+        cluster_heartbeat_timeout_ms=600.0,
+        cluster_request_timeout_ms=20000.0,
+    )
+
+
+@pytest.fixture
+def cluster_db(cluster_config: SystemConfig) -> Database:
+    database = Database(config=cluster_config)
+    database.register_model(fraud_fc_256(), name="fraud")
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def features(rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=(16, 28))

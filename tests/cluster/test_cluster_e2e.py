@@ -1,0 +1,149 @@
+"""Worker-crash end-to-end: SIGKILL under load, reroute, respawn.
+
+The acceptance bar: a worker killed mid-run costs ZERO client-visible
+errors — every in-flight request completes via reroute to a replica —
+and the dead slot respawns with its placement restored and no shared
+memory left behind.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterPool
+
+from .conftest import shm_listing
+
+
+def _wait_respawn(
+    pool: ClusterPool, wid: int, timeout: float = 10.0, min_restarts: int = 1
+) -> None:
+    # A freshly SIGKILLed process still reports alive until the monitor
+    # reaps it, so wait on the restart counter, not just liveness.
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        handle = pool._handles[wid]
+        if handle.restarts >= min_restarts and handle.alive:
+            return
+        time.sleep(0.02)
+    pytest.fail(f"worker {wid} did not respawn within {timeout}s")
+
+
+def test_sigkill_under_load_zero_client_errors(
+    cluster_db, features, shm_before
+):
+    expected = cluster_db.predict_labels("fraud", features)
+    with ClusterPool(cluster_db) as pool:
+        replicas = pool.ensure_model("fraud")
+        errors: list[BaseException] = []
+        mismatches: list[int] = []
+        stop = threading.Event()
+
+        def client(idx: int) -> None:
+            while not stop.is_set():
+                try:
+                    got = pool.predict("fraud", features)
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+                    return
+                if not np.array_equal(got, expected):
+                    mismatches.append(idx)
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)  # let the clients reach steady state
+        victim = replicas[0]
+        os.kill(pool.worker_pids()[victim], signal.SIGKILL)
+        time.sleep(1.0)  # crash window: detection + reroutes + respawn
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, f"client-visible errors after SIGKILL: {errors!r}"
+        assert not mismatches
+        snapshot = pool.snapshot()
+        assert snapshot["counters"]["crashes"] >= 1
+        assert snapshot["counters"]["respawns"] >= 1
+        _wait_respawn(pool, victim)
+        # Placement restored verbatim: same replica set, model re-loaded
+        # into the fresh process.
+        assert pool.ensure_model("fraud") == replicas
+        handle = pool._handles[victim]
+        assert handle.restarts >= 1
+        deadline = time.monotonic() + 5
+        while "fraud" not in handle.loaded and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert "fraud" in handle.loaded
+        np.testing.assert_array_equal(pool.predict("fraud", features), expected)
+    time.sleep(0.3)
+    leaked = {f for f in shm_listing() - shm_before if f.startswith("rc")}
+    assert not leaked, f"leaked /dev/shm segments: {leaked}"
+
+
+def test_crash_emits_flight_recorder_events(cluster_db, features):
+    with ClusterPool(cluster_db) as pool:
+        replicas = pool.ensure_model("fraud")
+        victim = replicas[0]
+        os.kill(pool.worker_pids()[victim], signal.SIGKILL)
+        _wait_respawn(pool, victim)
+        kinds = {e.kind for e in cluster_db.telemetry.events.events()}
+        assert "cluster.spawn" in kinds
+        assert "cluster.crash" in kinds
+        assert "cluster.respawn" in kinds
+
+
+def test_kill_through_serving_front_end(cluster_db, features):
+    """Full stack: ModelServer -> ClusterPool, SIGKILL mid-stream."""
+    expected = cluster_db.predict_labels("fraud", features)
+    server = cluster_db.serve(cluster_workers=2)
+    try:
+        pool = server.cluster
+        replicas = pool.ensure_model("fraud")
+        results = [server.submit("fraud", features) for __ in range(8)]
+        os.kill(pool.worker_pids()[replicas[0]], signal.SIGKILL)
+        late = [server.submit("fraud", features) for __ in range(8)]
+        for future in results + late:
+            np.testing.assert_array_equal(future.result(timeout=30), expected)
+        _wait_respawn(pool, replicas[0])
+    finally:
+        server.close()
+
+
+def test_restart_counter_and_health_degrade(cluster_db, features):
+    with ClusterPool(cluster_db) as pool:
+        replicas = pool.ensure_model("fraud")
+        victim = replicas[0]
+        os.kill(pool.worker_pids()[victim], signal.SIGKILL)
+        _wait_respawn(pool, victim)
+        rows = dict(cluster_db.execute("SHOW CLUSTER").fetchall())
+        assert rows[f"cluster.worker.{victim}.restarts"] >= 1
+        health = {
+            name: status
+            for name, status, __ in cluster_db.execute(
+                "SHOW HEALTH"
+            ).fetchall()
+            if name.startswith("cluster.worker")
+        }
+        # A respawned worker reports degraded until it earns trust back.
+        assert health[f"cluster.worker:{victim}"] == "degraded"
+
+
+def test_all_replicas_killed_recovers_after_respawn(cluster_db, features):
+    expected = cluster_db.predict_labels("fraud", features)
+    with ClusterPool(cluster_db) as pool:
+        pool.ensure_model("fraud")
+        for pid in list(pool.worker_pids().values()):
+            os.kill(pid, signal.SIGKILL)
+        # With every replica down the request must block until the
+        # monitor respawns the pool, then complete normally.
+        np.testing.assert_array_equal(pool.predict("fraud", features), expected)
+        assert pool.snapshot()["counters"]["respawns"] >= 2

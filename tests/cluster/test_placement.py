@@ -1,0 +1,63 @@
+"""Consistent-hash model placement (repro.cluster.placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Placement, shard_key
+
+
+def test_replicas_deterministic_and_distinct():
+    placement = Placement([0, 1, 2, 3], replication=2)
+    a = placement.replicas("fraud", in_features=28)
+    b = placement.replicas("fraud", in_features=28)
+    assert a == b
+    assert len(a) == 2
+    assert len(set(a)) == 2
+    assert all(w in (0, 1, 2, 3) for w in a)
+
+
+def test_replication_clamped_to_pool_size():
+    placement = Placement([0, 1], replication=5)
+    assert placement.replication == 2
+    assert len(placement.replicas("m", 8)) == 2
+
+
+def test_placement_survives_respawn_verbatim():
+    # A respawned worker keeps its id, so the same ring rebuilt from the
+    # same ids yields the identical placement — restore, not recompute.
+    before = Placement([0, 1, 2], replication=2, vnodes=16)
+    after = Placement([0, 1, 2], replication=2, vnodes=16)
+    for name in ("fraud", "churn", "risk", "spam"):
+        assert before.replicas(name, 28) == after.replicas(name, 28)
+
+
+def test_growing_pool_moves_only_some_models():
+    small = Placement([0, 1, 2], replication=1, vnodes=64)
+    large = Placement([0, 1, 2, 3], replication=1, vnodes=64)
+    names = [f"model-{i}" for i in range(64)]
+    moved = sum(
+        small.replicas(n, 28) != large.replicas(n, 28) for n in names
+    )
+    # Consistent hashing: roughly 1/4 of keys move to the new worker,
+    # far from the full reshuffle a modulo scheme would cause.
+    assert 0 < moved < len(names) // 2
+
+
+def test_shard_key_mixes_name_and_chunk_layout():
+    # Same co-partitioning layout, different names: different keys.
+    assert shard_key("a", 28, 128) != shard_key("b", 28, 128)
+    # Same name: the key is a pure function of (name, chunk count).
+    assert shard_key("a", 28, 128) == shard_key("A", 28, 128)
+    # A much wider first layer changes the chunk count, hence the key
+    # space cell the model hashes from.
+    assert shard_key("a", 28, 8) != shard_key("a", 4096, 8)
+
+
+def test_placement_validates_inputs():
+    with pytest.raises(ValueError):
+        Placement([])
+    with pytest.raises(ValueError):
+        Placement([0], replication=0)
+    with pytest.raises(ValueError):
+        Placement([0], vnodes=0)

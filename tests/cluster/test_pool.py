@@ -1,0 +1,133 @@
+"""ClusterPool behavior short of crash handling (see test_cluster_e2e)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterPool
+from repro.errors import CatalogError, PlanError
+
+from .conftest import shm_listing
+
+
+@pytest.fixture
+def pool(cluster_db):
+    with ClusterPool(cluster_db) as p:
+        yield p
+
+
+def test_predict_matches_thread_path(pool, cluster_db, features):
+    expected = cluster_db.predict_labels("fraud", features)
+    np.testing.assert_array_equal(pool.predict("fraud", features), expected)
+
+
+def test_predict_leaves_no_segments_behind(cluster_db, features, shm_before):
+    with ClusterPool(cluster_db) as pool:
+        for __ in range(8):
+            pool.predict("fraud", features)
+    leaked = {f for f in shm_listing() - shm_before if f.startswith("rc")}
+    assert not leaked
+
+
+def test_engine_errors_cross_the_boundary_typed(pool):
+    # The worker executed fine; the engine rejected the batch.  The
+    # client sees the same typed error the thread path raises.
+    with pytest.raises(PlanError):
+        pool.predict("fraud", np.empty((0, 28)))
+
+
+def test_unknown_model_raises_catalog_error(pool):
+    with pytest.raises(CatalogError):
+        pool.predict("nope", np.ones((4, 28)))
+
+
+def test_oversized_batch_counts_shm_fallback(cluster_db, features):
+    import dataclasses
+
+    config = dataclasses.replace(cluster_db.config, cluster_shm_max_bytes=64)
+    cluster_db._config = config  # tiny cap: every batch falls back
+    try:
+        with ClusterPool(cluster_db) as pool:
+            expected = cluster_db.predict_labels("fraud", features)
+            np.testing.assert_array_equal(
+                pool.predict("fraud", features), expected
+            )
+            assert pool.snapshot()["counters"]["shm_fallbacks"] >= 1
+    finally:
+        cluster_db._config = dataclasses.replace(
+            config, cluster_shm_max_bytes=8 * 1024 * 1024
+        )
+
+
+def test_placement_is_replicated_and_visible(pool):
+    replicas = pool.ensure_model("fraud")
+    assert len(replicas) == pool.replication == 2
+    assert pool.placement_map() == {"fraud": list(replicas)}
+
+
+def test_show_cluster_surfaces_pool_state(pool, cluster_db, features):
+    pool.predict("fraud", features)
+    rows = dict(cluster_db.execute("SHOW CLUSTER").fetchall())
+    assert rows["cluster.workers"] == 2
+    assert rows["cluster.requests.completed"] >= 1
+    assert rows["cluster.placement.fraud"]
+    assert "cluster.worker.0.pid" in rows
+    assert rows["cluster.worker.0.state"] == "ready"
+
+
+def test_show_cluster_empty_without_pool():
+    from repro import Database
+
+    with Database() as db:
+        assert db.execute("SHOW CLUSTER").fetchall() == []
+
+
+def test_show_server_gains_worker_rows_only_in_cluster_mode(
+    cluster_db, features
+):
+    server = cluster_db.serve(cluster_workers=2)
+    try:
+        server.submit("fraud", features).result(timeout=30)
+        rows = dict(cluster_db.execute("SHOW SERVER").fetchall())
+        assert rows["server.worker.0.state"] == "ready"
+        assert rows["server.worker.1.state"] == "ready"
+        assert "fraud" in rows["server.worker.0.models"] or (
+            "fraud" in rows["server.worker.1.models"]
+        )
+    finally:
+        server.close()
+    # Thread mode (explicitly overriding the config knob): the same
+    # statement must not mention worker processes.
+    server = cluster_db.serve(cluster_workers=0)
+    try:
+        thread_rows = cluster_db.execute("SHOW SERVER").fetchall()
+        assert not any(".worker." in name for name, __ in thread_rows)
+    finally:
+        server.close()
+
+
+def test_serve_cluster_closes_pool_with_server(cluster_db):
+    server = cluster_db.serve(cluster_workers=2)
+    pool = server.cluster
+    assert cluster_db._cluster is pool
+    server.close()
+    assert pool.closed
+    assert cluster_db._cluster is None
+
+
+def test_worker_processes_share_the_core_budget(cluster_db):
+    with ClusterPool(cluster_db) as pool:
+        budget = pool._worker_config.num_cores
+        assert budget == max(1, cluster_db.config.num_cores // pool.workers)
+        assert pool._worker_config.cluster_workers == 0  # no recursion
+        assert pool._worker_config.telemetry_enabled is False
+
+
+def test_predict_after_close_raises(cluster_db, features):
+    pool = ClusterPool(cluster_db)
+    pool.close()
+    from repro.errors import ClusterError
+
+    with pytest.raises(ClusterError):
+        pool.predict("fraud", features)

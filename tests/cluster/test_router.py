@@ -1,0 +1,131 @@
+"""Health-aware replica routing (repro.cluster.router)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster import ClusterRouter, WorkerHandle
+from repro.cluster.worker import DEAD, READY
+from repro.config import SystemConfig
+from repro.resilience.breaker import CLOSED, OPEN
+
+
+class _FakeProcess:
+    def __init__(self, alive: bool = True):
+        self._alive = alive
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+
+def _handles(n: int) -> dict[int, WorkerHandle]:
+    handles = {}
+    for wid in range(n):
+        handle = WorkerHandle(worker_id=wid)
+        handle.process = _FakeProcess()
+        handle.state = READY
+        handles[wid] = handle
+    return handles
+
+
+class _FakeSlo:
+    def __init__(self, burning: bool):
+        self._burning = burning
+
+    def snapshot(self):
+        return {"fraud": {"burning_fast": self._burning}}
+
+
+def _router(handles, burning=False, breakers=True):
+    config = SystemConfig(breaker_enabled=breakers)
+    return ClusterRouter(handles, config, slo=_FakeSlo(burning))
+
+
+def test_round_robin_over_healthy_replicas():
+    handles = _handles(3)
+    router = _router(handles)
+    picks = [router.choose("fraud", (0, 1, 2)) for __ in range(6)]
+    assert sorted(set(picks)) == [0, 1, 2]  # every replica takes turns
+
+
+def test_dead_replica_dropped_from_rotation():
+    handles = _handles(3)
+    handles[1].state = DEAD
+    router = _router(handles)
+    picks = {router.choose("fraud", (0, 1, 2)) for __ in range(6)}
+    assert picks == {0, 2}
+
+
+def test_no_live_replica_returns_none():
+    handles = _handles(2)
+    for handle in handles.values():
+        handle.state = DEAD
+    router = _router(handles)
+    assert router.choose("fraud", (0, 1)) is None
+
+
+def test_exclude_skips_already_tried_workers():
+    handles = _handles(2)
+    router = _router(handles)
+    assert router.choose("fraud", (0, 1), exclude={0}) == 1
+    assert router.choose("fraud", (0, 1), exclude={0, 1}) is None
+
+
+def test_stale_heartbeat_demotes_replica():
+    handles = _handles(2)
+    handles[0].last_heartbeat = time.monotonic() - 3600.0
+    router = _router(handles)
+    picks = {router.choose("fraud", (0, 1)) for __ in range(4)}
+    assert picks == {1}
+
+
+def test_open_breaker_demotes_until_probe():
+    handles = _handles(2)
+    router = _router(handles)
+    breaker = router.breaker(0)
+    for __ in range(breaker.window + breaker.min_samples):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    picks = {router.choose("fraud", (0, 1)) for __ in range(4)}
+    assert picks == {1}
+
+
+def test_all_demoted_still_serves_least_loaded():
+    # Every replica suspect: the router must still pick one — refusing
+    # a request the pool could serve is the worse failure mode.
+    handles = _handles(2)
+    for handle in handles.values():
+        handle.last_heartbeat = time.monotonic() - 3600.0
+    handles[0].inflight = 5
+    handles[1].inflight = 1
+    router = _router(handles)
+    assert router.choose("fraud", (0, 1)) == 1
+
+
+def test_slo_burn_switches_to_least_inflight():
+    handles = _handles(3)
+    handles[0].inflight = 9
+    handles[1].inflight = 9
+    handles[2].inflight = 0
+    router = _router(handles, burning=True)
+    assert all(router.choose("fraud", (0, 1, 2)) == 2 for __ in range(4))
+
+
+def test_record_outcome_feeds_worker_breakers():
+    handles = _handles(2)
+    router = _router(handles)
+    for __ in range(100):
+        router.record_outcome(0, ok=False)
+    assert router.breaker(0).state != CLOSED
+    router.record_outcome(1, ok=True)
+    assert router.breaker(1).state == CLOSED
+    assert router.rows()  # SHOW CLUSTER surfaces the breaker rows
+
+
+def test_breakers_disabled_is_inert():
+    handles = _handles(2)
+    router = _router(handles, breakers=False)
+    router.record_outcome(0, ok=False)  # no-op without a board
+    assert router.breaker(0) is None
+    assert router.rows() == []
+    assert router.choose("fraud", (0, 1)) in (0, 1)

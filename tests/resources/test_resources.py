@@ -173,3 +173,35 @@ def test_tuner_config_validation():
         ThreadConfig(0, 1)
     with pytest.raises(ConfigError):
         ThreadTuner(0)
+
+
+def test_worker_thread_budget_splits_cores():
+    from repro.resources.threads import worker_thread_budget
+
+    assert worker_thread_budget(8, 1) == 8
+    assert worker_thread_budget(8, 2) == 4
+    assert worker_thread_budget(8, 3) == 2
+    # Floor at one thread even when workers outnumber cores.
+    assert worker_thread_budget(1, 4) == 1
+    assert worker_thread_budget(4, 8) == 1
+
+
+def test_worker_thread_budget_validates():
+    import pytest
+
+    from repro.errors import ConfigError
+    from repro.resources.threads import worker_thread_budget
+
+    with pytest.raises(ConfigError):
+        worker_thread_budget(0, 1)
+    with pytest.raises(ConfigError):
+        worker_thread_budget(4, 0)
+
+
+def test_candidate_grid_shrinks_with_workers():
+    # With 2 workers on 4 cores the default grid is sized from this
+    # process's 2-core share, not the whole machine.
+    full = candidate_grid(4)
+    shared = candidate_grid(4, workers=2)
+    assert len(shared) < len(full)
+    assert max(c.total_threads for c in shared) == 16  # (2*2)^2
