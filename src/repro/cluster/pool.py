@@ -47,6 +47,7 @@ from ..errors import (
     ClusterUnavailableError,
     WorkerCrashedError,
     WorkerExecutionError,
+    WorkerLoadError,
 )
 from ..resources.threads import worker_thread_budget
 from . import shm as shm_transport
@@ -57,6 +58,7 @@ from .worker import (
     MSG_ERR,
     MSG_HEARTBEAT,
     MSG_LOAD,
+    MSG_LOAD_ERR,
     MSG_LOADED,
     MSG_OK,
     MSG_PREDICT,
@@ -77,9 +79,24 @@ _LABEL_BYTES = 8
 
 
 class _Pending:
-    """One in-flight request awaiting its worker's response."""
+    """One in-flight request awaiting its worker's response.
 
-    __slots__ = ("event", "worker_id", "generation", "ref", "error", "crashed")
+    ``abandoned`` marks a request whose caller gave up (request
+    timeout) while the worker is still chewing on it: the slot stays in
+    the pending map — and counted against the worker's ``inflight`` —
+    until the worker's late response (or death) retires it, so routing
+    and SHOW CLUSTER never under-report queued work on a slow worker.
+    """
+
+    __slots__ = (
+        "event",
+        "worker_id",
+        "generation",
+        "ref",
+        "error",
+        "crashed",
+        "abandoned",
+    )
 
     def __init__(self, worker_id: int, generation: int):
         self.event = threading.Event()
@@ -88,10 +105,17 @@ class _Pending:
         self.ref = None
         self.error: BaseException | None = None
         self.crashed = False
+        self.abandoned = False
 
 
 class ClusterPool:
     """Process-parallel model serving with shared-memory transport."""
+
+    #: Distinguishes pools within one parent process: segment names must
+    #: be unique across *every* live pool (two Databases each serving
+    #: with a cluster would otherwise mint colliding ``rc<pid>-<req>``
+    #: names and fail with FileExistsError).
+    _pool_seq = itertools.count()
 
     def __init__(self, db, workers: int | None = None, replication: int | None = None):
         config = db.config
@@ -173,9 +197,10 @@ class ClusterPool:
         self.router = ClusterRouter(self._handles, config, slo=db.telemetry.slo)
         self._placed: dict[str, tuple[int, ...]] = {}
         self._model_bytes: dict[str, bytes] = {}
+        self._load_failures: dict[str, WorkerLoadError] = {}
         self._pending: dict[int, _Pending] = {}
         self._ids = itertools.count(1)
-        self._seg_prefix = f"rc{os.getpid()}"
+        self._seg_prefix = f"rc{os.getpid()}p{next(ClusterPool._pool_seq)}"
         self._closing = False
         self.closed = False
 
@@ -212,6 +237,13 @@ class ClusterPool:
         tried: set[int] = set()
         last_crash: WorkerCrashedError | None = None
         while True:
+            load_error = self._load_failures.get(name)
+            if load_error is not None:
+                # Deterministic: the same bytes would fail everywhere.
+                # Fail fast with the real worker-side error instead of
+                # burning the request timeout on doomed replicas.
+                self._m_requests["failed"].inc()
+                raise load_error
             wid = self.router.choose(name, replicas, exclude=tried)
             if wid is None:
                 if time.monotonic() >= deadline or self._closing:
@@ -288,7 +320,20 @@ class ClusterPool:
                 return WorkerCrashedError(
                     handle.worker_id, model, detail="send failed"
                 )
-            if not pending.event.wait(max(0.0, deadline - time.monotonic())):
+            answered = pending.event.wait(max(0.0, deadline - time.monotonic()))
+            if not answered:
+                with self._lock:
+                    # Re-check under the lock: the response may have
+                    # landed between the wait timing out and here.
+                    if pending.event.is_set():
+                        answered = True
+                    else:
+                        # The worker is still busy with this request.
+                        # Leave it pending (and counted in ``inflight``)
+                        # until the late response or the worker's death
+                        # retires it — see _dispatch/_declare_dead.
+                        pending.abandoned = True
+            if not answered:
                 return ClusterUnavailableError(
                     f"worker {handle.worker_id} did not answer for model "
                     f"{model!r} within the cluster request timeout"
@@ -318,8 +363,9 @@ class ClusterPool:
             return shm_transport.read_array(ref)
         finally:
             with self._lock:
-                self._pending.pop(req_id, None)
-                handle.inflight = max(0, handle.inflight - 1)
+                if not pending.abandoned:
+                    self._pending.pop(req_id, None)
+                    handle.inflight = max(0, handle.inflight - 1)
             shm_transport.release(in_seg)
             shm_transport.release(out_seg)
 
@@ -344,7 +390,7 @@ class ClusterPool:
             return replicas
 
     def _send_load_locked(self, handle: WorkerHandle, name: str) -> None:
-        if name in handle.loaded:
+        if name in handle.loaded or name in self._load_failures:
             return
         handle.send((MSG_LOAD, name, self._model_bytes[name]))
 
@@ -354,6 +400,8 @@ class ClusterPool:
         """Wait until the worker acks the model (False: gave up/crashed)."""
         with self._loaded_cond:
             while name not in handle.loaded:
+                if name in self._load_failures:
+                    return False  # the caller raises the recorded error
                 if handle.state in (DEAD, STOPPED) or self._closing:
                     return False
                 remaining = deadline - time.monotonic()
@@ -449,10 +497,31 @@ class ClusterPool:
                 self._loaded_cond.notify_all()
         elif tag == MSG_HEARTBEAT:
             pass  # the timestamp update above is the whole point
+        elif tag == MSG_LOAD_ERR:
+            __, name, payload = msg
+            error = WorkerLoadError(
+                handle.worker_id, name, self._unpickle_error(payload)
+            )
+            with self._loaded_cond:
+                # First failure wins; every replica would fail the same
+                # way, so one record retires the model pool-wide.
+                self._load_failures.setdefault(name, error)
+                self._loaded_cond.notify_all()
+            self._recorder.emit(
+                "cluster.load_error",
+                worker=handle.worker_id,
+                model=name,
+                error=type(error.__cause__).__name__,
+            )
         elif tag in (MSG_OK, MSG_ERR):
             __, req_id, payload = msg
             with self._lock:
                 pending = self._pending.get(req_id)
+                if pending is not None and pending.abandoned:
+                    # The caller timed out and moved on; the worker has
+                    # now finished, so retire the slot it was holding.
+                    self._pending.pop(req_id, None)
+                    handle.inflight = max(0, handle.inflight - 1)
             if pending is None or pending.generation != generation:
                 return  # raced with a reroute; the caller moved on
             if tag == MSG_OK:
@@ -481,11 +550,16 @@ class ClusterPool:
             if handle.generation != generation or handle.state in (DEAD, STOPPED):
                 return
             handle.state = DEAD
-            victims = [
-                p
-                for p in self._pending.values()
-                if p.worker_id == handle.worker_id and p.generation == generation
-            ]
+            victims = []
+            for req_id, p in list(self._pending.items()):
+                if p.worker_id != handle.worker_id or p.generation != generation:
+                    continue
+                victims.append(p)
+                if p.abandoned:
+                    # The caller already gave up; nobody else will retire
+                    # this slot now that the worker died holding it.
+                    self._pending.pop(req_id)
+                    handle.inflight = max(0, handle.inflight - 1)
         self._m_crashes.inc()
         self._refresh_alive_gauge()
         self.router.record_outcome(handle.worker_id, ok=False)
@@ -541,11 +615,13 @@ class ClusterPool:
             self._spawn_locked(handle, initial=False)
             handle.restarts += 1
             # Placement restored, not recomputed: every model this slot
-            # hosted is re-loaded into the fresh process.
+            # hosted is re-loaded into the fresh process.  Models whose
+            # load already failed are left retired — replaying the same
+            # bytes would fail identically.
             restored = [
                 name
                 for name, wids in self._placed.items()
-                if handle.worker_id in wids
+                if handle.worker_id in wids and name not in self._load_failures
             ]
             for name in restored:
                 self._send_load_locked(handle, name)
@@ -638,6 +714,8 @@ class ClusterPool:
                     (f"cluster.placement.{name}",
                      ",".join(str(w) for w in wids))
                 )
+            for name, error in sorted(self._load_failures.items()):
+                rows.append((f"cluster.load_failure.{name}", str(error)))
         for row in self.router.rows():
             rows.append((f"cluster.breaker.{row[0]}.state", row[1]))
             rows.append((f"cluster.breaker.{row[0]}.failure_rate", row[2]))
@@ -689,9 +767,14 @@ class ClusterPool:
             placement = {
                 name: list(wids) for name, wids in sorted(self._placed.items())
             }
+            load_failures = {
+                name: str(error)
+                for name, error in sorted(self._load_failures.items())
+            }
         return {
             "workers": workers,
             "placement": placement,
+            "load_failures": load_failures,
             "replication": self.replication,
             "start_method": self.start_method,
             "counters": {

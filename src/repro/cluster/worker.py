@@ -9,6 +9,12 @@ mapped straight out of shared memory, and the labels are written back
 into the parent's pre-sized response slot — the pipe only ever carries
 descriptors and heartbeats, never tensor payloads.
 
+Heartbeats come from a dedicated thread, not the serve loop: a model
+load or a long inference must not look like a wedge to the parent's
+monitor, whose heartbeat timeout is far shorter than the request
+timeout.  The serve loop and the heartbeat thread share the pipe's send
+side under one lock.
+
 The function is module-level and its arguments picklable, so both
 ``fork`` and ``spawn`` start methods work.
 
@@ -35,6 +41,7 @@ MSG_STOP = "stop"  # (MSG_STOP,)
 #: Worker -> parent message tags.
 MSG_READY = "ready"  # (MSG_READY, pid)
 MSG_LOADED = "loaded"  # (MSG_LOADED, model_name)
+MSG_LOAD_ERR = "load_err"  # (MSG_LOAD_ERR, model_name, payload)
 MSG_HEARTBEAT = "hb"  # (MSG_HEARTBEAT, inflight)
 MSG_OK = "ok"  # (MSG_OK, req_id, out_ref)
 MSG_ERR = "err"  # (MSG_ERR, req_id, payload) payload: pickled exc | (type, msg)
@@ -71,13 +78,30 @@ def _worker_main(conn, worker_id: int, config) -> None:
     shm_transport.IN_WORKER = True
 
     hb_interval_s = config.cluster_heartbeat_interval_ms / 1e3
+    send_lock = threading.Lock()
+    stopping = threading.Event()
+
+    def _send(msg: tuple) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def _heartbeat_loop() -> None:
+        # Independent of the serve loop so a multi-second model load or
+        # inference never starves the parent of heartbeats.
+        while not stopping.wait(hb_interval_s):
+            try:
+                _send((MSG_HEARTBEAT, 0))
+            except (BrokenPipeError, OSError, ValueError):
+                return  # parent went away; the serve loop will exit too
+
+    heartbeat = threading.Thread(
+        target=_heartbeat_loop, name="repro-cluster-hb", daemon=True
+    )
+    heartbeat.start()
     db = Database(config=config)
     try:
-        conn.send((MSG_READY, os.getpid()))
+        _send((MSG_READY, os.getpid()))
         while True:
-            if not conn.poll(hb_interval_s):
-                conn.send((MSG_HEARTBEAT, 0))
-                continue
             try:
                 msg = conn.recv()
             except (EOFError, OSError):
@@ -86,19 +110,37 @@ def _worker_main(conn, worker_id: int, config) -> None:
             if tag == MSG_STOP:
                 break
             if tag == MSG_LOAD:
-                __, name, model_bytes = msg
-                db.register_model(pickle.loads(model_bytes), name=name)
-                conn.send((MSG_LOADED, name))
+                _send(_load_one(db, msg[1], msg[2]))
             elif tag == MSG_PREDICT:
                 __, req_id, model, in_ref, out_name, out_cap = msg
-                conn.send(_serve_one(db, req_id, model, in_ref, out_name, out_cap))
-                conn.send((MSG_HEARTBEAT, 0))
+                _send(_serve_one(db, req_id, model, in_ref, out_name, out_cap))
     finally:
+        stopping.set()
+        heartbeat.join(timeout=hb_interval_s * 2 + 1.0)
         try:
             db.close()
         except Exception:  # pragma: no cover - best-effort shutdown
             pass
         conn.close()
+
+
+def _load_one(db, name: str, model_bytes: bytes) -> tuple:
+    """Unpickle + register one placed model; returns the ack message.
+
+    A load failure must not kill the process: the parent would respawn
+    it and replay the identical load forever, and the caller would only
+    ever see a request timeout.  Instead the real error travels back as
+    ``MSG_LOAD_ERR`` and the pool stops placing the model here.
+    """
+    try:
+        db.register_model(pickle.loads(model_bytes), name=name)
+        return (MSG_LOADED, name)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            payload = pickle.dumps(exc)
+        except Exception:
+            payload = (type(exc).__name__, str(exc))
+        return (MSG_LOAD_ERR, name, payload)
 
 
 def _serve_one(db, req_id: int, model: str, in_ref, out_name, out_cap) -> tuple:

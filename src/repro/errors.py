@@ -219,6 +219,26 @@ class WorkerCrashedError(ClusterError):
         super().__init__(message)
 
 
+class WorkerLoadError(ClusterError):
+    """A worker failed to load (unpickle or register) a placed model.
+
+    Deliberately *not* transient: a load failure is deterministic — the
+    same bytes would fail on every replica and every respawn — so the
+    pool records it, stops placing the model, and fails requests for it
+    fast with the real underlying error (``__cause__`` carries the
+    worker-side exception when it could be pickled back).
+    """
+
+    def __init__(self, worker_id: int, model: str, cause: BaseException):
+        self.worker_id = worker_id
+        self.model = model
+        self.__cause__ = cause
+        super().__init__(
+            f"cluster worker {worker_id} failed to load model {model!r}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
 class ClusterUnavailableError(ClusterError):
     """No live replica could serve the request within the cluster
     request timeout (all placed workers crashed faster than they could

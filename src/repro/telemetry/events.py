@@ -56,6 +56,7 @@ EVENT_KINDS: tuple[str, ...] = (
     "cluster.respawn",
     "cluster.reroute",
     "cluster.shm_fallback",
+    "cluster.load_error",
     "slo.burn_start",
     "slo.burn_stop",
     "workload.regression",

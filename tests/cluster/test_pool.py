@@ -2,13 +2,40 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.cluster import ClusterPool
+from repro.dlruntime.layers import Model
 from repro.errors import CatalogError, PlanError
+from repro.models import fraud_fc_256
 
 from .conftest import shm_listing
+
+
+class _SlowUnpickleModel(Model):
+    """A model whose worker-side load outlives the heartbeat timeout."""
+
+    LOAD_DELAY_S = 1.2
+
+    def __setstate__(self, state):
+        time.sleep(self.LOAD_DELAY_S)
+        self.__dict__.update(state)
+
+
+class _FailingUnpickleModel(Model):
+    """A model whose worker-side load always blows up."""
+
+    def __setstate__(self, state):
+        raise RuntimeError("weights corrupted beyond repair")
+
+
+def _variant(cls, name: str) -> Model:
+    base = fraud_fc_256()
+    return cls(name, base.layers, base.input_shape)
 
 
 @pytest.fixture
@@ -131,3 +158,136 @@ def test_predict_after_close_raises(cluster_db, features):
 
     with pytest.raises(ClusterError):
         pool.predict("fraud", features)
+
+
+def test_slow_model_load_is_not_mistaken_for_a_wedge(cluster_db, features):
+    # The load sleeps 2x the fixture's 600ms heartbeat timeout.  With
+    # heartbeats on a dedicated worker thread the monitor must NOT kill
+    # the worker as wedged mid-load (which would replay the same slow
+    # load forever).
+    cluster_db.register_model(
+        _variant(_SlowUnpickleModel, "slowload"), name="slowload"
+    )
+    expected = cluster_db.predict_labels("slowload", features)
+    with ClusterPool(cluster_db) as pool:
+        np.testing.assert_array_equal(pool.predict("slowload", features), expected)
+        snapshot = pool.snapshot()
+        assert snapshot["counters"]["crashes"] == 0
+        assert all(worker["restarts"] == 0 for worker in snapshot["workers"])
+
+
+def test_load_failure_surfaces_real_error_and_retires_model(
+    cluster_db, features
+):
+    from repro.errors import WorkerLoadError
+
+    cluster_db.register_model(
+        _variant(_FailingUnpickleModel, "badload"), name="badload"
+    )
+    with ClusterPool(cluster_db) as pool:
+        with pytest.raises(WorkerLoadError) as excinfo:
+            pool.predict("badload", features)
+        # The caller sees the real worker-side error, not a timeout.
+        assert "weights corrupted beyond repair" in str(excinfo.value)
+        # The worker survived: no crash/respawn loop.
+        snapshot = pool.snapshot()
+        assert snapshot["counters"]["crashes"] == 0
+        assert all(worker["state"] == "ready" for worker in snapshot["workers"])
+        assert "badload" in snapshot["load_failures"]
+        # Retired pool-wide: the next request fails fast, well under the
+        # 20s request timeout.
+        start = time.monotonic()
+        with pytest.raises(WorkerLoadError):
+            pool.predict("badload", features)
+        assert time.monotonic() - start < 2.0
+        # Healthy models on the same workers still serve.
+        np.testing.assert_array_equal(
+            pool.predict("fraud", features),
+            cluster_db.predict_labels("fraud", features),
+        )
+        rows = dict(cluster_db.execute("SHOW CLUSTER").fetchall())
+        assert "corrupted" in rows["cluster.load_failure.badload"]
+
+
+def test_two_pools_in_one_process_use_distinct_segments(
+    cluster_config, features
+):
+    # Two Databases each serving with a cluster in the same parent used
+    # to mint colliding rc<pid>-<req> segment names (FileExistsError).
+    from repro import Database
+
+    dbs, pools = [], []
+    try:
+        for __ in range(2):
+            db = Database(config=cluster_config)
+            db.register_model(fraud_fc_256(), name="fraud")
+            dbs.append(db)
+            pools.append(ClusterPool(db, workers=1))
+        assert pools[0]._seg_prefix != pools[1]._seg_prefix
+        expected = dbs[0].predict_labels("fraud", features)
+        errors: list[BaseException] = []
+
+        def hammer(pool: ClusterPool) -> None:
+            try:
+                for __ in range(10):
+                    np.testing.assert_array_equal(
+                        pool.predict("fraud", features), expected
+                    )
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(pool,)) for pool in pools
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"cross-pool interference: {errors!r}"
+    finally:
+        for pool in pools:
+            pool.close()
+        for db in dbs:
+            db.close()
+
+
+def test_timed_out_request_stays_counted_until_worker_answers(rng):
+    # A caller that gives up on a busy worker must not decrement the
+    # worker's inflight count while the worker is still chewing on the
+    # request — routing and SHOW CLUSTER would under-report queued work.
+    from repro import Database
+    from repro.config import SystemConfig
+    from repro.errors import ClusterUnavailableError
+
+    config = SystemConfig(
+        telemetry_enabled=True,
+        cluster_workers=1,
+        cluster_heartbeat_interval_ms=20.0,
+        cluster_heartbeat_timeout_ms=600.0,
+        cluster_request_timeout_ms=400.0,
+    )
+    features = rng.normal(size=(4, 28))
+    with Database(config=config) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.register_model(
+            _variant(_SlowUnpickleModel, "slowload"), name="slowload"
+        )
+        with ClusterPool(db, workers=1) as pool:
+            pool.predict("fraud", features)  # fraud loaded and acked
+            handle = pool._handles[0]
+            # Occupy the single worker's serve loop with a 1.2s load,
+            # then race a predict against the 400ms request timeout.
+            pool.ensure_model("slowload")
+            with pytest.raises(ClusterUnavailableError):
+                pool.predict("fraud", features)
+            # Abandoned, not forgotten: still counted on the worker.
+            assert handle.inflight == 1
+            assert len(pool._pending) == 1
+            deadline = time.monotonic() + 10
+            while handle.inflight and time.monotonic() < deadline:
+                time.sleep(0.02)
+            # The worker's late answer retired the slot.
+            assert handle.inflight == 0
+            assert not pool._pending
+            assert handle.restarts == 0  # busy, never declared wedged
+            pool.predict("fraud", features)  # and the pool still serves
