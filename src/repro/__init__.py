@@ -24,7 +24,9 @@ from .errors import (
     CircuitOpenError,
     CorruptPageError,
     DeadlineExceededError,
+    DeploymentError,
     InjectedFaultError,
+    NoServableVersionError,
     OutOfMemoryError,
     ReproError,
     ServerClosedError,
@@ -37,6 +39,12 @@ from .errors import (
 )
 from .faults import FaultInjector, FaultPlan, FaultSpec
 from .health import HealthReport
+from .lifecycle import (
+    DEPLOYMENT_COLUMNS,
+    Deployment,
+    DeploymentController,
+    ModelCatalog,
+)
 from .resilience import BreakerBoard, CircuitBreaker, RecoveryLedger
 from .server import ModelServer, RequestFuture, RequestState
 from .session import Cursor, Database
@@ -66,6 +74,12 @@ __all__ = [
     "InjectedFaultError",
     "SqlError",
     "SlaViolationError",
+    "DeploymentError",
+    "NoServableVersionError",
+    "ModelCatalog",
+    "Deployment",
+    "DeploymentController",
+    "DEPLOYMENT_COLUMNS",
     "ServerError",
     "ServerOverloadedError",
     "ServerClosedError",

@@ -640,6 +640,60 @@ class ClusterPool:
             sum(1 for h in self._handles.values() if h.alive)
         )
 
+    def rolling_restart(self, drain_timeout_s: float | None = None) -> int:
+        """Restart every worker one at a time, draining each first.
+
+        Per worker: mark the slot draining (the router stops picking it),
+        wait — bounded by ``drain_timeout_s``, default
+        ``config.lifecycle_drain_timeout_s`` — for its in-flight requests
+        to finish, then stop the process and let the existing
+        crash-detection path respawn the slot with its placement
+        restored.  Traffic keeps flowing through the other replicas the
+        whole time, which is what makes deploys on the cluster
+        zero-client-visible-error.  Returns the number of workers
+        restarted.
+        """
+        timeout = (
+            drain_timeout_s
+            if drain_timeout_s is not None
+            else self._db.config.lifecycle_drain_timeout_s
+        )
+        restarted = 0
+        for wid in sorted(self._handles):
+            handle = self._handles[wid]
+            with self._lock:
+                if self._closing or handle.state != READY:
+                    continue
+                handle.draining = True
+                generation = handle.generation
+            try:
+                deadline = time.monotonic() + timeout
+                while handle.inflight > 0 and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                self._recorder.emit(
+                    "cluster.rolling_restart",
+                    worker=wid,
+                    generation=generation,
+                    abandoned_inflight=handle.inflight,
+                )
+                process = handle.process
+                handle.send((MSG_STOP,))
+                if process is not None:
+                    process.join(timeout=5.0)
+                # The reader/monitor declare the exit and respawn the slot
+                # with placement restored; wait for it to come back.
+                deadline = time.monotonic() + max(timeout, 10.0)
+                while time.monotonic() < deadline:
+                    if handle.state == READY and handle.generation > generation:
+                        break
+                    if self._closing:
+                        break
+                    time.sleep(0.01)
+            finally:
+                handle.draining = False
+            restarted += 1
+        return restarted
+
     def close(self, timeout: float = 5.0) -> None:
         """Stop every worker and fail whatever is still in flight."""
         with self._lock:

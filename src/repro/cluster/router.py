@@ -66,7 +66,9 @@ class ClusterRouter:
         live = [
             wid
             for wid in replicas
-            if wid not in exclude and self._handles[wid].alive
+            if wid not in exclude
+            and self._handles[wid].alive
+            and not self._handles[wid].draining
         ]
         if not live:
             return None

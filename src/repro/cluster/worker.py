@@ -189,6 +189,7 @@ class WorkerHandle:
     pid: int | None = None
     restarts: int = 0
     inflight: int = 0
+    draining: bool = False  # rolling restart: stop admitting, finish in-flight
     last_heartbeat: float = field(default_factory=time.monotonic)
     loaded: set = field(default_factory=set)
     send_lock: threading.Lock = field(default_factory=threading.Lock)

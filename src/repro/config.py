@@ -227,6 +227,27 @@ class SystemConfig:
     # Bound on distinct stage frames tracked; overflow attributes to a
     # catch-all "<other>" frame.
     profiler_max_stages: int = 256
+    # -- online model lifecycle (repro.lifecycle) ------------------------
+    # Bound on graceful drain: how long Database.close(), ModelServer
+    # shutdown, and ClusterPool rolling restarts wait for in-flight and
+    # queued requests to finish before abandoning them.
+    lifecycle_drain_timeout_s: float = 30.0
+    # Default traffic percentage for canary deployments when the DEPLOY
+    # statement (or Database API call) does not give one.
+    deploy_canary_percent: float = 10.0
+    # Canary-routed rows that must complete with zero failures before an
+    # auto-promote fires (when deploy_auto_promote is on).
+    deploy_canary_min_requests: int = 64
+    # Shadow-compared rows required before the divergence verdict.
+    deploy_shadow_min_requests: int = 64
+    # Fraction of shadow-compared rows allowed to disagree with the
+    # serving version (the label-disagreement serving error bound)
+    # before the deployment auto-rolls-back.
+    deploy_shadow_divergence_threshold: float = 0.02
+    # Whether shadow/canary deployments advance on their own once their
+    # minimums are met; False leaves the traffic split in place until an
+    # explicit DEPLOY (promote) or ROLLBACK.
+    deploy_auto_promote: bool = True
 
     def __post_init__(self) -> None:
         if self.page_size < 4 * KB:
@@ -327,6 +348,21 @@ class SystemConfig:
             raise ConfigError(
                 f"cluster_start_method must be '', 'fork', or 'spawn', "
                 f"got {self.cluster_start_method!r}"
+            )
+        if self.lifecycle_drain_timeout_s < 0:
+            raise ConfigError("lifecycle_drain_timeout_s must be >= 0")
+        if not 0 < self.deploy_canary_percent <= 100:
+            raise ConfigError(
+                "deploy_canary_percent must be in (0, 100], "
+                f"got {self.deploy_canary_percent}"
+            )
+        for name in ("deploy_canary_min_requests", "deploy_shadow_min_requests"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if not 0 <= self.deploy_shadow_divergence_threshold <= 1:
+            raise ConfigError(
+                "deploy_shadow_divergence_threshold must be in [0, 1], "
+                f"got {self.deploy_shadow_divergence_threshold}"
             )
 
     @property

@@ -135,6 +135,41 @@ class SlaViolationError(ReproError):
     """No execution alternative satisfies the requested service level agreement."""
 
 
+class DeploymentError(ReproError):
+    """A model deployment operation was invalid (e.g. deploying over an
+    in-flight deployment, or rolling back a model with nothing deployed)."""
+
+
+class NoServableVersionError(DeploymentError):
+    """Versions of the model exist, but none is in a servable state.
+
+    Raised instead of a generic error so the caller can see exactly which
+    versions were considered and why each was skipped.  Carries the model
+    name and ``candidates``: ``(version, state)`` pairs for every version
+    that was inspected.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        candidates: list[tuple[str, str]],
+        requested: str | None = None,
+    ):
+        self.model = model
+        self.candidates = list(candidates)
+        self.requested = requested
+        listing = (
+            ", ".join(f"{v} ({s})" for v, s in self.candidates)
+            if self.candidates
+            else "none registered"
+        )
+        wanted = f" (requested {requested!r})" if requested else ""
+        super().__init__(
+            f"no servable version of model {model!r}{wanted}: "
+            f"candidates are {listing}"
+        )
+
+
 class TelemetryError(ReproError):
     """A metric or trace was used inconsistently (e.g. a counter re-registered
     as a gauge, or a counter decremented)."""

@@ -66,6 +66,9 @@ KNOWN_SITES = (
     "server.batch",
     "persist.sidecar",
     "persist.sidecar_replace",
+    "lifecycle.prepare",
+    "lifecycle.swap",
+    "lifecycle.rollback",
 )
 
 

@@ -182,6 +182,25 @@ def collect(db) -> HealthReport:
                 )
             )
 
+    # In-flight deployments: a live traffic split (canary/shadow) is a
+    # deliberate degraded state — the fleet is mid-transition — and the
+    # deployment's per-version breaker folds in like any other breaker.
+    deployments = getattr(db, "_deployments", None)
+    if deployments is not None:
+        for dep in deployments.active():
+            components.append(
+                ComponentHealth(
+                    f"deploy:{dep.model}",
+                    DEGRADED,
+                    f"version={dep.version} state={dep.state} "
+                    f"requests={dep.requests} failures={dep.failures} "
+                    f"diverged={dep.shadow_diverged}/{dep.shadow_compared}",
+                )
+            )
+            breaker = deployments.breaker_for(dep.model, dep.version)
+            if breaker is not None:
+                components.append(_breaker_health(breaker))
+
     # Memory budgets: the DB-side and DL-runtime-side whole-tensor pools.
     components.append(
         _utilisation_health(

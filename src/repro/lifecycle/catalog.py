@@ -1,0 +1,305 @@
+"""The versioned, copy-on-write model catalog.
+
+Serving reads and catalog writes are decoupled MVCC-style: every mutation
+(register a version, start a canary, promote, roll back) builds a brand
+new immutable :class:`CatalogSnapshot` off to the side and publishes it
+with a single pointer assignment.  Readers call :meth:`ModelCatalog.
+snapshot` once at query start and route against that frozen view for the
+rest of the call — they never take a lock, never see a half-applied
+routing change, and keep serving the prior version while a deploy is in
+flight.  Writers serialize on a private mutation lock that no read path
+ever touches, so DEPLOY / ROLLBACK run fully off the session's
+writer-preferring ``ReadWriteLock``.
+
+Each published snapshot carries a monotonically increasing ``generation``
+stamp; the catalog keeps the publication history so every served response
+is attributable to exactly one published generation (the concurrent-DDL
+test asserts this).  Fault-injection sites ``lifecycle.swap`` and
+``lifecycle.rollback`` fire *before* the pointer swap: a crash at either
+site leaves the previous snapshot — and therefore the previous version —
+serving untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from ..errors import CatalogError, DeploymentError
+from ..telemetry.events import NULL_RECORDER
+
+#: Version lifecycle states tracked per :class:`VersionRecord`.
+V_READY = "ready"          # prepared and compiled, not taking traffic
+V_SERVING = "serving"      # the stable version, takes non-canary traffic
+V_CANARY = "canary"        # taking the deterministic canary slice
+V_SHADOW = "shadow"        # mirrored traffic only, outputs compared
+V_RETIRED = "retired"      # was serving (or deployed) and was replaced
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One immutable version entry: name, executable catalog key, state."""
+
+    version: str
+    key: str  # storage-catalog / compiled-model key that executes this version
+    state: str
+    since_generation: int = 0
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Immutable routing state for one model inside a snapshot."""
+
+    model: str
+    serving: str
+    canary: str | None = None
+    canary_percent: float = 0.0
+    shadow: str | None = None
+    versions: tuple[VersionRecord, ...] = ()
+
+    def record(self, version: str) -> VersionRecord | None:
+        for rec in self.versions:
+            if rec.version == version:
+                return rec
+        return None
+
+    def key_of(self, version: str) -> str:
+        rec = self.record(version)
+        if rec is None:
+            raise DeploymentError(
+                f"model {self.model!r} has no version {version!r}"
+            )
+        return rec.key
+
+    def candidates(self) -> list[tuple[str, str]]:
+        """``(version, state)`` pairs, for :class:`NoServableVersionError`."""
+        return [(rec.version, rec.state) for rec in self.versions]
+
+
+class CatalogSnapshot:
+    """One immutable, generation-stamped view of every model's routing."""
+
+    __slots__ = ("generation", "_entries")
+
+    def __init__(self, generation: int, entries: dict[str, ModelEntry]):
+        self.generation = generation
+        self._entries = entries
+
+    def entry(self, model: str) -> ModelEntry | None:
+        return self._entries.get(model)
+
+    def models(self) -> list[str]:
+        return sorted(self._entries)
+
+
+class ModelCatalog:
+    """The mutable head: holds the current snapshot, serializes writers.
+
+    All mutators copy the entry map, fire their fault site, then publish
+    the new snapshot atomically.  ``snapshot()`` is the entire read API.
+    """
+
+    def __init__(self, injector=None, recorder=NULL_RECORDER):
+        self._mutate = threading.Lock()
+        self._head = CatalogSnapshot(0, {})
+        self._injector = injector
+        self._recorder = recorder
+        #: Publication history: ``(generation, description)`` per publish.
+        self._history: list[tuple[int, str]] = [(0, "empty")]
+
+    # -- read side (lock-free) ------------------------------------------
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Pin the current snapshot (a single atomic pointer read)."""
+        return self._head
+
+    @property
+    def generation(self) -> int:
+        return self._head.generation
+
+    def history(self) -> list[tuple[int, str]]:
+        """Published ``(generation, description)`` pairs, oldest first."""
+        return list(self._history)
+
+    def generations(self) -> set[int]:
+        return {gen for gen, _ in self._history}
+
+    # -- write side (serialized on the mutation lock) -------------------
+
+    def register_base(self, model: str, version: str = "v1") -> int:
+        """Register a freshly created model as its own serving version."""
+        model = model.lower()
+        with self._mutate:
+            if self._head.entry(model) is not None:
+                raise CatalogError(
+                    f"model {model!r} already registered in the lifecycle "
+                    "catalog"
+                )
+            gen = self._head.generation + 1
+            entry = ModelEntry(
+                model=model,
+                serving=version,
+                versions=(VersionRecord(version, model, V_SERVING, gen),),
+            )
+            return self._publish_locked(
+                model, entry, site=None, change=f"{model}: base {version}"
+            )
+
+    def forget(self, model: str) -> None:
+        """Drop a model's entry (mirror of ``Catalog.unregister_model``)."""
+        model = model.lower()
+        with self._mutate:
+            if self._head.entry(model) is None:
+                return
+            entries = dict(self._head._entries)
+            del entries[model]
+            gen = self._head.generation + 1
+            snapshot = CatalogSnapshot(gen, entries)
+            self._history.append((gen, f"{model}: forgotten"))
+            self._head = snapshot
+
+    def add_version(self, model: str, version: str, key: str) -> int:
+        """Publish a prepared (compiled, registered) version as READY."""
+        model, version = model.lower(), version.lower()
+        with self._mutate:
+            entry = self._require_locked(model)
+            if entry.record(version) is not None:
+                raise DeploymentError(
+                    f"model {model!r} already has a version {version!r}"
+                )
+            gen = self._head.generation + 1
+            entry = replace(
+                entry,
+                versions=entry.versions
+                + (VersionRecord(version, key, V_READY, gen),),
+            )
+            return self._publish_locked(
+                model, entry, site=None,
+                change=f"{model}: prepared {version}",
+            )
+
+    def route_shadow(self, model: str, version: str) -> int:
+        """Mirror serving traffic to ``version``; outputs are compared."""
+        model, version = model.lower(), version.lower()
+        with self._mutate:
+            entry = self._require_locked(model)
+            gen = self._head.generation + 1
+            entry = replace(
+                entry,
+                shadow=version,
+                versions=self._restate_locked(entry, {version: V_SHADOW}, gen),
+            )
+            return self._publish_locked(
+                model, entry, site="lifecycle.swap",
+                change=f"{model}: shadow {version}",
+            )
+
+    def route_canary(self, model: str, version: str, percent: float) -> int:
+        """Send ``percent``% of fingerprint-hashed traffic to ``version``."""
+        model, version = model.lower(), version.lower()
+        with self._mutate:
+            entry = self._require_locked(model)
+            gen = self._head.generation + 1
+            entry = replace(
+                entry,
+                canary=version,
+                canary_percent=float(percent),
+                shadow=None,
+                versions=self._restate_locked(entry, {version: V_CANARY}, gen),
+            )
+            return self._publish_locked(
+                model, entry, site="lifecycle.swap",
+                change=f"{model}: canary {version} {percent:g}%",
+            )
+
+    def promote(self, model: str, version: str) -> int:
+        """Re-point all traffic at ``version`` in one swap."""
+        model, version = model.lower(), version.lower()
+        with self._mutate:
+            entry = self._require_locked(model)
+            gen = self._head.generation + 1
+            states = {version: V_SERVING}
+            if entry.serving != version:
+                states[entry.serving] = V_RETIRED
+            entry = replace(
+                entry,
+                serving=version,
+                canary=None,
+                canary_percent=0.0,
+                shadow=None,
+                versions=self._restate_locked(entry, states, gen),
+            )
+            return self._publish_locked(
+                model, entry, site="lifecycle.swap",
+                change=f"{model}: promote {version}",
+            )
+
+    def rollback(self, model: str, serving: str | None = None) -> int:
+        """Clear any traffic split; optionally re-point serving.
+
+        With ``serving=None`` this cancels an in-flight canary/shadow
+        (the stable version never stopped serving); with a version name
+        it reverts a promotion, re-pointing serving in the same swap.
+        """
+        model = model.lower()
+        with self._mutate:
+            entry = self._require_locked(model)
+            gen = self._head.generation + 1
+            states: dict[str, str] = {}
+            for cancelled in (entry.canary, entry.shadow):
+                if cancelled is not None:
+                    states[cancelled] = V_RETIRED
+            target = entry.serving if serving is None else serving.lower()
+            if target != entry.serving:
+                states[entry.serving] = V_RETIRED
+                states[target] = V_SERVING
+            entry = replace(
+                entry,
+                serving=target,
+                canary=None,
+                canary_percent=0.0,
+                shadow=None,
+                versions=self._restate_locked(entry, states, gen),
+            )
+            return self._publish_locked(
+                model, entry, site="lifecycle.rollback",
+                change=f"{model}: rollback to {target}",
+            )
+
+    # -- internals -------------------------------------------------------
+
+    def _require_locked(self, model: str) -> ModelEntry:
+        entry = self._head.entry(model)
+        if entry is None:
+            raise CatalogError(
+                f"no model named {model!r} in the lifecycle catalog"
+            )
+        return entry
+
+    @staticmethod
+    def _restate_locked(
+        entry: ModelEntry, states: dict[str, str], generation: int
+    ) -> tuple[VersionRecord, ...]:
+        return tuple(
+            replace(rec, state=states[rec.version], since_generation=generation)
+            if rec.version in states and rec.state != states[rec.version]
+            else rec
+            for rec in entry.versions
+        )
+
+    def _publish_locked(
+        self, model: str, entry: ModelEntry, site: str | None, change: str
+    ) -> int:
+        # The fault site fires BEFORE the pointer swap: an injected crash
+        # here aborts the publish and the old snapshot keeps serving.
+        if site is not None and self._injector is not None:
+            self._injector.fire(site, model=model, change=change)
+        entries = dict(self._head._entries)
+        entries[model] = entry
+        snapshot = CatalogSnapshot(self._head.generation + 1, entries)
+        self._history.append((snapshot.generation, change))
+        self._head = snapshot  # the atomic publication point
+        self._recorder.emit(
+            "lifecycle.publish", generation=snapshot.generation, change=change
+        )
+        return snapshot.generation

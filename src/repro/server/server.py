@@ -89,8 +89,13 @@ class ModelServer:
         #: everything above the execute call (batching, admission,
         #: breakers, retries, tracing) is identical on both paths.
         self.cluster = cluster
+        # Both paths route through the database's lifecycle catalog, so
+        # canary/shadow deployments apply identically whether a batch
+        # executes in-process or on cluster workers.
         self._predict_fn = (
-            cluster.predict if cluster is not None else db.predict_labels
+            db.route_cluster_predict
+            if cluster is not None
+            else db.predict_labels
         )
         self._injector = getattr(db, "faults", NULL_INJECTOR)
         self.retry_limit = int(
@@ -143,6 +148,7 @@ class ModelServer:
         self._next_id = itertools.count(1)
         self._rotation = 0  # round-robin start index for batcher picking
         self._postmortem_dumped = False  # first terminal failure only
+        self.abandoned_total = 0  # requests failed by drain deadlines
 
         registry = db.telemetry.registry
         tracer = db.telemetry.tracer
@@ -343,19 +349,35 @@ class ModelServer:
                     return False
                 self._work.wait(min(remaining, 0.05))
 
-    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop intake, optionally finish queued work, join the workers.
+    def close(
+        self,
+        drain: bool = True,
+        timeout: float | None = None,
+        drain_timeout_s: float | None = None,
+    ) -> int:
+        """Stop intake, drain queued work (bounded), join the workers.
 
-        With ``drain=False`` (or on drain timeout) still-queued requests
-        fail with :class:`~repro.errors.ServerClosedError`.
+        Graceful drain: intake stops first, then in-flight and queued
+        requests get up to ``drain_timeout_s`` (aliases ``timeout``;
+        default ``config.lifecycle_drain_timeout_s``) to finish.  With
+        ``drain=False`` — or for whatever is still queued at the
+        deadline — requests fail with
+        :class:`~repro.errors.ServerClosedError`.  Returns the number of
+        requests abandoned that way (0 on a clean drain); a non-zero
+        count is also reported via a ``server.drain_abandoned``
+        flight-recorder event.
         """
+        if drain_timeout_s is not None:
+            timeout = drain_timeout_s
+        if timeout is None:
+            timeout = self._db.config.lifecycle_drain_timeout_s
         with self._work:
             if self._shutdown:
-                return
+                return 0
             self._stopping = True
             self._work.notify_all()
-        if drain:
-            self.drain(timeout)
+        drained = self.drain(timeout) if drain else False
+        abandoned = 0
         with self._work:
             self._shutdown = True
             for state in self._models.values():
@@ -363,12 +385,22 @@ class ModelServer:
                 for request in leftovers:
                     request._fail(ServerClosedError("server closed"))
                     self._m_requests["failed"].inc()
+                    abandoned += 1
             self._work.notify_all()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if abandoned:
+            self.abandoned_total += abandoned
+            self._recorder.emit(
+                "server.drain_abandoned",
+                count=abandoned,
+                drained=drained,
+                timeout_s=timeout,
+            )
         if self.cluster is not None:
             self.cluster.close()
         self._db._detach_server(self)
+        return abandoned
 
     @property
     def closed(self) -> bool:

@@ -39,6 +39,8 @@ from .errors import CatalogError, ReproError, SqlError
 from .faults import FAULT_COLUMNS, FaultInjector, FaultPlan
 from .health import HEALTH_COLUMNS, HealthReport
 from .health import collect as collect_health
+from .lifecycle import DEPLOYMENT_COLUMNS, DeploymentController, ModelCatalog
+from .lifecycle.routing import routed_predict
 from .relational.schema import ColumnType, Schema
 from .resilience import RecoveryLedger
 from .server.locks import ReadWriteLock
@@ -66,6 +68,7 @@ from .telemetry import (
     Telemetry,
     timeline_rows,
 )
+from .telemetry.events import NULL_RECORDER
 
 #: Relational schema of the ``SHOW EVENTS`` system view (what a WHERE
 #: clause binds against).
@@ -177,6 +180,15 @@ _READ_STATEMENTS = (
     sql_ast.UnionAll,
 )
 
+#: Lifecycle statements also run on the read side: the deployment
+#: controller serializes its own writers on a private mutation lock and
+#: publishes every routing change as one atomic snapshot swap, so
+#: DEPLOY/ROLLBACK never block — or wait on — serving traffic.
+_LIFECYCLE_STATEMENTS = (
+    sql_ast.DeployModel,
+    sql_ast.RollbackModel,
+)
+
 
 class Database:
     """An embedded RDBMS with in-database model serving.
@@ -272,6 +284,19 @@ class Database:
             injector=self._faults,
         )
         self._catalog = Catalog(self._pool)
+        # Lifecycle tier: the copy-on-write versioned catalog (readers
+        # pin immutable generation-stamped snapshots; deploys publish via
+        # a single pointer swap) and the deployment state machine behind
+        # DEPLOY / ROLLBACK / SHOW DEPLOYMENTS.
+        self._lifecycle = ModelCatalog(
+            injector=self._faults,
+            recorder=(
+                self._telemetry.events
+                if self._telemetry.enabled
+                else NULL_RECORDER
+            ),
+        )
+        self._deployments = DeploymentController(self)
         # Rescues the executor performs feed the optimizer's next plan;
         # the ledger survives set_option() planning rebuilds on purpose.
         self._ledger = RecoveryLedger(
@@ -300,6 +325,11 @@ class Database:
         persist.restore_catalog(self._catalog, snapshot)
         for info in self._catalog.models():
             self._compiled[info.name] = self._compiler.compile(info.model)
+            # Version keys ("name@version") come back as plain catalog
+            # entries; routing state is session-scoped, so every restored
+            # model serves its base version until redeployed.
+            if "@" not in info.name:
+                self._lifecycle.register_base(info.name)
 
     # -- configuration ------------------------------------------------------
 
@@ -583,7 +613,7 @@ class Database:
 
     def _statement_lock(self, stmt: sql_ast.Statement):
         """Read lock for queries, write lock for DDL/DML (the contract)."""
-        if isinstance(stmt, _READ_STATEMENTS):
+        if isinstance(stmt, _READ_STATEMENTS + _LIFECYCLE_STATEMENTS):
             return self._rwlock.read()
         return self._rwlock.write()
 
@@ -721,10 +751,13 @@ class Database:
                 return Cursor(
                     PROFILE_COLUMNS, self._telemetry.profiler.top_rows()
                 )
+            if what == "deployments":
+                return Cursor(DEPLOYMENT_COLUMNS, self._deployments.rows())
             raise SqlError(
                 f"unknown SHOW target {stmt.what!r}; expected TABLES, "
                 "MODELS, METRICS, STATS, SERVER, CLUSTER, AUDIT, FAULTS, "
-                "HEALTH, EVENTS, TIMELINE, WORKLOAD, SLO, or PROFILE"
+                "HEALTH, EVENTS, TIMELINE, WORKLOAD, SLO, PROFILE, or "
+                "DEPLOYMENTS"
             )
         if isinstance(stmt, sql_ast.ShowEvents):
             rows = filter_rows(
@@ -758,6 +791,17 @@ class Database:
         if isinstance(stmt, sql_ast.Select):
             op = self._planner.plan_select(stmt)
             return Cursor(op.schema.names, list(op))
+        if isinstance(stmt, sql_ast.DeployModel):
+            dep = self._deployments.deploy(
+                stmt.model,
+                stmt.version,
+                canary_percent=stmt.canary_percent,
+                shadow=stmt.shadow,
+            )
+            return Cursor(DEPLOYMENT_COLUMNS, [dep.as_row()])
+        if isinstance(stmt, sql_ast.RollbackModel):
+            dep = self._deployments.rollback(stmt.model)
+            return Cursor(DEPLOYMENT_COLUMNS, [dep.as_row()])
         raise SqlError(f"unsupported statement type {type(stmt).__name__}")
 
     def explain_analyze(self, sql: str) -> tuple[Cursor, str]:
@@ -848,7 +892,88 @@ class Database:
                 f"compile:{model_name}", category="optimizer"
             ):
                 self._compiled[model_name] = self._compiler.compile(model)
+        self._lifecycle.register_base(model_name)
         return model_name
+
+    def register_model_version(
+        self,
+        name: str,
+        version: str,
+        model: Model | None = None,
+        quantize_bits: int | None = None,
+        prune_sparsity: float | None = None,
+    ) -> str:
+        """Prepare a new version of a registered model, off the write lock.
+
+        Compiles and registers the version concurrently with serving (the
+        whole prepare path runs without the database write lock; the only
+        shared mutations are single-key dict/catalog inserts under keys no
+        reader resolves yet) and publishes it as READY in the lifecycle
+        catalog.  The version takes no traffic until ``DEPLOY MODEL``.
+
+        Give either an explicit ``model`` or one of ``quantize_bits`` /
+        ``prune_sparsity`` to derive the version from the base weights.
+        Returns the internal catalog key (``"name@version"``).
+        """
+        model_name, version = name.lower(), version.lower()
+        self._faults.fire(
+            "lifecycle.prepare", model=model_name, version=version
+        )
+        base = self._catalog.get_model(model_name)
+        if model is None:
+            from .dedup.versions import derive_version
+
+            model = derive_version(
+                base.model,
+                quantize_bits=quantize_bits,
+                prune_sparsity=prune_sparsity,
+            )
+        key = f"{model_name}@{version}"
+        with self._telemetry.tracer.span(
+            f"compile:{key}", category="optimizer"
+        ):
+            compiled = self._compiler.compile(model)
+        self._catalog.register_model(key, model)
+        base.versions[version] = model
+        self._compiled[key] = compiled
+        self._lifecycle.add_version(model_name, version, key)
+        if self._telemetry.enabled:
+            self._telemetry.events.emit(
+                "deploy.prepare", model=model_name, version=version, key=key
+            )
+        return key
+
+    def deploy_model(
+        self,
+        name: str,
+        version: str,
+        canary_percent: float | None = None,
+        shadow: bool = False,
+    ):
+        """Programmatic ``DEPLOY MODEL`` (see :mod:`repro.lifecycle`)."""
+        return self._deployments.deploy(
+            name, version, canary_percent=canary_percent, shadow=shadow
+        )
+
+    def rollback_model(self, name: str, reason: str = "manual"):
+        """Programmatic ``ROLLBACK MODEL``."""
+        return self._deployments.rollback(name, reason=reason)
+
+    @property
+    def lifecycle(self) -> ModelCatalog:
+        """The copy-on-write versioned model catalog."""
+        return self._lifecycle
+
+    @property
+    def deployments(self) -> DeploymentController:
+        """The deployment state machine driving DEPLOY/ROLLBACK."""
+        return self._deployments
+
+    def _on_routing_changed(self, name: str) -> None:
+        # Serving re-pointed to a different version: the result cache was
+        # filled by the old one, so drop it rather than risk (or appear to
+        # risk) serving stale-version outputs.
+        self._caches.pop(name.lower(), None)
 
     def model_info(self, name: str) -> ModelInfo:
         return self._catalog.get_model(name)
@@ -1098,6 +1223,78 @@ class Database:
     def _predict_labels(
         self, name: str, features: np.ndarray, proba_class: int | None = None
     ) -> np.ndarray:
+        return self._predict_labels_routed(name, features, proba_class)[0]
+
+    def _predict_labels_routed(
+        self, name: str, features: np.ndarray, proba_class: int | None = None
+    ) -> tuple[np.ndarray, int]:
+        """Label prediction through the lifecycle catalog's routing.
+
+        Pins one immutable snapshot for the whole call, so every response
+        is attributable to exactly one published generation even while a
+        deploy/rollback swaps routing concurrently.
+        """
+        key = name.lower()
+        snapshot = self._lifecycle.snapshot()
+        entry = snapshot.entry(key)
+        if entry is None:
+            # Internal version keys ("m@v") and models that bypassed
+            # register_model have no routing entry: execute directly.
+            return (
+                self._predict_labels_raw(key, features, proba_class),
+                snapshot.generation,
+            )
+        if proba_class is not None:
+            # Probability outputs are served by the stable version only
+            # (no canary slice: scores are not comparable label-wise).
+            serving = entry.key_of(entry.serving)
+            return (
+                self._predict_labels_raw(serving, features, proba_class),
+                snapshot.generation,
+            )
+        labels = routed_predict(
+            self._deployments,
+            entry,
+            features,
+            lambda version_key, feats: self._predict_labels_raw(
+                version_key, feats
+            ),
+            snapshot,
+        )
+        return labels, snapshot.generation
+
+    def predict_labels_v(
+        self, name: str, features: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Like :meth:`predict_labels`, also returning the generation of
+        the lifecycle snapshot the call was served from."""
+        with self._rwlock.read():
+            return self._predict_labels_routed(name, features)
+
+    def route_cluster_predict(self, name: str, features: np.ndarray):
+        """Cluster-path entry point: lifecycle routing over pool workers.
+
+        The attached :class:`~repro.cluster.ClusterPool` executes version
+        keys directly (each version is its own catalog entry, so it gets
+        its own consistent-hash placement); this wrapper applies the same
+        canary/shadow split the in-process path uses.
+        """
+        cluster = self._cluster
+        key = name.lower()
+        snapshot = self._lifecycle.snapshot()
+        entry = snapshot.entry(key)
+        if cluster is None or entry is None:
+            target = cluster.predict if cluster is not None else (
+                lambda n, f: self.predict_labels(n, f)
+            )
+            return target(key, features)
+        return routed_predict(
+            self._deployments, entry, features, cluster.predict, snapshot
+        )
+
+    def _predict_labels_raw(
+        self, name: str, features: np.ndarray, proba_class: int | None = None
+    ) -> np.ndarray:
         if proba_class is not None:
             # Probability outputs bypass the result cache (it stores labels).
             result = self.predict(name, features)
@@ -1235,18 +1432,32 @@ class Database:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self, diagnostics_path: str | None = None) -> None:
+    def close(
+        self,
+        diagnostics_path: str | None = None,
+        drain_timeout_s: float | None = None,
+    ) -> int:
         """Close the database, optionally dumping a diagnostics bundle.
 
         ``diagnostics_path`` writes a postmortem bundle (see
         :meth:`dump_diagnostics`) before any subsystem shuts down, so the
         bundle still sees the attached server and live telemetry.
+
+        An attached server (and cluster pool) is *drained* first — new
+        submissions stop, in-flight and queued requests get up to
+        ``drain_timeout_s`` (default: ``config.lifecycle_drain_timeout_s``)
+        to finish — and only then torn down.  Returns the number of
+        requests abandoned by the drain deadline (0 on a clean close);
+        abandoned requests fail with ``ServerClosedError`` and are
+        reported via a ``server.drain_abandoned`` flight-recorder event
+        instead of dying opaquely mid-teardown.
         """
         if diagnostics_path is not None:
             self.dump_diagnostics(diagnostics_path, reason="close")
         self._telemetry.profiler.stop()
+        abandoned = 0
         if self._server is not None:
-            self._server.close()
+            abandoned = self._server.close(drain_timeout_s=drain_timeout_s)
         if self._cluster is not None:
             self._cluster.close()
         if self._path is not None:
@@ -1275,6 +1486,7 @@ class Database:
         else:
             self._pool.flush_all()
         self._disk.close()
+        return abandoned
 
     def __enter__(self) -> "Database":
         return self

@@ -211,6 +211,33 @@ class ShowTimeline(Statement):
 
 
 @dataclass
+class DeployModel(Statement):
+    """``DEPLOY MODEL m VERSION v [CANARY x%] [SHADOW]``.
+
+    Drives the deployment state machine (:mod:`repro.lifecycle`): a bare
+    DEPLOY promotes the version immediately (one atomic snapshot swap);
+    ``CANARY x%`` routes x% of fingerprint-hashed traffic to the new
+    version first; ``SHADOW`` mirrors traffic to it and compares outputs
+    before any client sees them.  ``SHADOW`` and ``CANARY`` compose:
+    shadow runs first, then the canary stage.
+    """
+
+    model: str
+    version: str
+    canary_percent: float | None = None
+    shadow: bool = False
+
+
+@dataclass
+class RollbackModel(Statement):
+    """``ROLLBACK MODEL m``: cancel the in-flight deployment (canary or
+    shadow) or revert the last promotion, re-pointing traffic to the
+    prior version in one snapshot swap."""
+
+    model: str
+
+
+@dataclass
 class UnionAll(Statement):
     """``<select> UNION ALL <select> [...]`` (bag semantics)."""
 

@@ -29,7 +29,7 @@ SOFT_KEYWORDS = frozenset({"METRICS", "STATS", "AUDIT", "ANALYZE"})
 #: parsed specially for its TOP k BY / fingerprint forms.
 SHOW_TARGETS = frozenset(
     {"METRICS", "STATS", "AUDIT", "SERVER", "CLUSTER", "FAULTS", "HEALTH",
-     "EVENTS", "TIMELINE", "WORKLOAD", "SLO", "PROFILE"}
+     "EVENTS", "TIMELINE", "WORKLOAD", "SLO", "PROFILE", "DEPLOYMENTS"}
 )
 
 

@@ -23,6 +23,7 @@ from .ast import (
     CreateTable,
     CreateTableAs,
     Delete,
+    DeployModel,
     DropTable,
     Explain,
     ExplainAnalyze,
@@ -30,6 +31,7 @@ from .ast import (
     InsertSelect,
     Join,
     PredictCall,
+    RollbackModel,
     Select,
     SelectItem,
     Show,
@@ -159,8 +161,12 @@ class _Parser:
                 raise SqlParseError(
                     "expected TABLES, MODELS, METRICS, STATS, SERVER, "
                     "AUDIT, FAULTS, HEALTH, EVENTS, TIMELINE, WORKLOAD, "
-                    "SLO, or PROFILE after SHOW"
+                    "SLO, PROFILE, or DEPLOYMENTS after SHOW"
                 )
+        elif token.type is TokenType.IDENT and token.value == "deploy":
+            stmt = self._parse_deploy()
+        elif token.type is TokenType.IDENT and token.value == "rollback":
+            stmt = self._parse_rollback()
         else:
             raise SqlParseError(
                 f"cannot parse statement starting with {token.value!r}"
@@ -171,6 +177,64 @@ class _Parser:
                 f"unexpected trailing input at position {self._peek().position}"
             )
         return stmt
+
+    # DEPLOY / ROLLBACK / MODEL / VERSION / CANARY / SHADOW are not
+    # reserved words (existing queries may use them as identifiers), so
+    # these productions match plain identifier tokens by value.
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        token = self._peek()
+        if not self._accept_word(word):
+            raise SqlParseError(
+                f"expected {word.upper()} but found {token.value!r} at "
+                f"position {token.position}"
+            )
+
+    def _parse_deploy(self) -> DeployModel:
+        self._expect_word("deploy")
+        self._expect_word("model")
+        model = self._expect_ident()
+        self._expect_word("version")
+        token = self._peek()
+        if token.type not in (TokenType.IDENT, TokenType.NUMBER):
+            raise SqlParseError(
+                f"expected a version name after VERSION, found "
+                f"{token.value!r} at position {token.position}"
+            )
+        self._advance()
+        version = token.value
+        canary_percent: float | None = None
+        if self._accept_word("canary"):
+            number = self._peek()
+            if number.type is not TokenType.NUMBER:
+                raise SqlParseError(
+                    "expected a percentage after CANARY, found "
+                    f"{number.value!r} at position {number.position}"
+                )
+            self._advance()
+            canary_percent = float(_parse_number(number.value))
+            pct = self._peek()
+            if pct.type is TokenType.OPERATOR and pct.value == "%":
+                self._advance()
+            if not 0 < canary_percent <= 100:
+                raise SqlParseError(
+                    f"CANARY percentage must be in (0, 100], "
+                    f"got {canary_percent:g}"
+                )
+        shadow = self._accept_word("shadow")
+        return DeployModel(model, version, canary_percent, shadow)
+
+    def _parse_rollback(self) -> RollbackModel:
+        self._expect_word("rollback")
+        self._expect_word("model")
+        return RollbackModel(self._expect_ident())
 
     def _parse_delete(self) -> Delete:
         self._expect_keyword("DELETE")

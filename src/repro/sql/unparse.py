@@ -44,6 +44,7 @@ from .ast import (
     CreateTable,
     CreateTableAs,
     Delete,
+    DeployModel,
     DropTable,
     Explain,
     ExplainAnalyze,
@@ -51,6 +52,7 @@ from .ast import (
     InsertSelect,
     Join,
     PredictCall,
+    RollbackModel,
     Select,
     SelectItem,
     Show,
@@ -120,6 +122,15 @@ def unparse(stmt: Statement) -> str:
         return "SHOW workload"
     if isinstance(stmt, Show):
         return f"SHOW {stmt.what}"
+    if isinstance(stmt, DeployModel):
+        sql = f"DEPLOY MODEL {stmt.model} VERSION {stmt.version}"
+        if stmt.canary_percent is not None:
+            sql += f" CANARY {stmt.canary_percent:g}%"
+        if stmt.shadow:
+            sql += " SHADOW"
+        return sql
+    if isinstance(stmt, RollbackModel):
+        return f"ROLLBACK MODEL {stmt.model}"
     raise SqlError(f"cannot unparse statement type {type(stmt).__name__}")
 
 

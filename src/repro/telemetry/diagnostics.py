@@ -28,8 +28,10 @@ from .workload import WORKLOAD_COLUMNS
 
 #: Bumped when the bundle layout changes incompatibly.  v2 added the
 #: workload / slo / profile sections; v3 added the cluster section
-#: (null when no process pool is attached).
-BUNDLE_VERSION = 3
+#: (null when no process pool is attached); v4 added the lifecycle
+#: section (catalog generation, publication history, deployments, and
+#: the per-version breaker rows).
+BUNDLE_VERSION = 4
 
 #: Keys every well-formed bundle must carry.
 REQUIRED_KEYS: tuple[str, ...] = (
@@ -48,6 +50,7 @@ REQUIRED_KEYS: tuple[str, ...] = (
     "slo",
     "profile",
     "cluster",
+    "lifecycle",
 )
 
 #: Query shapes included in a bundle's workload section.
@@ -121,6 +124,13 @@ def build_bundle(
     # state — which process hosted what, and who had been crashing.
     cluster = getattr(db, "_cluster", None)
     bundle["cluster"] = cluster.snapshot() if cluster is not None else None
+    # Lifecycle tier: the versioned catalog's generation and publication
+    # history plus every deployment's state-machine record — which
+    # version was serving, what was mid-canary, and what rolled back why.
+    deployments = getattr(db, "_deployments", None)
+    bundle["lifecycle"] = (
+        deployments.snapshot() if deployments is not None else None
+    )
     server = getattr(db, "_server", None)
     if server is not None:
         bundle["server"] = [list(row) for row in server.stats_rows()]
@@ -263,6 +273,34 @@ def validate_bundle(bundle: dict) -> list[str]:
                         problems.append(
                             f"cluster.workers[{i}] must carry worker_id, "
                             "state, restarts, and heartbeat_age_ms"
+                        )
+                        break
+    if "lifecycle" in bundle:
+        lifecycle = bundle["lifecycle"]
+        if lifecycle is not None:
+            if not isinstance(lifecycle, dict) or not isinstance(
+                lifecycle.get("generation"), int
+            ):
+                problems.append(
+                    "lifecycle must be null or an object carrying the "
+                    "catalog generation"
+                )
+            elif not isinstance(lifecycle.get("deployments"), list):
+                problems.append("lifecycle.deployments must be an array")
+            else:
+                columns = lifecycle.get("columns", [])
+                for i, row in enumerate(lifecycle["deployments"]):
+                    if not isinstance(row, list) or len(row) != len(columns):
+                        problems.append(
+                            f"lifecycle.deployments[{i}] must be a row "
+                            "matching lifecycle.columns"
+                        )
+                        break
+                for i, entry in enumerate(lifecycle.get("history", [])):
+                    if not isinstance(entry, list) or len(entry) != 2:
+                        problems.append(
+                            f"lifecycle.history[{i}] must be a "
+                            "[generation, change] pair"
                         )
                         break
     return problems

@@ -60,6 +60,15 @@ EVENT_KINDS: tuple[str, ...] = (
     "slo.burn_start",
     "slo.burn_stop",
     "workload.regression",
+    "lifecycle.publish",
+    "deploy.prepare",
+    "deploy.start",
+    "deploy.state",
+    "deploy.promote",
+    "deploy.rollback",
+    "deploy.shadow_diverged",
+    "server.drain_abandoned",
+    "cluster.rolling_restart",
 )
 
 #: Columns for ``SHOW EVENTS`` cursors.

@@ -199,6 +199,80 @@ def drive_persist_sidecar_replace(path: str) -> list[str]:
     return trace
 
 
+def _lifecycle_db(path: str) -> tuple[Database, np.ndarray, np.ndarray]:
+    """A db with a served model, plus a feature batch and its labels."""
+    db = tiny_db(path)
+    db.register_model(fraud_fc_256(), name="fraud")
+    feats = np.random.default_rng(6).normal(size=(16, 28))
+    baseline = db.predict_labels("fraud", feats)
+    return db, feats, baseline
+
+
+def _assert_old_version_serves(
+    db: Database, feats: np.ndarray, baseline: np.ndarray, trace: list[str]
+) -> None:
+    """A crashed deploy step must leave the prior version serving."""
+    entry = db.lifecycle.snapshot().entry("fraud")
+    assert entry.serving == "v1"
+    labels, gen = db.predict_labels_v("fraud", feats)
+    np.testing.assert_array_equal(labels, baseline)
+    trace.append(f"serving=v1 gen={gen}")
+
+
+def drive_lifecycle_prepare(path: str) -> list[str]:
+    trace = []
+    db, feats, baseline = _lifecycle_db(path)
+    with db:
+        before = db.lifecycle.generation
+        db.faults.arm(site="lifecycle.prepare", transient=False)
+        with pytest.raises(InjectedFaultError):
+            db.register_model_version("fraud", "v2", quantize_bits=8)
+        trace.append("typed-error")
+        # The prepare crashed before any mutation: no version, no publish.
+        assert db.lifecycle.generation == before
+        assert db.lifecycle.snapshot().entry("fraud").record("v2") is None
+        _assert_old_version_serves(db, feats, baseline, trace)
+    return trace
+
+
+def drive_lifecycle_swap(path: str) -> list[str]:
+    trace = []
+    db, feats, baseline = _lifecycle_db(path)
+    with db:
+        db.register_model_version("fraud", "v2", quantize_bits=8)
+        before = db.lifecycle.generation
+        db.faults.arm(site="lifecycle.swap", transient=False)
+        with pytest.raises(InjectedFaultError):
+            db.execute("DEPLOY MODEL fraud VERSION v2 CANARY 25%")
+        trace.append("typed-error")
+        # The swap fired before the pointer assignment: nothing published.
+        assert db.lifecycle.generation == before
+        assert db.lifecycle.snapshot().entry("fraud").canary is None
+        _assert_old_version_serves(db, feats, baseline, trace)
+    return trace
+
+
+def drive_lifecycle_rollback(path: str) -> list[str]:
+    trace = []
+    db, feats, baseline = _lifecycle_db(path)
+    with db:
+        # v2 has identical weights (same seeded init), so the live canary
+        # slice cannot perturb the label comparison below.
+        db.register_model_version("fraud", "v2", model=fraud_fc_256())
+        db.execute("DEPLOY MODEL fraud VERSION v2 CANARY 25%")
+        before = db.lifecycle.generation
+        db.faults.arm(site="lifecycle.rollback", transient=False)
+        with pytest.raises(InjectedFaultError):
+            db.execute("ROLLBACK MODEL fraud")
+        trace.append("typed-error")
+        # The rollback never published; the split is unchanged and the
+        # stable version still answers the non-canary slice.
+        assert db.lifecycle.generation == before
+        assert db.lifecycle.snapshot().entry("fraud").canary == "v2"
+        _assert_old_version_serves(db, feats, baseline, trace)
+    return trace
+
+
 DRIVERS = {
     "disk.read_page": drive_disk_read_page,
     "disk.write_page": drive_disk_write_page,
@@ -209,6 +283,9 @@ DRIVERS = {
     "server.batch": drive_server_batch,
     "persist.sidecar": drive_persist_sidecar,
     "persist.sidecar_replace": drive_persist_sidecar_replace,
+    "lifecycle.prepare": drive_lifecycle_prepare,
+    "lifecycle.swap": drive_lifecycle_swap,
+    "lifecycle.rollback": drive_lifecycle_rollback,
 }
 
 

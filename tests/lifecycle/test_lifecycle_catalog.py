@@ -1,0 +1,207 @@
+"""Unit coverage for the copy-on-write lifecycle catalog and the
+deployment state machine: snapshot pinning, generation stamping, SQL
+surface, version states, and typed failure modes."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import (
+    DeploymentError,
+    NoServableVersionError,
+    SlaViolationError,
+    SqlParseError,
+)
+from repro.lifecycle import ModelCatalog
+from repro.lifecycle.routing import canary_mask, routing_hashes
+from repro.models import fraud_fc_256
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+
+
+# -- the COW catalog -----------------------------------------------------
+
+
+def test_snapshots_are_immutable_and_generation_stamped():
+    catalog = ModelCatalog()
+    assert catalog.generation == 0
+    catalog.register_base("m")
+    pinned = catalog.snapshot()
+    gen_at_pin = pinned.generation
+    catalog.add_version("m", "v2", "m@v2")
+    catalog.route_canary("m", "v2", 25.0)
+    # The pinned snapshot never changed: readers keep the view they took.
+    assert pinned.generation == gen_at_pin
+    assert pinned.entry("m").canary is None
+    assert catalog.snapshot().entry("m").canary == "v2"
+    assert catalog.generation > gen_at_pin
+
+
+def test_publication_history_is_monotonic_and_complete():
+    catalog = ModelCatalog()
+    catalog.register_base("m")
+    catalog.add_version("m", "v2", "m@v2")
+    catalog.route_canary("m", "v2", 10.0)
+    catalog.promote("m", "v2")
+    catalog.rollback("m", serving="v1")
+    generations = [gen for gen, _ in catalog.history()]
+    assert generations == sorted(generations)
+    assert generations[-1] == catalog.generation
+    assert catalog.generations() == set(generations)
+
+
+def test_promote_and_rollback_restate_version_records():
+    catalog = ModelCatalog()
+    catalog.register_base("m")
+    catalog.add_version("m", "v2", "m@v2")
+    catalog.promote("m", "v2")
+    entry = catalog.snapshot().entry("m")
+    assert entry.serving == "v2"
+    assert entry.record("v1").state == "retired"
+    assert entry.record("v2").state == "serving"
+    catalog.rollback("m", serving="v1")
+    entry = catalog.snapshot().entry("m")
+    assert entry.serving == "v1"
+    assert entry.record("v1").state == "serving"
+    assert entry.record("v2").state == "retired"
+
+
+def test_duplicate_version_rejected():
+    catalog = ModelCatalog()
+    catalog.register_base("m")
+    catalog.add_version("m", "v2", "m@v2")
+    with pytest.raises(DeploymentError):
+        catalog.add_version("m", "v2", "m@v2")
+
+
+# -- deterministic canary hashing ---------------------------------------
+
+
+def test_canary_mask_is_deterministic_and_row_stable():
+    rng = np.random.default_rng(7)
+    feats = rng.normal(size=(512, 28))
+    first = canary_mask(routing_hashes(feats), 25.0)
+    second = canary_mask(routing_hashes(feats), 25.0)
+    np.testing.assert_array_equal(first, second)
+    # Row-stable: the same row hashes the same inside any batch.
+    solo = canary_mask(routing_hashes(feats[3:4]), 25.0)
+    assert solo[0] == first[3]
+
+
+def test_canary_fraction_tracks_percent():
+    rng = np.random.default_rng(8)
+    feats = rng.normal(size=(4000, 28))
+    frac = canary_mask(routing_hashes(feats), 25.0).mean()
+    assert 0.20 <= frac <= 0.30
+
+
+# -- SQL surface ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "DEPLOY MODEL fraud VERSION v2",
+        "DEPLOY MODEL fraud VERSION v2 CANARY 25%",
+        "DEPLOY MODEL fraud VERSION v2 CANARY 12.5%",
+        "DEPLOY MODEL fraud VERSION v2 SHADOW",
+        "DEPLOY MODEL fraud VERSION v2 CANARY 25% SHADOW",
+        "ROLLBACK MODEL fraud",
+        "SHOW deployments",
+    ],
+)
+def test_deploy_statements_round_trip(sql):
+    stmt = parse(sql)
+    assert parse(unparse(stmt)) == stmt
+
+
+def test_deploy_grammar_rejects_bad_percent():
+    with pytest.raises(SqlParseError):
+        parse("DEPLOY MODEL m VERSION v2 CANARY 0%")
+    with pytest.raises(SqlParseError):
+        parse("DEPLOY MODEL m VERSION v2 CANARY 250%")
+    with pytest.raises(SqlParseError):
+        parse("DEPLOY MODEL m VERSION v2 CANARY oops")
+
+
+def test_deploy_of_unknown_version_names_candidates():
+    with Database() as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        with pytest.raises(NoServableVersionError) as excinfo:
+            db.execute("DEPLOY MODEL fraud VERSION v9")
+        assert "v1" in str(excinfo.value)
+        assert excinfo.value.candidates == [("v1", "serving")]
+
+
+def test_double_deploy_rejected_and_rollback_without_deploy():
+    with Database() as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.register_model_version("fraud", "v2", model=fraud_fc_256())
+        db.execute("DEPLOY MODEL fraud VERSION v2 CANARY 10%")
+        with pytest.raises(DeploymentError):
+            db.execute("DEPLOY MODEL fraud VERSION v2 CANARY 10%")
+        db.execute("ROLLBACK MODEL fraud")
+        with pytest.raises(DeploymentError):
+            db.execute("ROLLBACK MODEL fraud")
+
+
+def test_show_deployments_reports_full_state_history():
+    with Database(deploy_canary_min_requests=4) as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.register_model_version("fraud", "v2", model=fraud_fc_256())
+        db.execute("DEPLOY MODEL fraud VERSION v2 CANARY 50%")
+        feats = np.random.default_rng(1).normal(size=(64, 28))
+        for _ in range(4):
+            db.predict_labels("fraud", feats)
+        rows = db.execute("SHOW DEPLOYMENTS").fetchall()
+        assert len(rows) == 1
+        history = rows[0][-1]
+        assert history == "preparing>canary>promoted"
+        assert db.lifecycle.snapshot().entry("fraud").serving == "v2"
+
+
+def test_promoted_deployment_rolls_back_to_previous():
+    with Database() as db:
+        db.register_model(fraud_fc_256(), name="fraud")
+        db.register_model_version("fraud", "v2", model=fraud_fc_256())
+        db.execute("DEPLOY MODEL fraud VERSION v2")
+        assert db.lifecycle.snapshot().entry("fraud").serving == "v2"
+        dep = db.rollback_model("fraud")
+        assert dep.history_str() == "preparing>promoted>rolled_back"
+        assert db.lifecycle.snapshot().entry("fraud").serving == "v1"
+
+
+# -- the version manager satellite --------------------------------------
+
+
+def test_version_manager_select_requires_servable():
+    from repro.dedup.versions import SlaVersionManager
+
+    manager = SlaVersionManager(fraud_fc_256(), accuracy_fn=lambda m: 0.9)
+    manager.add_quantized(8)
+    # Default behaviour unchanged: accuracy-only selection still works.
+    assert manager.select(0.5) is not None
+    with pytest.raises(SlaViolationError):
+        manager.select(0.99)
+    # Versions exist but none is loaded/promoted: typed, named failure.
+    with pytest.raises(NoServableVersionError) as excinfo:
+        manager.select(0.5, require_servable=True)
+    assert ("full", "created") in excinfo.value.candidates
+    assert ("int8", "created") in excinfo.value.candidates
+    manager.mark_loaded("int8")
+    assert manager.select(0.5, require_servable=True).name == "int8"
+    manager.mark_promoted("full")
+    assert manager.get("full").state == "promoted"
+
+
+def test_derive_version_demands_one_transform():
+    from repro.dedup.versions import derive_version
+    from repro.errors import ModelError
+
+    base = fraud_fc_256()
+    assert derive_version(base, quantize_bits=8).name.endswith("int8")
+    assert derive_version(base, prune_sparsity=0.5).name.endswith("p50")
+    with pytest.raises(ModelError):
+        derive_version(base)
+    with pytest.raises(ModelError):
+        derive_version(base, quantize_bits=8, prune_sparsity=0.5)

@@ -1,0 +1,47 @@
+"""Rolling restarts of the process-parallel tier: drain, stop, respawn.
+
+Each worker is drained and restarted one at a time while the others keep
+serving — the cluster-side half of the graceful-drain story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.cluster import ClusterPool
+from repro.config import SystemConfig
+from repro.models import fraud_fc_256
+
+
+@pytest.fixture
+def cluster_db() -> Database:
+    config = SystemConfig(
+        telemetry_enabled=True,
+        cluster_workers=2,
+        cluster_heartbeat_interval_ms=20.0,
+        cluster_heartbeat_timeout_ms=600.0,
+        cluster_request_timeout_ms=20000.0,
+    )
+    database = Database(config=config)
+    database.register_model(fraud_fc_256(), name="fraud")
+    yield database
+    database.close()
+
+
+def test_rolling_restart_replaces_every_worker(cluster_db):
+    feats = np.random.default_rng(21).normal(size=(16, 28))
+    expected = cluster_db.predict_labels("fraud", feats)
+    with ClusterPool(cluster_db) as pool:
+        np.testing.assert_array_equal(pool.predict("fraud", feats), expected)
+        before = {wid: h.generation for wid, h in pool._handles.items()}
+
+        assert pool.rolling_restart(drain_timeout_s=5.0) == len(before)
+
+        # Every slot came back as a fresh process generation...
+        for wid, handle in pool._handles.items():
+            assert handle.generation > before[wid]
+            assert not handle.draining
+        # ...with its model placement restored and answers unchanged.
+        np.testing.assert_array_equal(pool.predict("fraud", feats), expected)
